@@ -1,0 +1,435 @@
+// Benchmarks: one per table/figure of the paper's evaluation, plus the
+// ablations from DESIGN.md §5. Each benchmark regenerates its experiment's
+// pipeline at a size that fits a laptop-class machine and reports the
+// domain metrics (replay error, prediction error) via b.ReportMetric, so
+// `go test -bench=. -benchmem` doubles as a miniature reproduction run.
+// The full-size sweeps live in cmd/experiments.
+package lumos
+
+import (
+	"fmt"
+	"testing"
+
+	"lumos/internal/analysis"
+	"lumos/internal/cluster"
+	"lumos/internal/dpro"
+	"lumos/internal/execgraph"
+	"lumos/internal/manip"
+	"lumos/internal/metrics"
+	"lumos/internal/model"
+	"lumos/internal/parallel"
+	"lumos/internal/replay"
+	"lumos/internal/topology"
+	"lumos/internal/trace"
+)
+
+// benchConfig builds a deployment for benchmarks.
+func benchConfig(b *testing.B, arch model.Arch, tp, pp, dp, mb int) parallel.Config {
+	b.Helper()
+	m, err := topology.NewMapping(tp, pp, dp)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := parallel.DefaultConfig(arch, m)
+	cfg.Microbatches = mb
+	return cfg
+}
+
+func benchSim(b *testing.B, cfg parallel.Config, seed uint64) *trace.Multi {
+	b.Helper()
+	out, err := cluster.Run(cfg, cluster.DefaultSimConfig(cfg.Map.WorldSize(), seed))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return out
+}
+
+// BenchmarkTable1_ModelPresets prices every Table 1 preset's per-layer op
+// generation (the workload-model hot path).
+func BenchmarkTable1_ModelPresets(b *testing.B) {
+	archs := model.Table1()
+	sc := model.ShapeConfig{TP: 8, MicrobatchSize: 1}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for _, a := range archs {
+			for l := 0; l < a.Layers; l++ {
+				_ = a.LayerForward(sc, l)
+				_ = a.LayerBackward(sc, l)
+			}
+		}
+	}
+}
+
+// replayErrorBench runs the Figure 5 pipeline (profile → graph → Lumos and
+// dPRO replays → compare with a fresh iteration) for one configuration and
+// reports both errors.
+func replayErrorBench(b *testing.B, arch model.Arch, tp, pp, dp, mb int) {
+	cfg := benchConfig(b, arch, tp, pp, dp, mb)
+	var lumosErr, dproErr float64
+	for i := 0; i < b.N; i++ {
+		profiled := benchSim(b, cfg, 42+uint64(i))
+		actual := benchSim(b, cfg, 1042+uint64(i))
+		actualIter := actual.Duration()
+
+		g, err := execgraph.Build(profiled, execgraph.DefaultOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		lres, err := replay.Run(g, replay.DefaultOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		dg, err := dpro.Build(profiled)
+		if err != nil {
+			b.Fatal(err)
+		}
+		dres, err := dpro.Replay(dg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		lumosErr = metrics.RelErr(lres.Makespan, actualIter)
+		dproErr = metrics.RelErr(dres.Makespan, actualIter)
+	}
+	b.ReportMetric(lumosErr, "lumos-err-%")
+	b.ReportMetric(dproErr, "dpro-err-%")
+}
+
+// BenchmarkFig5_* regenerate the replay-accuracy comparison per model
+// (scaled-down parallelism; the full 512-GPU grid runs via cmd/experiments).
+func BenchmarkFig5_Replay15B(b *testing.B)  { replayErrorBench(b, model.GPT3_15B(), 2, 2, 2, 4) }
+func BenchmarkFig5_Replay44B(b *testing.B)  { replayErrorBench(b, model.GPT3_44B(), 2, 2, 2, 4) }
+func BenchmarkFig5_Replay117B(b *testing.B) { replayErrorBench(b, model.GPT3_117B(), 2, 2, 2, 4) }
+func BenchmarkFig5_Replay175B(b *testing.B) { replayErrorBench(b, model.GPT3_175B(), 2, 2, 2, 4) }
+
+// BenchmarkFig1_Breakdown175B regenerates the Figure 1 comparison (dPRO's
+// breakdown distortion) on a reduced 175B deployment.
+func BenchmarkFig1_Breakdown175B(b *testing.B) {
+	cfg := benchConfig(b, model.GPT3_175B(), 2, 2, 2, 4)
+	var overlapRatio float64
+	for i := 0; i < b.N; i++ {
+		profiled := benchSim(b, cfg, 7)
+		actualBD := analysis.MultiBreakdown(profiled)
+		dg, err := dpro.Build(profiled)
+		if err != nil {
+			b.Fatal(err)
+		}
+		dres, err := dpro.Replay(dg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		dbd := analysis.MultiBreakdown(replay.ToTrace(dg, dres))
+		overlapRatio = float64(dbd.Overlapped) / float64(actualBD.Overlapped)
+	}
+	b.ReportMetric(overlapRatio, "dpro-overlap-ratio")
+}
+
+// BenchmarkFig6_SMUtilization regenerates the SM-utilization comparison.
+func BenchmarkFig6_SMUtilization(b *testing.B) {
+	cfg := benchConfig(b, model.GPT3_15B(), 2, 2, 2, 4)
+	profiled := benchSim(b, cfg, 11)
+	g, err := execgraph.Build(profiled, execgraph.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := replay.Run(g, replay.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	sim := replay.ToTrace(g, res)
+	b.ResetTimer()
+	var diff float64
+	for i := 0; i < b.N; i++ {
+		aU := analysis.EffectiveSMUtilization(profiled, 0, trace.Millisecond)
+		lU := analysis.EffectiveSMUtilization(sim, 0, trace.Millisecond)
+		n := len(aU)
+		if len(lU) < n {
+			n = len(lU)
+		}
+		var s float64
+		for j := 0; j < n; j++ {
+			d := aU[j] - lU[j]
+			if d < 0 {
+				d = -d
+			}
+			s += d
+		}
+		diff = s / float64(n)
+	}
+	b.ReportMetric(diff, "mean-abs-util-err")
+}
+
+// predictBench runs a Figure 7/8-style manipulation prediction and reports
+// its error vs a ground-truth run of the target.
+func predictBench(b *testing.B, req manip.Request, seed uint64) {
+	world := req.Target.Map.WorldSize()
+	if bw := req.Base.Map.WorldSize(); bw > world {
+		world = bw
+	}
+	topo := topology.H100Cluster(world)
+	var predErr float64
+	for i := 0; i < b.N; i++ {
+		profiled := benchSim(b, req.Base, 21)
+		pred, err := manip.Predict(req, profiled, topo)
+		if err != nil {
+			b.Fatal(err)
+		}
+		actual := benchSim(b, req.Target, seed+uint64(i))
+		predErr = metrics.RelErr(pred.Iteration, actual.Duration())
+	}
+	b.ReportMetric(predErr, "pred-err-%")
+}
+
+func fig7Base(b *testing.B) parallel.Config {
+	return benchConfig(b, model.GPT3_15B(), 2, 2, 2, 8)
+}
+
+// BenchmarkFig7a_ScaleDP regenerates the DP scale-out prediction.
+func BenchmarkFig7a_ScaleDP(b *testing.B) {
+	predictBench(b, manip.ScaleDP(fig7Base(b), 4), 3100)
+}
+
+// BenchmarkFig7b_ScalePP regenerates the PP scale-out prediction.
+func BenchmarkFig7b_ScalePP(b *testing.B) {
+	predictBench(b, manip.ScalePP(fig7Base(b), 4), 3200)
+}
+
+// BenchmarkFig7c_ScaleDPPP regenerates the simultaneous scaling prediction.
+func BenchmarkFig7c_ScaleDPPP(b *testing.B) {
+	predictBench(b, manip.Scale3D(fig7Base(b), 4, 4), 3300)
+}
+
+// BenchmarkFig8_ArchVariants regenerates the architecture-change prediction
+// for each Table 2 variant.
+func BenchmarkFig8_ArchVariants(b *testing.B) {
+	base := fig7Base(b)
+	for _, v := range []model.Arch{model.GPT3_V1(), model.GPT3_V3()} {
+		v := v
+		b.Run(v.Name, func(b *testing.B) {
+			target := base
+			target.Arch = v
+			predictBench(b, manip.ChangeArch(base, target), 3400)
+		})
+	}
+}
+
+// --- Ablations (DESIGN.md §5) ---------------------------------------------
+
+// BenchmarkAblation_NoInterStreamDeps measures how much replay error the
+// inter-stream dependencies remove — the paper's core claim.
+func BenchmarkAblation_NoInterStreamDeps(b *testing.B) {
+	cfg := benchConfig(b, model.GPT3_15B(), 4, 1, 2, 4)
+	var withErr, withoutErr float64
+	for i := 0; i < b.N; i++ {
+		profiled := benchSim(b, cfg, 31)
+		actual := benchSim(b, cfg, 1031+uint64(i))
+		ai := actual.Duration()
+		full := execgraph.DefaultOptions()
+		none := execgraph.DefaultOptions()
+		none.InterStream = execgraph.InterStreamNone
+
+		gf, err := execgraph.Build(profiled, full)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rf, err := replay.Run(gf, replay.DefaultOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		gn, err := execgraph.Build(profiled, none)
+		if err != nil {
+			b.Fatal(err)
+		}
+		uncoupled := replay.DefaultOptions()
+		uncoupled.CoupleCollectives = false
+		rn, err := replay.Run(gn, uncoupled)
+		if err != nil {
+			b.Fatal(err)
+		}
+		withErr = metrics.RelErr(rf.Makespan, ai)
+		withoutErr = metrics.RelErr(rn.Makespan, ai)
+	}
+	b.ReportMetric(withErr, "with-deps-err-%")
+	b.ReportMetric(withoutErr, "without-deps-err-%")
+}
+
+// BenchmarkAblation_ContentionModel quantifies the ground-truth contention
+// penalty's contribution to replay error.
+func BenchmarkAblation_ContentionModel(b *testing.B) {
+	cfg := benchConfig(b, model.GPT3_15B(), 2, 2, 2, 4)
+	var errOn, errOff float64
+	for i := 0; i < b.N; i++ {
+		for _, contention := range []bool{true, false} {
+			sp := cluster.DefaultSimConfig(cfg.Map.WorldSize(), 41)
+			sa := cluster.DefaultSimConfig(cfg.Map.WorldSize(), 1041+uint64(i))
+			if !contention {
+				sp.OverlapComputeSlowdown, sp.OverlapCommSlowdown = 1, 1
+				sa.OverlapComputeSlowdown, sa.OverlapCommSlowdown = 1, 1
+			}
+			profiled, err := cluster.Run(cfg, sp)
+			if err != nil {
+				b.Fatal(err)
+			}
+			actual, err := cluster.Run(cfg, sa)
+			if err != nil {
+				b.Fatal(err)
+			}
+			g, err := execgraph.Build(profiled, execgraph.DefaultOptions())
+			if err != nil {
+				b.Fatal(err)
+			}
+			res, err := replay.Run(g, replay.DefaultOptions())
+			if err != nil {
+				b.Fatal(err)
+			}
+			e := metrics.RelErr(res.Makespan, actual.Duration())
+			if contention {
+				errOn = e
+			} else {
+				errOff = e
+			}
+		}
+	}
+	b.ReportMetric(errOn, "contention-on-err-%")
+	b.ReportMetric(errOff, "contention-off-err-%")
+}
+
+// BenchmarkAblation_SchedulePolicy compares 1F1B and GPipe ground truth.
+func BenchmarkAblation_SchedulePolicy(b *testing.B) {
+	var r float64
+	for i := 0; i < b.N; i++ {
+		iter := map[parallel.SchedulePolicy]trace.Dur{}
+		for _, pol := range []parallel.SchedulePolicy{parallel.OneFOneB, parallel.GPipe} {
+			cfg := benchConfig(b, model.GPT3_15B(), 2, 4, 1, 8)
+			cfg.Schedule = pol
+			iter[pol] = benchSim(b, cfg, 51).Duration()
+		}
+		r = float64(iter[parallel.GPipe]) / float64(iter[parallel.OneFOneB])
+	}
+	b.ReportMetric(r, "gpipe/1f1b")
+}
+
+// --- Component micro-benchmarks -------------------------------------------
+
+// BenchmarkGroundTruthSimulator measures the cluster substrate's throughput.
+func BenchmarkGroundTruthSimulator(b *testing.B) {
+	cfg := benchConfig(b, model.GPT3_15B(), 2, 2, 2, 4)
+	b.ReportAllocs()
+	var events int
+	for i := 0; i < b.N; i++ {
+		out := benchSim(b, cfg, uint64(i))
+		events = out.Events()
+	}
+	b.ReportMetric(float64(events), "events")
+}
+
+// BenchmarkGraphBuild measures execution-graph construction.
+func BenchmarkGraphBuild(b *testing.B) {
+	cfg := benchConfig(b, model.GPT3_15B(), 2, 2, 2, 4)
+	profiled := benchSim(b, cfg, 3)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g, err := execgraph.Build(profiled, execgraph.DefaultOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(g.Tasks) == 0 {
+			b.Fatal("empty graph")
+		}
+	}
+}
+
+// BenchmarkReplaySimulator measures Algorithm 1's throughput.
+func BenchmarkReplaySimulator(b *testing.B) {
+	cfg := benchConfig(b, model.GPT3_15B(), 2, 2, 2, 4)
+	profiled := benchSim(b, cfg, 5)
+	g, err := execgraph.Build(profiled, execgraph.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := replay.Run(g, replay.DefaultOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(g.Tasks)), "tasks")
+}
+
+// BenchmarkBreakdownAnalysis measures the interval-algebra analysis.
+func BenchmarkBreakdownAnalysis(b *testing.B) {
+	cfg := benchConfig(b, model.GPT3_15B(), 2, 2, 2, 4)
+	profiled := benchSim(b, cfg, 9)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		bd := analysis.MultiBreakdown(profiled)
+		if bd.Total == 0 {
+			b.Fatal("no breakdown")
+		}
+	}
+}
+
+var benchSink string
+
+// BenchmarkTable2_VariantSweep exercises preset construction and parameter
+// accounting for the Table 2 variants.
+func BenchmarkTable2_VariantSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, a := range model.Table2() {
+			benchSink = fmt.Sprintf("%s:%d", a.Name, a.Params())
+		}
+	}
+}
+
+// BenchmarkAblation_SequenceParallel compares the sequence-parallel and
+// all-reduce TP variants in ground truth (paper §2.2's emerging technique).
+func BenchmarkAblation_SequenceParallel(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		cfg := benchConfig(b, model.GPT3_15B(), 4, 1, 1, 4)
+		plain := benchSim(b, cfg, 61).Duration()
+		cfg.SequenceParallel = true
+		sp := benchSim(b, cfg, 61).Duration()
+		ratio = float64(sp) / float64(plain)
+	}
+	b.ReportMetric(ratio, "sp/ar-iter-ratio")
+}
+
+// BenchmarkWhatIfFusion measures the operator-fusion counterfactual from
+// the paper's Section 3.4 motivation.
+func BenchmarkWhatIfFusion(b *testing.B) {
+	cfg := benchConfig(b, model.GPT3_15B(), 2, 1, 1, 4)
+	profiled := benchSim(b, cfg, 63)
+	g, err := execgraph.Build(profiled, execgraph.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var speedup float64
+	for i := 0; i < b.N; i++ {
+		rep, err := analysis.WhatIfFusion(g, analysis.DefaultFusionOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		speedup = rep.Speedup()
+	}
+	b.ReportMetric(speedup, "fusion-speedup")
+}
+
+// BenchmarkMultiIterationProfile measures the multi-step profiling window
+// and iteration splitting path.
+func BenchmarkMultiIterationProfile(b *testing.B) {
+	cfg := benchConfig(b, model.GPT3_15B(), 2, 1, 1, 4)
+	b.ReportAllocs()
+	var iters int
+	for i := 0; i < b.N; i++ {
+		out, err := cluster.RunN(cfg, cluster.DefaultSimConfig(cfg.Map.WorldSize(), 65), 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		iters = len(trace.SplitIterationsMulti(out))
+	}
+	b.ReportMetric(float64(iters), "iterations")
+}

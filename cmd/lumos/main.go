@@ -1,0 +1,297 @@
+// Command lumos is the toolkit CLI:
+//
+//	lumos tracegen  -model 15b -tp 2 -pp 2 -dp 4 -mb 8 -seed 42 -out traces/
+//	    simulate one training iteration on the cluster substrate and write
+//	    per-rank Kineto-style JSON traces
+//	lumos replay    -in traces/ [-baseline dpro]
+//	    build the execution graph and replay it, printing iteration time and
+//	    the execution breakdown
+//	lumos breakdown -in traces/ [-per-rank]
+//	    print the exposed compute / overlapped / exposed comm / other
+//	    decomposition of a collected or simulated trace
+//	lumos smutil    -in traces/ -rank 0 -window 1ms
+//	    print per-window SM utilization for one rank
+//	lumos predict   -in traces/ -model 15b -tp 2 -pp 2 -dp 4 -mb 8 \
+//	                [-new-dp N] [-new-pp N] [-new-arch v3]
+//	    manipulate the profiled execution into a new configuration and
+//	    predict its performance
+//	lumos whatif    -in traces/ -class gemm -factor 0.5
+//	    estimate the iteration time if all kernels of a class ran at the
+//	    given duration factor
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"lumos"
+	"lumos/internal/analysis"
+	"lumos/internal/execgraph"
+	"lumos/internal/model"
+	"lumos/internal/replay"
+)
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: lumos <tracegen|replay|breakdown|smutil|predict|whatif> [flags]")
+	os.Exit(2)
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "tracegen":
+		err = cmdTracegen(args)
+	case "replay":
+		err = cmdReplay(args)
+	case "breakdown":
+		err = cmdBreakdown(args)
+	case "smutil":
+		err = cmdSMUtil(args)
+	case "predict":
+		err = cmdPredict(args)
+	case "whatif":
+		err = cmdWhatIf(args)
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lumos %s: %v\n", cmd, err)
+		os.Exit(1)
+	}
+}
+
+func archByName(name string) (model.Arch, error) {
+	switch strings.ToLower(name) {
+	case "15b":
+		return model.GPT3_15B(), nil
+	case "44b":
+		return model.GPT3_44B(), nil
+	case "117b":
+		return model.GPT3_117B(), nil
+	case "175b":
+		return model.GPT3_175B(), nil
+	case "v1":
+		return model.GPT3_V1(), nil
+	case "v2":
+		return model.GPT3_V2(), nil
+	case "v3":
+		return model.GPT3_V3(), nil
+	case "v4":
+		return model.GPT3_V4(), nil
+	}
+	return model.Arch{}, fmt.Errorf("unknown model %q (want 15b|44b|117b|175b|v1..v4)", name)
+}
+
+// deployFlags registers the deployment flag set shared by tracegen/predict.
+func deployFlags(fs *flag.FlagSet) (mdl *string, tp, pp, dp, mb *int, seed *uint64) {
+	mdl = fs.String("model", "15b", "architecture preset")
+	tp = fs.Int("tp", 2, "tensor parallelism")
+	pp = fs.Int("pp", 2, "pipeline parallelism")
+	dp = fs.Int("dp", 4, "data parallelism")
+	mb = fs.Int("mb", 8, "microbatches per rank")
+	seed = fs.Uint64("seed", 42, "simulation seed")
+	return
+}
+
+func buildConfig(mdl string, tp, pp, dp, mb int) (lumos.Config, error) {
+	arch, err := archByName(mdl)
+	if err != nil {
+		return lumos.Config{}, err
+	}
+	cfg, err := lumos.DeploymentConfig(arch, tp, pp, dp)
+	if err != nil {
+		return lumos.Config{}, err
+	}
+	cfg.Microbatches = mb
+	return cfg, nil
+}
+
+func cmdTracegen(args []string) error {
+	fs := flag.NewFlagSet("tracegen", flag.ExitOnError)
+	mdl, tp, pp, dp, mb, seed := deployFlags(fs)
+	out := fs.String("out", "traces", "output directory for rank_<N>.json")
+	fs.Parse(args)
+
+	cfg, err := buildConfig(*mdl, *tp, *pp, *dp, *mb)
+	if err != nil {
+		return err
+	}
+	tk := lumos.New(lumos.Options{})
+	t0 := time.Now()
+	traces, err := tk.Profile(cfg, *seed)
+	if err != nil {
+		return err
+	}
+	if err := lumos.SaveTraces(traces, *out); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d rank traces (%d events, iteration %.1fms) to %s in %v\n",
+		traces.NumRanks(), traces.Events(), analysis.Millis(lumos.IterationTime(traces)),
+		*out, time.Since(t0).Round(time.Millisecond))
+	return nil
+}
+
+func cmdReplay(args []string) error {
+	fs := flag.NewFlagSet("replay", flag.ExitOnError)
+	in := fs.String("in", "traces", "trace directory")
+	baseline := fs.String("baseline", "", "also replay with a baseline: dpro")
+	fs.Parse(args)
+
+	traces, err := lumos.LoadTraces(*in)
+	if err != nil {
+		return err
+	}
+	tk := lumos.New(lumos.Options{})
+	rep, err := tk.ReplayTraces(traces)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("recorded: %.1fms\n", analysis.Millis(lumos.IterationTime(traces)))
+	fmt.Printf("lumos:    %.1fms  %v\n", analysis.Millis(rep.Iteration), rep.Breakdown)
+	if *baseline == "dpro" {
+		dp, err := tk.ReplayDPRO(traces)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("dpro:     %.1fms  %v\n", analysis.Millis(dp.Iteration), dp.Breakdown)
+	}
+	return nil
+}
+
+func cmdBreakdown(args []string) error {
+	fs := flag.NewFlagSet("breakdown", flag.ExitOnError)
+	in := fs.String("in", "traces", "trace directory")
+	perRank := fs.Bool("per-rank", false, "print each rank separately")
+	fs.Parse(args)
+
+	traces, err := lumos.LoadTraces(*in)
+	if err != nil {
+		return err
+	}
+	if *perRank {
+		for _, t := range traces.Ranks {
+			fmt.Printf("rank %3d: %v\n", t.Rank, lumos.RankBreakdown(t))
+		}
+	}
+	fmt.Printf("average: %v (iteration %.1fms)\n",
+		lumos.MultiBreakdown(traces), analysis.Millis(lumos.IterationTime(traces)))
+	return nil
+}
+
+func cmdSMUtil(args []string) error {
+	fs := flag.NewFlagSet("smutil", flag.ExitOnError)
+	in := fs.String("in", "traces", "trace directory")
+	rank := fs.Int("rank", 0, "rank to analyze")
+	window := fs.Duration("window", time.Millisecond, "window size")
+	fs.Parse(args)
+
+	traces, err := lumos.LoadTraces(*in)
+	if err != nil {
+		return err
+	}
+	if *rank < 0 || *rank >= traces.NumRanks() {
+		return fmt.Errorf("rank %d out of range [0,%d)", *rank, traces.NumRanks())
+	}
+	u := lumos.SMUtilization(traces.Ranks[*rank], window.Nanoseconds())
+	for i, v := range u {
+		fmt.Printf("%d %.4f\n", i, v)
+	}
+	return nil
+}
+
+func cmdPredict(args []string) error {
+	fs := flag.NewFlagSet("predict", flag.ExitOnError)
+	mdl, tp, pp, dp, mb, _ := deployFlags(fs)
+	in := fs.String("in", "traces", "profiled trace directory (collected under the base config)")
+	newDP := fs.Int("new-dp", 0, "target data parallelism (0 = unchanged)")
+	newPP := fs.Int("new-pp", 0, "target pipeline parallelism (0 = unchanged)")
+	newArch := fs.String("new-arch", "", "target architecture preset (empty = unchanged)")
+	fs.Parse(args)
+
+	base, err := buildConfig(*mdl, *tp, *pp, *dp, *mb)
+	if err != nil {
+		return err
+	}
+	traces, err := lumos.LoadTraces(*in)
+	if err != nil {
+		return err
+	}
+	target := base
+	if *newPP > 0 {
+		target.Map.PP = *newPP
+	}
+	if *newDP > 0 {
+		target.Map.DP = *newDP
+	}
+	if *newArch != "" {
+		arch, err := archByName(*newArch)
+		if err != nil {
+			return err
+		}
+		target.Arch = arch
+	}
+	tk := lumos.New(lumos.Options{})
+	pred, err := tk.Predict(lumos.Request{Base: base, Target: target}, traces)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("base:      %s %dx%dx%d — recorded %.1fms\n", base.Arch.Name,
+		base.Map.TP, base.Map.PP, base.Map.DP, analysis.Millis(lumos.IterationTime(traces)))
+	fmt.Printf("target:    %s %dx%dx%d — predicted %.1fms\n", target.Arch.Name,
+		target.Map.TP, target.Map.PP, target.Map.DP, analysis.Millis(pred.Iteration))
+	fmt.Printf("breakdown: %v\n", lumos.MultiBreakdown(pred.Trace))
+	fmt.Printf("kernels:   %d from measurements, %d from the fitted model\n",
+		pred.LibraryHits, pred.LibraryMisses)
+	return nil
+}
+
+func cmdWhatIf(args []string) error {
+	fs := flag.NewFlagSet("whatif", flag.ExitOnError)
+	in := fs.String("in", "traces", "trace directory")
+	class := fs.String("class", "gemm", "kernel class to scale (gemm|attention|comm|norm|elementwise|optimizer)")
+	factor := fs.Float64("factor", 0.5, "duration multiplier for matched kernels")
+	fusion := fs.Bool("fusion", false, "estimate elementwise/norm operator fusion instead of class scaling")
+	fs.Parse(args)
+
+	traces, err := lumos.LoadTraces(*in)
+	if err != nil {
+		return err
+	}
+	tk := lumos.New(lumos.Options{})
+	g, err := tk.BuildGraph(traces)
+	if err != nil {
+		return err
+	}
+	if *fusion {
+		rep, err := lumos.WhatIfFusion(g)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("baseline: %.1fms\n", analysis.Millis(rep.Baseline))
+		fmt.Printf("fused:    %.1fms (%d kernel runs merged, %d kernels removed, %.3fx speedup)\n",
+			analysis.Millis(rep.Fused), rep.FusedGroups, rep.KernelsRemoved, rep.Speedup())
+		return nil
+	}
+	baseRep, err := replay.Run(g, replay.DefaultOptions())
+	if err != nil {
+		return err
+	}
+	want := strings.ToLower(*class)
+	match := func(t *execgraph.Task) bool { return t.Class.String() == want }
+	scaled, err := lumos.WhatIfScale(g, match, *factor)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("baseline: %.1fms\n", analysis.Millis(baseRep.Makespan))
+	fmt.Printf("what-if (%s x %.2f): %.1fms (%.1f%% change)\n",
+		want, *factor, analysis.Millis(scaled),
+		100*(float64(scaled)-float64(baseRep.Makespan))/float64(baseRep.Makespan))
+	return nil
+}

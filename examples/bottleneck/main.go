@@ -1,0 +1,119 @@
+// Bottleneck: a performance-diagnosis session on one profiled iteration —
+// execution breakdown per rank, SM-utilization timeline (Figure 6 style),
+// per-kernel-class time accounting, communication volume, and the critical
+// path through the replayed schedule.
+//
+//	go run ./examples/bottleneck
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"lumos"
+	"lumos/internal/analysis"
+	"lumos/internal/execgraph"
+	"lumos/internal/replay"
+	"lumos/internal/trace"
+)
+
+func main() {
+	tk := lumos.New(lumos.Options{})
+
+	cfg, err := lumos.DeploymentConfig(lumos.GPT3_15B(), 2, 4, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg.Microbatches = 8
+
+	fmt.Println("profiling GPT-3 15B at 2x4x2 (16 GPUs)...")
+	traces, err := tk.Profile(cfg, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("iteration: %.1f ms\n\n", analysis.Millis(lumos.IterationTime(traces)))
+
+	// --- Per-rank breakdown: find imbalanced pipeline stages -----------
+	fmt.Println("per-rank breakdown (first rank of each pipeline stage):")
+	for stage := 0; stage < cfg.Map.PP; stage++ {
+		rank := cfg.Map.Rank(0, stage, 0)
+		bd := lumos.RankBreakdown(traces.Ranks[rank])
+		fmt.Printf("  stage %d (rank %2d): %v\n", stage, rank, bd)
+	}
+
+	// --- Kernel-class accounting ----------------------------------------
+	fmt.Println("\nGPU time by kernel class (rank 0):")
+	classTime := analysis.KernelClassTime(traces.Ranks[0])
+	type kv struct {
+		c trace.KernelClass
+		d trace.Dur
+	}
+	var rows []kv
+	for c, d := range classTime {
+		rows = append(rows, kv{c, d})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].d > rows[j].d })
+	for _, r := range rows {
+		fmt.Printf("  %-12s %8.1f ms\n", r.c, analysis.Millis(r.d))
+	}
+
+	// --- Communication volume -------------------------------------------
+	fmt.Println("\ncommunication volume (rank 0):")
+	for kind, bytes := range analysis.CommVolume(traces.Ranks[0]) {
+		fmt.Printf("  %-30s %8.1f MB\n", kind, float64(bytes)/(1<<20))
+	}
+
+	// --- SM utilization ---------------------------------------------------
+	u := lumos.SMUtilization(traces.Ranks[0], trace.Millisecond)
+	busy, idle := 0, 0
+	for _, v := range u {
+		if v > 0.5 {
+			busy++
+		} else if v < 0.1 {
+			idle++
+		}
+	}
+	fmt.Printf("\nSM utilization (rank 0, 1ms windows): mean %.2f, %d busy windows, %d idle windows of %d\n",
+		mean(u), busy, idle, len(u))
+
+	// --- Critical path through the replayed schedule ---------------------
+	g, err := tk.BuildGraph(traces)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := replay.Run(g, replay.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	path := analysis.CriticalPath(g, res)
+	var onPath, cpuOnPath trace.Dur
+	classOnPath := map[trace.KernelClass]trace.Dur{}
+	for _, p := range path {
+		onPath += p.Dur
+		if g.Tasks[p.Task].Kind == execgraph.TaskCPU {
+			cpuOnPath += p.Dur
+			continue
+		}
+		classOnPath[p.Class] += p.Dur
+	}
+	fmt.Printf("\ncritical path: %d tasks, %.1f ms of %.1f ms makespan (%.1f ms CPU-side)\n",
+		len(path), analysis.Millis(onPath), analysis.Millis(res.Makespan), analysis.Millis(cpuOnPath))
+	fmt.Println("critical-path time by kernel class:")
+	for c, d := range classOnPath {
+		if d > 5*trace.Millisecond {
+			fmt.Printf("  %-12s %8.1f ms\n", c, analysis.Millis(d))
+		}
+	}
+}
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}

@@ -1,0 +1,65 @@
+// Scaleout: the Figure-7 workflow — profile a small baseline deployment
+// once, then predict iteration time at larger data- and pipeline-parallel
+// scales by graph manipulation, without "renting" the larger cluster.
+// Each prediction is validated against a fresh ground-truth simulation of
+// the target scale.
+//
+//	go run ./examples/scaleout
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lumos"
+	"lumos/internal/analysis"
+	"lumos/internal/metrics"
+)
+
+func main() {
+	tk := lumos.New(lumos.Options{Cluster: lumos.H100Cluster(128)})
+
+	base, err := lumos.DeploymentConfig(lumos.GPT3_15B(), 2, 2, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	base.Microbatches = 16
+
+	fmt.Println("profiling baseline 2x2x4 (16 GPUs)...")
+	profiled, err := tk.Profile(base, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("baseline iteration: %.1f ms\n\n", analysis.Millis(lumos.IterationTime(profiled)))
+
+	type target struct {
+		name string
+		req  lumos.Request
+	}
+	targets := []target{
+		{"2x2x8   (32 GPUs)", lumos.ScaleDP(base, 8)},
+		{"2x2x16  (64 GPUs)", lumos.ScaleDP(base, 16)},
+		{"2x4x4   (32 GPUs)", lumos.ScalePP(base, 4)},
+		{"2x8x4   (64 GPUs)", lumos.ScalePP(base, 8)},
+		{"2x4x8   (64 GPUs)", lumos.Scale3D(base, 4, 8)},
+	}
+
+	fmt.Printf("%-18s %12s %12s %8s\n", "target", "predicted", "actual", "err")
+	for i, tg := range targets {
+		pred, err := tk.Predict(tg.req, profiled)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Validation: simulate the target for real (a new "deployment").
+		actual, err := tk.Profile(tg.req.Target, 9000+uint64(i))
+		if err != nil {
+			log.Fatal(err)
+		}
+		ai := lumos.IterationTime(actual)
+		fmt.Printf("%-18s %10.1fms %10.1fms %7.1f%%\n",
+			tg.name, analysis.Millis(pred.Iteration), analysis.Millis(ai),
+			metrics.RelErr(pred.Iteration, ai))
+	}
+	fmt.Println("\nEvery prediction came from the single 16-GPU profile; the")
+	fmt.Println("\"actual\" columns each required deploying the larger cluster.")
+}

@@ -1,0 +1,133 @@
+package analysis
+
+import (
+	"testing"
+
+	"lumos/internal/trace"
+)
+
+// handTrace builds a rank trace with controlled kernel placement:
+// compute on stream 7 covering [0,100) and [200,300); comm on stream 20
+// covering [50,250). Overlap = [50,100)+[200,250) = 100; exposed compute =
+// 100; exposed comm = 100; other = 0 over span [0,300).
+func handTrace() *trace.Trace {
+	t := trace.New(0)
+	add := func(name string, cat trace.Category, ts, dur int64, tid int, class trace.KernelClass, comm trace.CommKind) {
+		t.Add(trace.Event{
+			Name: name, Cat: cat, Ts: ts, Dur: dur, TID: tid,
+			Correlation: ts + 1, Stream: tid, Class: class, Comm: comm,
+			PeerRank: -1, Layer: -1, Microbatch: -1,
+		})
+	}
+	add("c1", trace.CatKernel, 0, 100, 7, trace.KCGEMM, trace.CommNone)
+	add("c2", trace.CatKernel, 200, 100, 7, trace.KCGEMM, trace.CommNone)
+	add("ar", trace.CatKernel, 50, 200, 20, trace.KCComm, trace.CommAllReduce)
+	return t
+}
+
+func TestRankBreakdownHandTrace(t *testing.T) {
+	bd := RankBreakdown(handTrace())
+	if bd.ExposedCompute != 100 {
+		t.Errorf("exposed compute = %d, want 100", bd.ExposedCompute)
+	}
+	if bd.Overlapped != 100 {
+		t.Errorf("overlapped = %d, want 100", bd.Overlapped)
+	}
+	if bd.ExposedComm != 100 {
+		t.Errorf("exposed comm = %d, want 100", bd.ExposedComm)
+	}
+	if bd.Other != 0 {
+		t.Errorf("other = %d, want 0", bd.Other)
+	}
+	if bd.Total != 300 {
+		t.Errorf("total = %d, want 300", bd.Total)
+	}
+	// Identity: components sum to total.
+	if bd.ExposedCompute+bd.Overlapped+bd.ExposedComm+bd.Other != bd.Total {
+		t.Error("breakdown does not partition the iteration")
+	}
+}
+
+func TestRankBreakdownIdle(t *testing.T) {
+	tr := trace.New(0)
+	tr.Add(trace.Event{Name: "k", Cat: trace.CatKernel, Ts: 0, Dur: 100, TID: 7,
+		Correlation: 1, Stream: 7, Class: trace.KCGEMM, PeerRank: -1, Layer: -1, Microbatch: -1})
+	tr.Add(trace.Event{Name: "k2", Cat: trace.CatKernel, Ts: 400, Dur: 100, TID: 7,
+		Correlation: 2, Stream: 7, Class: trace.KCGEMM, PeerRank: -1, Layer: -1, Microbatch: -1})
+	bd := RankBreakdown(tr)
+	if bd.Other != 300 {
+		t.Fatalf("idle gap should be 'other': %v", bd)
+	}
+}
+
+func TestRankBreakdownEmpty(t *testing.T) {
+	if bd := RankBreakdown(trace.New(0)); bd.Total != 0 {
+		t.Fatalf("empty trace breakdown = %v", bd)
+	}
+}
+
+func TestMultiBreakdownAverages(t *testing.T) {
+	m := &trace.Multi{Ranks: []*trace.Trace{handTrace(), handTrace()}}
+	bd := MultiBreakdown(m)
+	if bd.Overlapped != 100 || bd.Total != 300 {
+		t.Fatalf("average of identical ranks should be unchanged: %v", bd)
+	}
+}
+
+func TestSMUtilization(t *testing.T) {
+	tr := handTrace() // busy [0,300) entirely (compute+comm union)
+	u := SMUtilization(tr, 100)
+	if len(u) != 3 {
+		t.Fatalf("windows = %d", len(u))
+	}
+	for i, v := range u {
+		if v != 1.0 {
+			t.Fatalf("window %d = %v, want 1.0", i, v)
+		}
+	}
+	if SMUtilization(tr, 0) != nil {
+		t.Fatal("zero window must return nil")
+	}
+}
+
+func TestEffectiveSMUtilizationClipsSpin(t *testing.T) {
+	// Two ranks; rank 0's AR spans [0,1000) (900 spin), rank 1's spans
+	// [900,1000) (intrinsic 100). Effective utilization of rank 0 should
+	// only count [900,1000).
+	m := trace.NewMulti(2)
+	for r, span := range [][2]int64{{0, 1000}, {900, 100}} {
+		m.Ranks[r].Add(trace.Event{
+			Name: "ar", Cat: trace.CatKernel, Ts: span[0], Dur: span[1], PID: r, TID: 20,
+			Correlation: 1, Stream: 20, Class: trace.KCComm, Comm: trace.CommAllReduce,
+			CommID: 7, CommSeq: 1, CommBytes: 100, PeerRank: -1, Layer: -1, Microbatch: -1,
+		})
+	}
+	u := EffectiveSMUtilization(m, 0, 100)
+	if len(u) != 10 {
+		t.Fatalf("windows = %d", len(u))
+	}
+	for i := 0; i < 9; i++ {
+		if u[i] != 0 {
+			t.Fatalf("window %d should be idle (spin clipped), got %v", i, u[i])
+		}
+	}
+	if u[9] != 1.0 {
+		t.Fatalf("window 9 should be busy, got %v", u[9])
+	}
+	if EffectiveSMUtilization(m, 5, 100) != nil {
+		t.Fatal("out-of-range rank must return nil")
+	}
+}
+
+func TestCommVolumeAndClassTime(t *testing.T) {
+	tr := handTrace()
+	tr.Events[2].CommBytes = 1 << 20
+	vol := CommVolume(tr)
+	if vol[trace.CommAllReduce] != 1<<20 {
+		t.Fatalf("volume = %v", vol)
+	}
+	ct := KernelClassTime(tr)
+	if ct[trace.KCGEMM] != 200 || ct[trace.KCComm] != 200 {
+		t.Fatalf("class time = %v", ct)
+	}
+}

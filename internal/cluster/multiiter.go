@@ -1,0 +1,56 @@
+package cluster
+
+import (
+	"fmt"
+
+	"lumos/internal/parallel"
+	"lumos/internal/trace"
+)
+
+// IterationGap is the host-side pause between consecutive profiled
+// iterations (dataloader prefetch, profiler step bookkeeping).
+const IterationGap = 2 * trace.Millisecond
+
+// RunN simulates n consecutive training iterations and returns merged
+// per-rank traces with one ProfilerStep#k annotation per iteration —
+// the shape a Kineto profile of a short profiling window has. Each
+// iteration draws fresh jitter (seed+k), so iteration times vary the way
+// real steps do; use trace.SplitIterations to recover individual steps.
+func RunN(cfg parallel.Config, simCfg SimConfig, n int) (*trace.Multi, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("cluster: need at least 1 iteration, got %d", n)
+	}
+	world := cfg.Map.WorldSize()
+	merged := trace.NewMulti(world)
+	var offset trace.Time
+	for k := 0; k < n; k++ {
+		sc := simCfg
+		sc.Seed = simCfg.Seed + uint64(k)
+		out, err := Run(cfg, sc)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: iteration %d: %w", k, err)
+		}
+		var iterEnd trace.Time
+		for r, t := range out.Ranks {
+			for i := range t.Events {
+				e := t.Events[i]
+				e.Ts += offset
+				if e.Cat == trace.CatUserAnnotation {
+					e.Name = fmt.Sprintf("ProfilerStep#%d", k+1)
+				}
+				if e.End() > iterEnd {
+					iterEnd = e.End()
+				}
+				merged.Ranks[r].Add(e)
+			}
+			if k == 0 {
+				merged.Ranks[r].Meta = t.Meta
+			}
+		}
+		offset = iterEnd + IterationGap
+	}
+	for _, t := range merged.Ranks {
+		t.Sort()
+	}
+	return merged, nil
+}

@@ -1,0 +1,133 @@
+package cluster
+
+import (
+	"testing"
+
+	"lumos/internal/model"
+	"lumos/internal/parallel"
+	"lumos/internal/topology"
+	"lumos/internal/trace"
+)
+
+func TestRunNProducesIterations(t *testing.T) {
+	m, err := topology.NewMapping(2, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := parallel.DefaultConfig(model.GPT3_15B(), m)
+	cfg.Microbatches = 4
+	const n = 3
+	out, err := RunN(cfg, DefaultSimConfig(m.WorldSize(), 17), n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range out.Ranks {
+		steps := 0
+		for i := range tr.Events {
+			if tr.Events[i].Cat == trace.CatUserAnnotation {
+				steps++
+			}
+		}
+		if steps != n {
+			t.Fatalf("rank %d has %d ProfilerStep annotations, want %d", tr.Rank, steps, n)
+		}
+	}
+
+	// Split back into iterations and check they are disjoint, ordered, and
+	// jitter makes their durations differ.
+	iters := trace.SplitIterationsMulti(out)
+	if len(iters) != n {
+		t.Fatalf("split into %d iterations, want %d", len(iters), n)
+	}
+	var prevEnd trace.Time = -1
+	durs := map[trace.Dur]bool{}
+	for k, it := range iters {
+		start, end, ok := it.Ranks[0].Span()
+		if !ok {
+			t.Fatalf("iteration %d empty", k)
+		}
+		if start <= prevEnd {
+			t.Fatalf("iteration %d overlaps the previous one", k)
+		}
+		prevEnd = end
+		durs[it.Duration()] = true
+		if it.Events() == 0 {
+			t.Fatalf("iteration %d has no events", k)
+		}
+	}
+	if len(durs) < 2 {
+		t.Fatal("per-iteration jitter should vary iteration durations")
+	}
+}
+
+func TestRunNRejectsZero(t *testing.T) {
+	m, _ := topology.NewMapping(1, 1, 1)
+	cfg := parallel.DefaultConfig(model.GPT3_15B(), m)
+	if _, err := RunN(cfg, DefaultSimConfig(1, 1), 0); err == nil {
+		t.Fatal("n=0 must be rejected")
+	}
+}
+
+func TestSequenceParallelGroundTruth(t *testing.T) {
+	// Sequence parallelism swaps each TP all-reduce for an all-gather +
+	// reduce-scatter pair: the same bus traffic (so roughly equal comm
+	// time) split across twice as many kernels, while the norm/dropout
+	// kernels shrink by 1/TP. The end-to-end iteration must not regress.
+	m, err := topology.NewMapping(4, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := parallel.DefaultConfig(model.GPT3_15B(), m)
+	cfg.Microbatches = 4
+
+	tpStats := func(mult *trace.Multi) (busy trace.Dur, count int) {
+		for i := range mult.Ranks[0].Events {
+			e := &mult.Ranks[0].Events[i]
+			if e.IsComm() && e.TID == StreamIDs[model.StreamTPComm] {
+				busy += e.Dur
+				count++
+			}
+		}
+		return
+	}
+	normBytes := func(mult *trace.Multi) int64 {
+		var b int64
+		for i := range mult.Ranks[0].Events {
+			e := &mult.Ranks[0].Events[i]
+			if e.Cat == trace.CatKernel && e.Class == trace.KCNorm {
+				b += e.Bytes
+			}
+		}
+		return b
+	}
+
+	plain, err := Run(cfg, DefaultSimConfig(m.WorldSize(), 23))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spCfg := cfg
+	spCfg.SequenceParallel = true
+	sp, err := Run(spCfg, DefaultSimConfig(m.WorldSize(), 23))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pBusy, pCount := tpStats(plain)
+	sBusy, sCount := tpStats(sp)
+	// Per-layer collectives double (AG+RS per former AR); the embedding and
+	// loss all-reduces are unchanged, so the ratio sits just under 2.
+	cr := float64(sCount) / float64(pCount)
+	if cr < 1.8 || cr > 2.05 {
+		t.Fatalf("SP TP kernel count %d vs %d (ratio %.2f), want ~2x", sCount, pCount, cr)
+	}
+	ratio := float64(sBusy) / float64(pBusy)
+	if ratio < 0.8 || ratio > 1.3 {
+		t.Fatalf("SP TP busy should be within ~25%% of the AR variant, ratio %.2f", ratio)
+	}
+	if normBytes(sp) >= normBytes(plain) {
+		t.Fatalf("SP must shrink norm traffic: %d vs %d", normBytes(sp), normBytes(plain))
+	}
+	if float64(sp.Duration()) > 1.1*float64(plain.Duration()) {
+		t.Fatalf("SP regressed the iteration: %d vs %d", sp.Duration(), plain.Duration())
+	}
+}

@@ -1,0 +1,180 @@
+// Package collective prices NCCL-style communication primitives on a
+// topology.Cluster. These cost models stand in for the paper's production
+// RoCE fabric and for the network simulators (ASTRA-sim, analytical models)
+// the paper cites as alternative backends: given a primitive, payload size,
+// and participant set, they return a duration.
+//
+// The models are the standard alpha-beta formulations: a ring all-reduce of
+// S bytes over n ranks moves 2(n-1)/n·S through the bottleneck link and pays
+// (n-1) hop latencies per phase. Hierarchical groups (spanning nodes) are
+// priced against the inter-node bandwidth, which is the bottleneck in
+// practice.
+package collective
+
+import (
+	"fmt"
+	"math"
+
+	"lumos/internal/topology"
+	"lumos/internal/trace"
+)
+
+// Algorithm selects the collective algorithm family.
+type Algorithm uint8
+
+const (
+	// Ring is NCCL's default bandwidth-optimal algorithm for large payloads.
+	Ring Algorithm = iota
+	// Tree is latency-optimal for small payloads; NCCL switches
+	// automatically. Model provides both so callers can pick min().
+	Tree
+)
+
+// String names the algorithm.
+func (a Algorithm) String() string {
+	switch a {
+	case Ring:
+		return "ring"
+	case Tree:
+		return "tree"
+	}
+	return fmt.Sprintf("alg(%d)", uint8(a))
+}
+
+// Model prices collectives on a cluster.
+type Model struct {
+	Cluster topology.Cluster
+
+	// LaunchOverhead is the fixed per-collective kernel startup cost in ns
+	// (protocol setup, channel warmup).
+	LaunchOverhead float64
+
+	// BusEfficiency derates achievable bus bandwidth (protocol overhead,
+	// imperfect pipelining). NCCL typically achieves 80–92% of link rate.
+	BusEfficiency float64
+}
+
+// NewModel returns a collective model with NCCL-like defaults.
+func NewModel(c topology.Cluster) *Model {
+	return &Model{Cluster: c, LaunchOverhead: 6_000, BusEfficiency: 0.88}
+}
+
+// groupParams resolves the bottleneck bandwidth and latency for a
+// participant set. Bandwidth is returned in bytes per NANOSECOND so that
+// size/bw expressions yield trace durations directly.
+func (m *Model) groupParams(ranks []int) (bw, lat float64) {
+	bwPerSec, lat := m.Cluster.GroupBW(ranks)
+	bw = bwPerSec * m.BusEfficiency / 1e9
+	if bw <= 0 {
+		bw = 1e-9
+	}
+	return bw, lat
+}
+
+// AllReduce returns the duration (ns) of an all-reduce of size bytes over
+// the group, taking the faster of ring and tree.
+func (m *Model) AllReduce(bytes int64, ranks []int) trace.Dur {
+	n := len(ranks)
+	if n <= 1 || bytes <= 0 {
+		return trace.Dur(m.LaunchOverhead)
+	}
+	bw, lat := m.groupParams(ranks)
+	s := float64(bytes)
+	ring := 2 * float64(n-1) / float64(n) * s / bw
+	ringLat := 2 * float64(n-1) * lat
+	tree := 2 * s / bw // pipelined up+down through tree
+	treeLat := 2 * math.Ceil(math.Log2(float64(n))) * lat
+	t := math.Min(ring+ringLat, tree+treeLat)
+	return trace.Dur(m.LaunchOverhead + t)
+}
+
+// ReduceScatter returns the duration of a reduce-scatter with per-rank input
+// size bytes (each rank contributes bytes, receives bytes/n).
+func (m *Model) ReduceScatter(bytes int64, ranks []int) trace.Dur {
+	n := len(ranks)
+	if n <= 1 || bytes <= 0 {
+		return trace.Dur(m.LaunchOverhead)
+	}
+	bw, lat := m.groupParams(ranks)
+	t := float64(n-1)/float64(n)*float64(bytes)/bw + float64(n-1)*lat
+	return trace.Dur(m.LaunchOverhead + t)
+}
+
+// AllGather returns the duration of an all-gather producing bytes total on
+// each rank.
+func (m *Model) AllGather(bytes int64, ranks []int) trace.Dur {
+	// Same data motion as reduce-scatter without the reduction.
+	return m.ReduceScatter(bytes, ranks)
+}
+
+// Broadcast returns the duration of a broadcast of size bytes.
+func (m *Model) Broadcast(bytes int64, ranks []int) trace.Dur {
+	n := len(ranks)
+	if n <= 1 || bytes <= 0 {
+		return trace.Dur(m.LaunchOverhead)
+	}
+	bw, lat := m.groupParams(ranks)
+	t := float64(bytes)/bw + math.Ceil(math.Log2(float64(n)))*lat
+	return trace.Dur(m.LaunchOverhead + t)
+}
+
+// AllToAll returns the duration of an all-to-all where each rank exchanges
+// bytes total.
+func (m *Model) AllToAll(bytes int64, ranks []int) trace.Dur {
+	n := len(ranks)
+	if n <= 1 || bytes <= 0 {
+		return trace.Dur(m.LaunchOverhead)
+	}
+	bw, lat := m.groupParams(ranks)
+	t := float64(n-1)/float64(n)*float64(bytes)/bw + float64(n-1)*lat
+	return trace.Dur(m.LaunchOverhead + t)
+}
+
+// P2P returns the duration of a point-to-point transfer of size bytes
+// between two ranks (pipeline-parallel activation/gradient exchange).
+func (m *Model) P2P(bytes int64, src, dst int) trace.Dur {
+	if bytes <= 0 {
+		return trace.Dur(m.LaunchOverhead)
+	}
+	bw, lat := m.groupParams([]int{src, dst})
+	return trace.Dur(m.LaunchOverhead + float64(bytes)/bw + lat)
+}
+
+// Cost dispatches on a trace.CommKind. For send/recv, ranks must hold
+// {src, dst}.
+func (m *Model) Cost(kind trace.CommKind, bytes int64, ranks []int) trace.Dur {
+	switch kind {
+	case trace.CommAllReduce:
+		return m.AllReduce(bytes, ranks)
+	case trace.CommAllGather:
+		return m.AllGather(bytes, ranks)
+	case trace.CommReduceScatter:
+		return m.ReduceScatter(bytes, ranks)
+	case trace.CommBroadcast:
+		return m.Broadcast(bytes, ranks)
+	case trace.CommSend, trace.CommRecv:
+		if len(ranks) >= 2 {
+			return m.P2P(bytes, ranks[0], ranks[1])
+		}
+		return m.P2P(bytes, 0, 1)
+	case trace.CommAllToAll:
+		return m.AllToAll(bytes, ranks)
+	}
+	return trace.Dur(m.LaunchOverhead)
+}
+
+// BusBandwidth returns the effective achieved "bus bandwidth" (NCCL's
+// algbw-normalized metric, bytes/sec) for an all-reduce of the given size,
+// useful for reporting and calibration.
+func (m *Model) BusBandwidth(bytes int64, ranks []int) float64 {
+	d := m.AllReduce(bytes, ranks)
+	if d <= 0 {
+		return 0
+	}
+	n := len(ranks)
+	if n <= 1 {
+		return 0
+	}
+	algBytes := 2 * float64(n-1) / float64(n) * float64(bytes)
+	return algBytes / (float64(d) / 1e9)
+}

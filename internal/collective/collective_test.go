@@ -1,0 +1,162 @@
+package collective
+
+import (
+	"testing"
+	"testing/quick"
+
+	"lumos/internal/topology"
+	"lumos/internal/trace"
+)
+
+func model512() *Model { return NewModel(topology.H100Cluster(512)) }
+
+func intraRanks(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+func interRanks(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i * 8 // one rank per node
+	}
+	return out
+}
+
+func TestAllReduceScaling(t *testing.T) {
+	m := model512()
+	const size = 100 << 20
+	// Intra-node must be much faster than inter-node at equal size/group.
+	intra := m.AllReduce(size, intraRanks(8))
+	inter := m.AllReduce(size, interRanks(8))
+	if intra >= inter {
+		t.Fatalf("intra-node AR (%d) should beat inter-node (%d)", intra, inter)
+	}
+	// Cost grows with message size.
+	if m.AllReduce(size, interRanks(8)) <= m.AllReduce(size/4, interRanks(8)) {
+		t.Fatal("all-reduce must grow with payload")
+	}
+	// Degenerate group is launch-overhead only.
+	if d := m.AllReduce(size, []int{3}); d != trace.Dur(m.LaunchOverhead) {
+		t.Fatalf("single-rank AR = %d", d)
+	}
+}
+
+func TestAllReduceRingBandwidthBound(t *testing.T) {
+	// For large payloads the ring bound 2(n-1)/n · S / bw dominates; the
+	// model must stay within a small factor of it.
+	m := model512()
+	const size = 1 << 30
+	n := 8
+	d := float64(m.AllReduce(size, interRanks(n)))
+	bw := m.Cluster.InterNodeBW * m.BusEfficiency / 1e9
+	ideal := 2 * float64(n-1) / float64(n) * float64(size) / bw
+	if d < ideal {
+		t.Fatalf("model (%f ns) beats the bandwidth bound (%f ns)", d, ideal)
+	}
+	if d > 1.5*ideal {
+		t.Fatalf("model (%f ns) is far from the bandwidth bound (%f ns)", d, ideal)
+	}
+}
+
+func TestSmallMessageLatencyBound(t *testing.T) {
+	// Tiny payloads should be dominated by latency terms, and the tree
+	// algorithm should keep growth sublinear in group size.
+	m := model512()
+	d8 := m.AllReduce(1024, interRanks(8))
+	d64 := m.AllReduce(1024, interRanks(64))
+	if d64 > 4*d8 {
+		t.Fatalf("small-message AR grew too fast: n=8 %d, n=64 %d", d8, d64)
+	}
+}
+
+func TestPrimitiveRelations(t *testing.T) {
+	m := model512()
+	const size = 64 << 20
+	ranks := interRanks(16)
+	ar := m.AllReduce(size, ranks)
+	ag := m.AllGather(size, ranks)
+	rs := m.ReduceScatter(size, ranks)
+	if ag >= ar || rs >= ar {
+		t.Fatalf("all-gather (%d) and reduce-scatter (%d) move half the data of all-reduce (%d)", ag, rs, ar)
+	}
+	// AG and RS have identical data motion.
+	if ag != rs {
+		t.Fatalf("all-gather (%d) != reduce-scatter (%d)", ag, rs)
+	}
+}
+
+func TestP2P(t *testing.T) {
+	m := model512()
+	const size = 32 << 20
+	same := m.P2P(size, 0, 1)
+	cross := m.P2P(size, 0, 8)
+	if same >= cross {
+		t.Fatalf("NVLink p2p (%d) should beat RoCE p2p (%d)", same, cross)
+	}
+}
+
+func TestCostDispatch(t *testing.T) {
+	m := model512()
+	ranks := intraRanks(4)
+	kinds := []trace.CommKind{
+		trace.CommAllReduce, trace.CommAllGather, trace.CommReduceScatter,
+		trace.CommBroadcast, trace.CommSend, trace.CommRecv, trace.CommAllToAll,
+	}
+	for _, k := range kinds {
+		if d := m.Cost(k, 1<<20, ranks); d <= 0 {
+			t.Errorf("Cost(%v) = %d, want > 0", k, d)
+		}
+	}
+	if d := m.Cost(trace.CommNone, 1<<20, ranks); d != trace.Dur(m.LaunchOverhead) {
+		t.Errorf("unknown kind should cost launch overhead, got %d", d)
+	}
+}
+
+func TestPropertyMonotonicity(t *testing.T) {
+	m := model512()
+	// Cost is monotone in payload for every primitive and group.
+	f := func(sizeSel uint32, nSel uint8, inter bool) bool {
+		size := int64(sizeSel%(1<<20)) + 1
+		n := 2 + int(nSel%14)
+		var ranks []int
+		if inter {
+			ranks = interRanks(n)
+		} else {
+			ranks = intraRanks(min(n, 8))
+		}
+		return m.AllReduce(2*size, ranks) >= m.AllReduce(size, ranks) &&
+			m.AllGather(2*size, ranks) >= m.AllGather(size, ranks) &&
+			m.Broadcast(2*size, ranks) >= m.Broadcast(size, ranks)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBusBandwidthSanity(t *testing.T) {
+	m := model512()
+	// Large intra-node all-reduce should achieve within [50%, 100%] of the
+	// derated NVLink rate.
+	bb := m.BusBandwidth(1<<30, intraRanks(8))
+	lim := m.Cluster.IntraNodeBW * m.BusEfficiency
+	if bb > lim {
+		t.Fatalf("bus bandwidth %.1f GB/s exceeds link ceiling %.1f GB/s", bb/1e9, lim/1e9)
+	}
+	if bb < 0.5*lim {
+		t.Fatalf("bus bandwidth %.1f GB/s is unrealistically low (ceiling %.1f)", bb/1e9, lim/1e9)
+	}
+	if m.BusBandwidth(1<<20, []int{0}) != 0 {
+		t.Fatal("degenerate group has no bus bandwidth")
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,215 @@
+// Package core is the Lumos toolkit API: the end-to-end workflow from the
+// paper's Figure 2 — trace collection, execution-graph construction, graph
+// manipulation for new configurations, and simulation-based replay and
+// prediction — behind one façade.
+//
+// Typical use:
+//
+//	tk := core.New(core.Options{})
+//	traces, _ := tk.Profile(cfg, 42)              // or load Kineto JSON
+//	g, _ := tk.BuildGraph(traces)
+//	rep, _ := tk.Replay(g)                        // replayed execution
+//	pred, _ := tk.Predict(manip.ScaleDP(cfg, 32), traces)
+package core
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"lumos/internal/analysis"
+	"lumos/internal/cluster"
+	"lumos/internal/dpro"
+	"lumos/internal/execgraph"
+	"lumos/internal/manip"
+	"lumos/internal/parallel"
+	"lumos/internal/replay"
+	"lumos/internal/topology"
+	"lumos/internal/trace"
+)
+
+// Options configures a toolkit instance.
+type Options struct {
+	// Cluster is the fabric model used for profiling and prediction.
+	// The zero value selects an H100 cluster sized on demand.
+	Cluster topology.Cluster
+	// Graph overrides execution-graph construction options.
+	Graph *execgraph.BuildOptions
+	// Replay overrides simulation options.
+	Replay *replay.Options
+}
+
+// Toolkit is a configured Lumos instance.
+type Toolkit struct {
+	opts Options
+}
+
+// New returns a toolkit.
+func New(opts Options) *Toolkit { return &Toolkit{opts: opts} }
+
+// clusterFor returns the fabric model, sized to at least world GPUs.
+func (tk *Toolkit) clusterFor(world int) topology.Cluster {
+	c := tk.opts.Cluster
+	if c.GPUsPerNode == 0 {
+		c = topology.H100Cluster(world)
+	}
+	if c.NumGPUs < world {
+		c.NumGPUs = world
+	}
+	return c
+}
+
+func (tk *Toolkit) graphOpts() execgraph.BuildOptions {
+	if tk.opts.Graph != nil {
+		return *tk.opts.Graph
+	}
+	return execgraph.DefaultOptions()
+}
+
+func (tk *Toolkit) replayOpts() replay.Options {
+	if tk.opts.Replay != nil {
+		return *tk.opts.Replay
+	}
+	return replay.DefaultOptions()
+}
+
+// Profile runs one training iteration of the deployment on the ground-truth
+// cluster simulator (the stand-in for a real cluster + PyTorch Kineto) and
+// returns per-rank traces. Different seeds are different iterations.
+func (tk *Toolkit) Profile(cfg parallel.Config, seed uint64) (*trace.Multi, error) {
+	world := cfg.Map.WorldSize()
+	simCfg := cluster.DefaultSimConfig(world, seed)
+	simCfg.Cluster = tk.clusterFor(world)
+	return cluster.Run(cfg, simCfg)
+}
+
+// ProfileN runs n consecutive iterations (the paper's "a single
+// iteration — or just a few" profiling window) and returns merged traces
+// with per-iteration ProfilerStep annotations.
+func (tk *Toolkit) ProfileN(cfg parallel.Config, seed uint64, n int) (*trace.Multi, error) {
+	world := cfg.Map.WorldSize()
+	simCfg := cluster.DefaultSimConfig(world, seed)
+	simCfg.Cluster = tk.clusterFor(world)
+	return cluster.RunN(cfg, simCfg, n)
+}
+
+// BuildGraph constructs the execution graph from traces (Section 3.3).
+func (tk *Toolkit) BuildGraph(m *trace.Multi) (*execgraph.Graph, error) {
+	return execgraph.Build(m, tk.graphOpts())
+}
+
+// ReplayResult bundles a simulation with its derived artifacts.
+type ReplayResult struct {
+	Result *replay.Result
+	// Trace is the simulated execution in trace form.
+	Trace *trace.Multi
+	// Iteration is the simulated per-iteration time.
+	Iteration trace.Dur
+	// Breakdown is the average per-rank execution breakdown.
+	Breakdown analysis.Breakdown
+}
+
+// Replay simulates an execution graph (Section 3.5, Algorithm 1).
+func (tk *Toolkit) Replay(g *execgraph.Graph) (*ReplayResult, error) {
+	res, err := replay.Run(g, tk.replayOpts())
+	if err != nil {
+		return nil, err
+	}
+	tr := replay.ToTrace(g, res)
+	return &ReplayResult{
+		Result:    res,
+		Trace:     tr,
+		Iteration: res.Makespan,
+		Breakdown: analysis.MultiBreakdown(tr),
+	}, nil
+}
+
+// ReplayTraces is Profile→BuildGraph→Replay composed over existing traces.
+func (tk *Toolkit) ReplayTraces(m *trace.Multi) (*ReplayResult, error) {
+	g, err := tk.BuildGraph(m)
+	if err != nil {
+		return nil, err
+	}
+	return tk.Replay(g)
+}
+
+// ReplayDPRO replays the traces with the dPRO baseline's modeling
+// assumptions, for comparison.
+func (tk *Toolkit) ReplayDPRO(m *trace.Multi) (*ReplayResult, error) {
+	g, err := dpro.Build(m)
+	if err != nil {
+		return nil, err
+	}
+	res, err := dpro.Replay(g)
+	if err != nil {
+		return nil, err
+	}
+	tr := replay.ToTrace(g, res)
+	return &ReplayResult{
+		Result:    res,
+		Trace:     tr,
+		Iteration: res.Makespan,
+		Breakdown: analysis.MultiBreakdown(tr),
+	}, nil
+}
+
+// Predict manipulates the profiled execution into the requested target
+// configuration and simulates it (Section 3.4).
+func (tk *Toolkit) Predict(req manip.Request, profiled *trace.Multi) (*manip.Result, error) {
+	world := req.Target.Map.WorldSize()
+	if base := req.Base.Map.WorldSize(); base > world {
+		world = base
+	}
+	return manip.Predict(req, profiled, tk.clusterFor(world))
+}
+
+// SaveTraces writes per-rank Kineto-style JSON files (rank_<N>.json) into
+// dir, creating it if needed.
+func SaveTraces(m *trace.Multi, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, t := range m.Ranks {
+		f, err := os.Create(filepath.Join(dir, fmt.Sprintf("rank_%d.json", t.Rank)))
+		if err != nil {
+			return err
+		}
+		if err := trace.EncodeJSON(f, t); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LoadTraces reads rank_<N>.json files from dir until a rank is missing.
+func LoadTraces(dir string) (*trace.Multi, error) {
+	var ranks []*trace.Trace
+	for r := 0; ; r++ {
+		f, err := os.Open(filepath.Join(dir, fmt.Sprintf("rank_%d.json", r)))
+		if err != nil {
+			if os.IsNotExist(err) {
+				break
+			}
+			return nil, err
+		}
+		t, err := trace.DecodeJSON(f)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("core: rank %d: %w", r, err)
+		}
+		t.Rank = r
+		ranks = append(ranks, t)
+	}
+	if len(ranks) == 0 {
+		return nil, fmt.Errorf("core: no rank_*.json traces in %s", dir)
+	}
+	return &trace.Multi{Ranks: ranks}, nil
+}
+
+// WriteTrace encodes one rank's trace as Kineto JSON to w.
+func WriteTrace(w io.Writer, t *trace.Trace) error { return trace.EncodeJSON(w, t) }

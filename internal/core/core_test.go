@@ -1,0 +1,139 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"lumos/internal/manip"
+	"lumos/internal/model"
+	"lumos/internal/parallel"
+	"lumos/internal/topology"
+)
+
+func testConfig(t *testing.T) parallel.Config {
+	t.Helper()
+	m, err := topology.NewMapping(2, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := parallel.DefaultConfig(model.GPT3_15B(), m)
+	cfg.Microbatches = 4
+	return cfg
+}
+
+func TestEndToEndWorkflow(t *testing.T) {
+	tk := New(Options{})
+	cfg := testConfig(t)
+
+	traces, err := tk.Profile(cfg, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := tk.BuildGraph(traces)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := tk.Replay(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := traces.Duration()
+	if rep.Iteration <= 0 {
+		t.Fatal("no iteration time")
+	}
+	rel := float64(rep.Iteration-rec) / float64(rec)
+	if rel < -0.02 || rel > 0.02 {
+		t.Fatalf("self-replay off by %.1f%%", 100*rel)
+	}
+	if rep.Breakdown.Total <= 0 {
+		t.Fatal("no breakdown")
+	}
+	dp, err := tk.ReplayDPRO(traces)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dp.Iteration >= rep.Iteration {
+		t.Fatal("dPRO should be optimistic")
+	}
+}
+
+func TestReplayTracesShortcut(t *testing.T) {
+	tk := New(Options{})
+	cfg := testConfig(t)
+	traces, err := tk.Profile(cfg, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := tk.ReplayTraces(traces)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Iteration <= 0 {
+		t.Fatal("no result")
+	}
+}
+
+func TestPredictViaToolkit(t *testing.T) {
+	tk := New(Options{})
+	cfg := testConfig(t)
+	traces, err := tk.Profile(cfg, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := tk.Predict(manip.ScaleDP(cfg, 2), traces)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iteration <= 0 || res.Trace.NumRanks() != 8 {
+		t.Fatalf("prediction: iter=%d ranks=%d", res.Iteration, res.Trace.NumRanks())
+	}
+}
+
+func TestSaveLoadTraces(t *testing.T) {
+	tk := New(Options{})
+	cfg := testConfig(t)
+	traces, err := tk.Profile(cfg, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(t.TempDir(), "traces")
+	if err := SaveTraces(traces, dir); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadTraces(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.NumRanks() != traces.NumRanks() {
+		t.Fatalf("ranks %d != %d", loaded.NumRanks(), traces.NumRanks())
+	}
+	if loaded.Events() != traces.Events() {
+		t.Fatalf("events %d != %d", loaded.Events(), traces.Events())
+	}
+	// A replay of the persisted traces must agree with the in-memory one.
+	a, err := tk.ReplayTraces(traces)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := tk.ReplayTraces(loaded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Iteration != b.Iteration {
+		t.Fatalf("persisted replay %d != in-memory %d", b.Iteration, a.Iteration)
+	}
+}
+
+func TestLoadTracesErrors(t *testing.T) {
+	if _, err := LoadTraces(filepath.Join(os.TempDir(), "definitely-not-here-12345")); err == nil {
+		t.Fatal("missing directory must error")
+	}
+	empty := t.TempDir()
+	if _, err := LoadTraces(empty); err == nil {
+		t.Fatal("empty directory must error")
+	}
+}

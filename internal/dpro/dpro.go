@@ -1,0 +1,55 @@
+// Package dpro re-implements the modeling assumptions of dPRO (Hu et al.,
+// MLSys 2022), the paper's baseline: a global dataflow graph replayer that
+// tracks operator/kernel dependencies and cross-rank communication but does
+// NOT recover event-based GPU→GPU inter-stream dependencies. Without them,
+// communication kernels are free to run as soon as they are launched,
+// which over-estimates computation/communication overlap and under-
+// estimates iteration time — the exact failure mode Figure 1 and Figure 5
+// of the Lumos paper demonstrate.
+package dpro
+
+import (
+	"lumos/internal/execgraph"
+	"lumos/internal/replay"
+	"lumos/internal/trace"
+)
+
+// BuildOptions returns dPRO's graph-construction settings: identical to
+// Lumos except that only compute→comm inter-stream dependencies survive
+// (dPRO's operator-level dataflow knows a collective consumes a produced
+// tensor) while comm→compute event dependencies are lost, which is the
+// source of its overlap over-estimation.
+func BuildOptions() execgraph.BuildOptions {
+	opts := execgraph.DefaultOptions()
+	opts.InterStream = execgraph.InterStreamComputeToComm
+	return opts
+}
+
+// Build constructs a dPRO-style global dataflow graph from traces.
+func Build(m *trace.Multi) (*execgraph.Graph, error) {
+	return execgraph.Build(m, BuildOptions())
+}
+
+// Replay simulates a dPRO-style graph with the shared engine. dPRO replays
+// every kernel with its recorded duration — including the rendezvous wait
+// baked into communication kernels — and does not re-derive collective
+// timing from cross-rank readiness, so collective coupling is disabled.
+func Replay(g *execgraph.Graph) (*replay.Result, error) {
+	opts := replay.DefaultOptions()
+	opts.CoupleCollectives = false
+	return replay.Run(g, opts)
+}
+
+// ReplayTraces is the end-to-end convenience: build the dPRO graph from
+// traces and replay it, returning the result and the simulated traces.
+func ReplayTraces(m *trace.Multi) (*replay.Result, *trace.Multi, error) {
+	g, err := Build(m)
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := Replay(g)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, replay.ToTrace(g, res), nil
+}

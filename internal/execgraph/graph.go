@@ -1,0 +1,263 @@
+// Package execgraph builds the paper's task-level execution graph from
+// Kineto-style traces (Section 3.3): CPU tasks (operators and CUDA runtime
+// events) and GPU tasks (kernels), connected by the four dependency types —
+// CPU→CPU (intra- and inter-thread), CPU→GPU (correlation IDs), GPU→CPU
+// (synchronization calls), and GPU→GPU (intra-stream order and
+// cudaEventRecord/cudaStreamWaitEvent inter-stream pairs) — plus cross-rank
+// coupling of collective kernels matched by communicator ID and sequence
+// number.
+package execgraph
+
+import (
+	"fmt"
+
+	"lumos/internal/trace"
+)
+
+// TaskKind distinguishes CPU and GPU tasks.
+type TaskKind uint8
+
+const (
+	TaskCPU TaskKind = iota
+	TaskGPU
+)
+
+// SyncKind marks CPU tasks that block on GPU progress.
+type SyncKind uint8
+
+const (
+	SyncNone SyncKind = iota
+	// SyncStream is cudaStreamSynchronize: waits for one stream.
+	SyncStream
+	// SyncDevice is cudaDeviceSynchronize: waits for all streams.
+	SyncDevice
+)
+
+// Task is one node of the execution graph.
+type Task struct {
+	ID   int32
+	Kind TaskKind
+	Rank int32
+	// Proc is the processor index: a CPU thread or a CUDA stream.
+	Proc int32
+
+	Name string
+	// Start is the recorded start time; Dur the recorded duration.
+	Start trace.Time
+	Dur   trace.Dur
+
+	// Out lists dependent task IDs (fixed dependencies).
+	Out []int32
+	// NFixedIn counts fixed in-edges, used to seed the simulator.
+	NFixedIn int32
+
+	// Sync and SyncStreamID describe GPU→CPU runtime dependencies; they are
+	// resolved dynamically during simulation (paper Section 3.5).
+	Sync         SyncKind
+	SyncStreamID int32
+
+	// Runtime preserves the CUDA API kind of runtime-event tasks so graph
+	// manipulation can reproduce dependency patterns.
+	Runtime   trace.RuntimeKind
+	CUDAEvent int64
+
+	// LaunchTask is the CPU task that enqueued this kernel (-1 if unknown);
+	// the simulator uses it to decide which kernels are "enqueued so far"
+	// when resolving synchronization.
+	LaunchTask int32
+
+	// Kernel metadata (GPU tasks).
+	Class     trace.KernelClass
+	Comm      trace.CommKind
+	CommID    int64
+	CommSeq   int64
+	CommBytes int64
+	// GroupDur is the intrinsic collective duration (the group's minimum
+	// recorded duration — the last-arriving rank's kernel time, free of
+	// waiting).
+	GroupDur trace.Dur
+	FLOPs    int64
+	Bytes    int64
+
+	// Workload annotations.
+	Layer      int32
+	Microbatch int32
+	Pass       trace.PassKind
+}
+
+// End returns the recorded end time.
+func (t *Task) End() trace.Time { return t.Start + t.Dur }
+
+// IsComm reports whether the task is a communication kernel.
+func (t *Task) IsComm() bool { return t.Kind == TaskGPU && t.Class == trace.KCComm }
+
+// Proc is an execution resource: one CPU thread or one CUDA stream.
+type Proc struct {
+	Rank int
+	// IsGPU is true for CUDA streams.
+	IsGPU bool
+	// TID is the CPU thread ID or CUDA stream ID from the trace.
+	TID int
+}
+
+// GroupKey identifies one collective operation instance across ranks.
+type GroupKey struct {
+	CommID, CommSeq int64
+}
+
+// Graph is the multi-rank execution graph.
+type Graph struct {
+	Tasks []Task
+	Procs []Proc
+	// Groups maps a collective instance to its member task IDs (one per
+	// participating rank).
+	Groups map[GroupKey][]int32
+	// NumRanks is the world size.
+	NumRanks int
+
+	// procOf maps (rank, isGPU, tid) to processor index during/after build.
+	procIndex map[procKey]int32
+}
+
+type procKey struct {
+	rank int
+	gpu  bool
+	tid  int
+}
+
+// NewGraph returns an empty graph for world size ranks.
+func NewGraph(ranks int) *Graph {
+	return &Graph{
+		Groups:    map[GroupKey][]int32{},
+		NumRanks:  ranks,
+		procIndex: map[procKey]int32{},
+	}
+}
+
+// proc returns (creating if needed) the processor index.
+func (g *Graph) proc(rank int, gpu bool, tid int) int32 {
+	k := procKey{rank, gpu, tid}
+	if idx, ok := g.procIndex[k]; ok {
+		return idx
+	}
+	idx := int32(len(g.Procs))
+	g.Procs = append(g.Procs, Proc{Rank: rank, IsGPU: gpu, TID: tid})
+	g.procIndex[k] = idx
+	return idx
+}
+
+// ProcOf returns the processor index for (rank, gpu, tid), or -1.
+func (g *Graph) ProcOf(rank int, gpu bool, tid int) int32 {
+	if idx, ok := g.procIndex[procKey{rank, gpu, tid}]; ok {
+		return idx
+	}
+	return -1
+}
+
+// addTask appends a task and returns its ID.
+func (g *Graph) addTask(t Task) int32 {
+	t.ID = int32(len(g.Tasks))
+	g.Tasks = append(g.Tasks, t)
+	return t.ID
+}
+
+// AddEdge inserts a fixed dependency from → to.
+func (g *Graph) AddEdge(from, to int32) {
+	if from == to {
+		return
+	}
+	g.Tasks[from].Out = append(g.Tasks[from].Out, to)
+	g.Tasks[to].NFixedIn++
+}
+
+// Stats summarizes the graph for reporting.
+type Stats struct {
+	Tasks, CPUTasks, GPUTasks int
+	Edges                     int
+	Groups                    int
+	Procs                     int
+}
+
+// Stats computes summary counts.
+func (g *Graph) Stats() Stats {
+	s := Stats{Tasks: len(g.Tasks), Groups: len(g.Groups), Procs: len(g.Procs)}
+	for i := range g.Tasks {
+		if g.Tasks[i].Kind == TaskCPU {
+			s.CPUTasks++
+		} else {
+			s.GPUTasks++
+		}
+		s.Edges += len(g.Tasks[i].Out)
+	}
+	return s
+}
+
+// CheckAcyclic verifies the fixed-dependency graph is a DAG via Kahn's
+// algorithm; it returns an error naming a task on a cycle otherwise.
+// Runtime dependencies (sync, collective coupling) cannot create fixed
+// cycles by construction.
+func (g *Graph) CheckAcyclic() error {
+	indeg := make([]int32, len(g.Tasks))
+	for i := range g.Tasks {
+		indeg[i] = g.Tasks[i].NFixedIn
+	}
+	queue := make([]int32, 0, len(g.Tasks))
+	for i := range g.Tasks {
+		if indeg[i] == 0 {
+			queue = append(queue, int32(i))
+		}
+	}
+	seen := 0
+	for len(queue) > 0 {
+		id := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		seen++
+		for _, o := range g.Tasks[id].Out {
+			indeg[o]--
+			if indeg[o] == 0 {
+				queue = append(queue, o)
+			}
+		}
+	}
+	if seen != len(g.Tasks) {
+		for i := range g.Tasks {
+			if indeg[i] > 0 {
+				return fmt.Errorf("execgraph: cycle detected involving task %d (%s, rank %d)",
+					i, g.Tasks[i].Name, g.Tasks[i].Rank)
+			}
+		}
+	}
+	return nil
+}
+
+// Validate checks graph invariants: edge targets in range, in-degree counts
+// consistent, group members are comm kernels, and acyclicity.
+func (g *Graph) Validate() error {
+	n := int32(len(g.Tasks))
+	indeg := make([]int32, n)
+	for i := range g.Tasks {
+		for _, o := range g.Tasks[i].Out {
+			if o < 0 || o >= n {
+				return fmt.Errorf("execgraph: task %d has out-of-range edge %d", i, o)
+			}
+			indeg[o]++
+		}
+	}
+	for i := range g.Tasks {
+		if indeg[i] != g.Tasks[i].NFixedIn {
+			return fmt.Errorf("execgraph: task %d NFixedIn=%d but %d in-edges found",
+				i, g.Tasks[i].NFixedIn, indeg[i])
+		}
+	}
+	for key, members := range g.Groups {
+		for _, id := range members {
+			if id < 0 || id >= n {
+				return fmt.Errorf("execgraph: group %v has out-of-range member %d", key, id)
+			}
+			if !g.Tasks[id].IsComm() {
+				return fmt.Errorf("execgraph: group %v member %d is not a comm kernel", key, id)
+			}
+		}
+	}
+	return g.CheckAcyclic()
+}

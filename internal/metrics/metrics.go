@@ -1,0 +1,153 @@
+// Package metrics provides the error measures and plain-text report tables
+// used to compare replayed/predicted executions against ground truth, in
+// the same terms the paper reports (replay error %, average error across
+// configurations, per-component breakdown comparisons).
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"lumos/internal/analysis"
+	"lumos/internal/trace"
+)
+
+// RelErr returns |pred − actual| / actual as a percentage. An actual of 0
+// with nonzero pred returns +Inf; 0/0 returns 0.
+func RelErr(pred, actual trace.Dur) float64 {
+	if actual == 0 {
+		if pred == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return math.Abs(float64(pred-actual)) / float64(actual) * 100
+}
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Max returns the maximum of xs (0 for empty input).
+func Max(xs []float64) float64 {
+	m := 0.0
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Row is one configuration's comparison entry.
+type Row struct {
+	Label    string
+	Actual   trace.Dur
+	Lumos    trace.Dur
+	DPRO     trace.Dur // 0 when the baseline was not run
+	LumosErr float64
+	DPROErr  float64
+
+	// Optional breakdowns for detailed tables.
+	ActualBD analysis.Breakdown
+	LumosBD  analysis.Breakdown
+	DPROBD   analysis.Breakdown
+}
+
+// Table is a formatted experiment result.
+type Table struct {
+	Title string
+	Rows  []Row
+}
+
+// Add appends a comparison row, computing errors.
+func (t *Table) Add(r Row) {
+	r.LumosErr = RelErr(r.Lumos, r.Actual)
+	if r.DPRO != 0 {
+		r.DPROErr = RelErr(r.DPRO, r.Actual)
+	}
+	t.Rows = append(t.Rows, r)
+}
+
+// LumosErrs returns the per-row Lumos errors.
+func (t *Table) LumosErrs() []float64 {
+	out := make([]float64, len(t.Rows))
+	for i, r := range t.Rows {
+		out[i] = r.LumosErr
+	}
+	return out
+}
+
+// DPROErrs returns the per-row dPRO errors for rows where it ran.
+func (t *Table) DPROErrs() []float64 {
+	var out []float64
+	for _, r := range t.Rows {
+		if r.DPRO != 0 {
+			out = append(out, r.DPROErr)
+		}
+	}
+	return out
+}
+
+// ms formats nanoseconds as milliseconds.
+func ms(d trace.Dur) string {
+	if d == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.1f", float64(d)/1e6)
+}
+
+// String renders the table as fixed-width text.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", t.Title)
+	hasDPRO := false
+	for _, r := range t.Rows {
+		if r.DPRO != 0 {
+			hasDPRO = true
+			break
+		}
+	}
+	if hasDPRO {
+		fmt.Fprintf(&b, "%-14s %12s %12s %10s %12s %10s\n",
+			"config", "actual(ms)", "lumos(ms)", "err(%)", "dpro(ms)", "err(%)")
+		for _, r := range t.Rows {
+			fmt.Fprintf(&b, "%-14s %12s %12s %10.1f %12s %10.1f\n",
+				r.Label, ms(r.Actual), ms(r.Lumos), r.LumosErr, ms(r.DPRO), r.DPROErr)
+		}
+		fmt.Fprintf(&b, "%-14s %12s %12s %10.1f %12s %10.1f\n",
+			"average", "", "", Mean(t.LumosErrs()), "", Mean(t.DPROErrs()))
+	} else {
+		fmt.Fprintf(&b, "%-14s %12s %12s %10s\n", "config", "actual(ms)", "pred(ms)", "err(%)")
+		for _, r := range t.Rows {
+			fmt.Fprintf(&b, "%-14s %12s %12s %10.1f\n", r.Label, ms(r.Actual), ms(r.Lumos), r.LumosErr)
+		}
+		fmt.Fprintf(&b, "%-14s %12s %12s %10.1f\n", "average", "", "", Mean(t.LumosErrs()))
+	}
+	return b.String()
+}
+
+// BreakdownString renders per-row breakdown bars (actual vs predicted),
+// matching the paper's Figure 7/8 presentation.
+func (t *Table) BreakdownString() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — breakdown (compute/overlap/comm/other, ms)\n", t.Title)
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "%-14s pred:   %4.0f %4.0f %4.0f %4.0f\n", r.Label,
+			analysis.Millis(r.LumosBD.ExposedCompute), analysis.Millis(r.LumosBD.Overlapped),
+			analysis.Millis(r.LumosBD.ExposedComm), analysis.Millis(r.LumosBD.Other))
+		fmt.Fprintf(&b, "%-14s actual: %4.0f %4.0f %4.0f %4.0f\n", "",
+			analysis.Millis(r.ActualBD.ExposedCompute), analysis.Millis(r.ActualBD.Overlapped),
+			analysis.Millis(r.ActualBD.ExposedComm), analysis.Millis(r.ActualBD.Other))
+	}
+	return b.String()
+}

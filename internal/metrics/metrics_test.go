@@ -1,0 +1,100 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRelErr(t *testing.T) {
+	cases := []struct {
+		pred, actual int64
+		want         float64
+	}{
+		{100, 100, 0},
+		{90, 100, 10},
+		{110, 100, 10},
+		{0, 0, 0},
+	}
+	for _, c := range cases {
+		if got := RelErr(c.pred, c.actual); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("RelErr(%d, %d) = %v, want %v", c.pred, c.actual, got, c.want)
+		}
+	}
+	if !math.IsInf(RelErr(5, 0), 1) {
+		t.Error("nonzero/0 should be +Inf")
+	}
+}
+
+func TestRelErrSymmetryProperty(t *testing.T) {
+	// |RelErr| is non-negative and zero iff pred==actual (actual != 0).
+	f := func(p, a uint32) bool {
+		actual := int64(a%1e6) + 1
+		pred := int64(p % 1e6)
+		e := RelErr(pred, actual)
+		if e < 0 {
+			return false
+		}
+		return (e == 0) == (pred == actual)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMeanMax(t *testing.T) {
+	if Mean(nil) != 0 || Max(nil) != 0 {
+		t.Fatal("empty slices")
+	}
+	xs := []float64{1, 2, 3, 10}
+	if Mean(xs) != 4 {
+		t.Fatalf("mean = %v", Mean(xs))
+	}
+	if Max(xs) != 10 {
+		t.Fatalf("max = %v", Max(xs))
+	}
+}
+
+func TestTableFormatting(t *testing.T) {
+	tb := &Table{Title: "demo"}
+	tb.Add(Row{Label: "a", Actual: 100e6, Lumos: 98e6, DPRO: 80e6})
+	tb.Add(Row{Label: "b", Actual: 200e6, Lumos: 204e6, DPRO: 150e6})
+	s := tb.String()
+	for _, want := range []string{"demo", "dpro(ms)", "a", "b", "average"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("table output missing %q:\n%s", want, s)
+		}
+	}
+	errs := tb.LumosErrs()
+	if len(errs) != 2 || math.Abs(errs[0]-2) > 1e-9 {
+		t.Fatalf("lumos errs = %v", errs)
+	}
+	derrs := tb.DPROErrs()
+	if len(derrs) != 2 || math.Abs(derrs[0]-20) > 1e-9 {
+		t.Fatalf("dpro errs = %v", derrs)
+	}
+}
+
+func TestTableWithoutBaseline(t *testing.T) {
+	tb := &Table{Title: "pred"}
+	tb.Add(Row{Label: "x", Actual: 100e6, Lumos: 95e6})
+	s := tb.String()
+	if strings.Contains(s, "dpro") {
+		t.Fatal("baseline columns should be omitted when unused")
+	}
+	if !strings.Contains(s, "pred(ms)") {
+		t.Fatalf("missing prediction column:\n%s", s)
+	}
+	if len(tb.DPROErrs()) != 0 {
+		t.Fatal("no dPRO errors expected")
+	}
+}
+
+func TestBreakdownString(t *testing.T) {
+	tb := &Table{Title: "bd"}
+	tb.Add(Row{Label: "cfg"})
+	if !strings.Contains(tb.BreakdownString(), "cfg") {
+		t.Fatal("breakdown output missing row label")
+	}
+}

@@ -1,0 +1,129 @@
+// Package model describes transformer training workloads: GPT-3
+// architecture presets (Table 1 and Table 2 of the paper) and the
+// generation of per-layer operator sequences — forward, backward, and
+// optimizer — with tensor-parallel shapes, FLOP counts, memory traffic,
+// and communication payloads. The parallel package composes these ops into
+// per-rank programs; the cluster simulator turns them into kernels.
+package model
+
+import "fmt"
+
+// Arch is a GPT-style decoder-only transformer architecture.
+type Arch struct {
+	// Name labels the architecture in traces and reports.
+	Name string
+	// Layers is the number of transformer blocks.
+	Layers int
+	// Hidden is the model dimension d_model.
+	Hidden int
+	// FFN is the feedforward inner dimension d_ffn.
+	FFN int
+	// Heads is the number of attention heads.
+	Heads int
+	// HeadDim is the per-head dimension d_head.
+	HeadDim int
+	// Vocab is the (padded) vocabulary size.
+	Vocab int
+	// SeqLen is the training sequence length.
+	SeqLen int
+	// DTypeBytes is the bytes per activation/weight element (2 for BF16).
+	DTypeBytes int
+	// GradDTypeBytes is the bytes per gradient element used in data-parallel
+	// all-reduce (2 for BF16 gradient buffers with FP32 main grads kept in
+	// the optimizer, the Megatron-LM configuration the MLPerf GPT-3
+	// reference uses).
+	GradDTypeBytes int
+}
+
+// Validate checks internal consistency.
+func (a Arch) Validate() error {
+	switch {
+	case a.Layers <= 0:
+		return fmt.Errorf("model: %s: Layers must be > 0", a.Name)
+	case a.Hidden <= 0 || a.FFN <= 0 || a.Heads <= 0 || a.HeadDim <= 0:
+		return fmt.Errorf("model: %s: dimensions must be > 0", a.Name)
+	case a.Heads*a.HeadDim != a.Hidden:
+		return fmt.Errorf("model: %s: Heads*HeadDim (%d*%d) != Hidden (%d)",
+			a.Name, a.Heads, a.HeadDim, a.Hidden)
+	case a.Vocab <= 0 || a.SeqLen <= 0:
+		return fmt.Errorf("model: %s: Vocab and SeqLen must be > 0", a.Name)
+	case a.DTypeBytes <= 0 || a.GradDTypeBytes <= 0:
+		return fmt.Errorf("model: %s: dtype sizes must be > 0", a.Name)
+	}
+	return nil
+}
+
+// gpt3 fills the fields shared by all GPT-3 variants in the evaluation.
+func gpt3(name string, layers, hidden, ffn, heads int) Arch {
+	return Arch{
+		Name:           name,
+		Layers:         layers,
+		Hidden:         hidden,
+		FFN:            ffn,
+		Heads:          heads,
+		HeadDim:        hidden / heads,
+		Vocab:          51200,
+		SeqLen:         2048,
+		DTypeBytes:     2,
+		GradDTypeBytes: 2,
+	}
+}
+
+// Table 1 presets: the four GPT-3 variants used in the replay evaluation.
+// d_head is 128 for all of them.
+func GPT3_15B() Arch  { return gpt3("GPT-3 15B", 48, 6144, 12288, 48) }
+func GPT3_44B() Arch  { return gpt3("GPT-3 44B", 48, 12288, 24576, 96) }
+func GPT3_117B() Arch { return gpt3("GPT-3 117B", 96, 12288, 24576, 96) }
+func GPT3_175B() Arch { return gpt3("GPT-3 175B", 96, 12288, 49152, 96) }
+
+// Table 2 presets: architecture variants derived from GPT-3 15B for the
+// graph-manipulation evaluation (Figure 8).
+func GPT3_V1() Arch { return gpt3("GPT-3 V1", 64, 6144, 12288, 48) }
+func GPT3_V2() Arch { return gpt3("GPT-3 V2", 96, 6144, 12288, 48) }
+func GPT3_V3() Arch { return gpt3("GPT-3 V3", 48, 9216, 18432, 72) }
+func GPT3_V4() Arch { return gpt3("GPT-3 V4", 48, 12288, 24576, 96) }
+
+// Table1 returns the Table 1 presets in paper order.
+func Table1() []Arch {
+	return []Arch{GPT3_15B(), GPT3_44B(), GPT3_117B(), GPT3_175B()}
+}
+
+// Table2 returns the Table 2 presets in paper order (base model first).
+func Table2() []Arch {
+	return []Arch{GPT3_15B(), GPT3_V1(), GPT3_V2(), GPT3_V3(), GPT3_V4()}
+}
+
+// Params returns the total parameter count: per layer 4·H² (QKV + output
+// projection) + 2·H·FFN (the two MLP matrices) + small LayerNorm terms,
+// plus the (tied) token embedding.
+func (a Arch) Params() int64 {
+	perLayer := 4*int64(a.Hidden)*int64(a.Hidden) +
+		2*int64(a.Hidden)*int64(a.FFN) +
+		4*int64(a.Hidden) // layernorm gains/biases
+	return int64(a.Layers)*perLayer + int64(a.Vocab)*int64(a.Hidden)
+}
+
+// LayerParams returns the parameter count of one transformer block.
+func (a Arch) LayerParams() int64 {
+	return 4*int64(a.Hidden)*int64(a.Hidden) + 2*int64(a.Hidden)*int64(a.FFN) + 4*int64(a.Hidden)
+}
+
+// EmbeddingParams returns the parameter count of the token embedding.
+func (a Arch) EmbeddingParams() int64 {
+	return int64(a.Vocab) * int64(a.Hidden)
+}
+
+// WithLayers returns a copy with a different layer count.
+func (a Arch) WithLayers(layers int) Arch {
+	a.Layers = layers
+	return a
+}
+
+// WithHidden returns a copy with new hidden/FFN sizes; heads are rescaled
+// to keep HeadDim fixed at 128 per the paper's variants.
+func (a Arch) WithHidden(hidden, ffn int) Arch {
+	a.Hidden = hidden
+	a.FFN = ffn
+	a.Heads = hidden / a.HeadDim
+	return a
+}

@@ -1,0 +1,109 @@
+package model
+
+import (
+	"testing"
+
+	"lumos/internal/trace"
+)
+
+func TestSequenceParallelCommPattern(t *testing.T) {
+	a := GPT3_15B()
+	sp := ShapeConfig{TP: 4, MicrobatchSize: 1, SequenceParallel: true}
+	fwd := a.LayerForward(sp, 0)
+
+	var ag, rs, ar int
+	for _, op := range fwd {
+		switch op.Comm {
+		case trace.CommAllGather:
+			ag++
+		case trace.CommReduceScatter:
+			rs++
+		case trace.CommAllReduce:
+			ar++
+		}
+	}
+	if ag != 2 || rs != 2 || ar != 0 {
+		t.Fatalf("SP forward comm: AG=%d RS=%d AR=%d, want 2/2/0", ag, rs, ar)
+	}
+
+	bwd := a.LayerBackward(sp, 0)
+	ag, rs, ar = 0, 0, 0
+	for _, op := range bwd {
+		switch op.Comm {
+		case trace.CommAllGather:
+			ag++
+		case trace.CommReduceScatter:
+			rs++
+		case trace.CommAllReduce:
+			ar++
+		}
+	}
+	if ag != 2 || rs != 2 || ar != 0 {
+		t.Fatalf("SP backward comm: AG=%d RS=%d AR=%d, want 2/2/0", ag, rs, ar)
+	}
+}
+
+func TestSequenceParallelShrinksNorms(t *testing.T) {
+	a := GPT3_15B()
+	plain := ShapeConfig{TP: 4, MicrobatchSize: 1}
+	seq := ShapeConfig{TP: 4, MicrobatchSize: 1, SequenceParallel: true}
+
+	normBytes := func(ops []Op) int64 {
+		var b int64
+		for _, op := range ops {
+			if op.Class == trace.KCNorm || op.Class == trace.KCElementwise {
+				b += op.Bytes
+			}
+		}
+		return b
+	}
+	np := normBytes(a.LayerForward(plain, 0))
+	ns := normBytes(a.LayerForward(seq, 0))
+	// The GELU region stays TP-sharded; the norm/dropout regions shrink by
+	// 1/TP, so the total must drop but not by the full factor.
+	if ns >= np {
+		t.Fatalf("SP should shrink norm/elementwise traffic: %d vs %d", ns, np)
+	}
+}
+
+func TestSequenceParallelCommVolumeUnchanged(t *testing.T) {
+	// AG + RS move the same total payload as the AR they replace
+	// (per leg: AR counts double, AG/RS once each with the same bytes).
+	a := GPT3_15B()
+	plain := ShapeConfig{TP: 4, MicrobatchSize: 1}
+	seq := ShapeConfig{TP: 4, MicrobatchSize: 1, SequenceParallel: true}
+
+	vol := func(ops []Op) (bytes int64, count int) {
+		for _, op := range ops {
+			if op.IsComm() {
+				bytes += op.CommBytes
+				count++
+			}
+		}
+		return
+	}
+	pb, pc := vol(a.LayerForward(plain, 0))
+	sb, sc := vol(a.LayerForward(seq, 0))
+	if sc != 2*pc {
+		t.Fatalf("SP should double the collective count per layer: %d vs %d", sc, pc)
+	}
+	if sb != 2*pb {
+		t.Fatalf("SP payload sum should be 2x the AR payload (AG+RS legs): %d vs %d", sb, pb)
+	}
+}
+
+func TestSequenceParallelNoTPIsNoop(t *testing.T) {
+	a := GPT3_15B()
+	plain := ShapeConfig{TP: 1, MicrobatchSize: 1}
+	seq := ShapeConfig{TP: 1, MicrobatchSize: 1, SequenceParallel: true}
+	p := a.LayerForward(plain, 0)
+	s := a.LayerForward(seq, 0)
+	if len(p) != len(s) {
+		t.Fatalf("SP with TP=1 must not change the op list: %d vs %d ops", len(s), len(p))
+	}
+	for i := range p {
+		if p[i].Bytes != s[i].Bytes || p[i].FLOPs != s[i].FLOPs {
+			t.Fatalf("SP with TP=1 changed op %d", i)
+		}
+	}
+}

@@ -1,0 +1,501 @@
+package parallel
+
+import (
+	"fmt"
+
+	"lumos/internal/model"
+	"lumos/internal/topology"
+	"lumos/internal/trace"
+)
+
+// Config is a full training deployment: architecture, 3D mapping, and
+// execution knobs.
+type Config struct {
+	Arch model.Arch
+	Map  topology.Mapping
+
+	// Microbatches is the number of microbatches per rank per iteration.
+	Microbatches int
+	// MicrobatchSize is sequences per microbatch.
+	MicrobatchSize int
+	// Schedule is the pipeline schedule policy.
+	Schedule SchedulePolicy
+	// BucketBytes is the data-parallel gradient bucket size (Megatron/DDP
+	// default is 25 MB).
+	BucketBytes int64
+	// OptimizerChunks is how many fused-Adam kernels the update is split
+	// into.
+	OptimizerChunks int
+	// SequenceParallel enables Megatron-style sequence parallelism in the
+	// tensor-parallel regions (all-gather/reduce-scatter instead of
+	// all-reduce, sequence-sharded norms and dropouts).
+	SequenceParallel bool
+	// SyncAfterRecv inserts a cudaStreamSynchronize after every pipeline
+	// receive, modeling Megatron versions that block the host in
+	// p2p_communication. Default off: modern stacks order the pipeline
+	// purely with CUDA events, which is the regime where inter-stream
+	// dependencies matter (and where dPRO-style models fail).
+	SyncAfterRecv bool
+}
+
+// DefaultConfig returns a Config with paper-like defaults for the given
+// architecture and mapping.
+func DefaultConfig(arch model.Arch, m topology.Mapping) Config {
+	mb := 2 * m.PP
+	if mb < 4 {
+		mb = 4
+	}
+	return Config{
+		Arch:            arch,
+		Map:             m,
+		Microbatches:    mb,
+		MicrobatchSize:  1,
+		Schedule:        OneFOneB,
+		BucketBytes:     25 << 20,
+		OptimizerChunks: 6,
+	}
+}
+
+// Validate checks deployment feasibility.
+func (c Config) Validate() error {
+	if err := c.Arch.Validate(); err != nil {
+		return err
+	}
+	if c.Map.TP < 1 || c.Map.PP < 1 || c.Map.DP < 1 {
+		return fmt.Errorf("parallel: invalid mapping %dx%dx%d", c.Map.TP, c.Map.PP, c.Map.DP)
+	}
+	if c.Arch.Layers%c.Map.PP != 0 {
+		return fmt.Errorf("parallel: layers (%d) not divisible by PP (%d)", c.Arch.Layers, c.Map.PP)
+	}
+	if c.Arch.Hidden%c.Map.TP != 0 || c.Arch.FFN%c.Map.TP != 0 {
+		return fmt.Errorf("parallel: hidden/FFN (%d/%d) not divisible by TP (%d)",
+			c.Arch.Hidden, c.Arch.FFN, c.Map.TP)
+	}
+	if c.Microbatches < 1 || c.MicrobatchSize < 1 {
+		return fmt.Errorf("parallel: microbatches/microbatch size must be >= 1")
+	}
+	if c.Schedule == OneFOneB && c.Microbatches < c.Map.PP {
+		return fmt.Errorf("parallel: 1F1B needs microbatches (%d) >= PP (%d) to fill the pipeline",
+			c.Microbatches, c.Map.PP)
+	}
+	return nil
+}
+
+// LayersPerStage returns the per-stage layer count.
+func (c Config) LayersPerStage() int { return c.Arch.Layers / c.Map.PP }
+
+// StageLayers returns the global layer index range [lo, hi) of a stage.
+func (c Config) StageLayers(stage int) (lo, hi int) {
+	lps := c.LayersPerStage()
+	return stage * lps, (stage + 1) * lps
+}
+
+// shape returns the ShapeConfig for op generation.
+func (c Config) shape() model.ShapeConfig {
+	return model.ShapeConfig{
+		TP:               c.Map.TP,
+		MicrobatchSize:   c.MicrobatchSize,
+		SequenceParallel: c.SequenceParallel,
+	}
+}
+
+// LocalParams returns the parameter count held by one rank on the given
+// pipeline stage (TP-sharded; embedding counted on the first stage, the
+// tied output head reuses it on the last so it is not double counted).
+func (c Config) LocalParams(stage int) int64 {
+	p := int64(c.LayersPerStage()) * c.Arch.LayerParams() / int64(c.Map.TP)
+	if stage == 0 {
+		p += c.Arch.EmbeddingParams() / int64(c.Map.TP)
+	}
+	return p
+}
+
+// InstrKind enumerates program instructions.
+type InstrKind uint8
+
+const (
+	// ILaunch launches a GPU kernel (CPU op + cudaLaunchKernel + kernel).
+	ILaunch InstrKind = iota
+	// IEventRecord records a CUDA event on a stream (cudaEventRecord).
+	IEventRecord
+	// IStreamWaitEvent makes a stream wait for a recorded event
+	// (cudaStreamWaitEvent).
+	IStreamWaitEvent
+	// IStreamSync blocks the CPU thread until a stream drains
+	// (cudaStreamSynchronize).
+	IStreamSync
+	// IDeviceSync blocks the CPU thread until all streams drain
+	// (cudaDeviceSynchronize).
+	IDeviceSync
+	// ICPUWork is a pure CPU span (dataloader, python overhead).
+	ICPUWork
+	// ISignal wakes threads blocked in IWaitSignal on the same ID.
+	ISignal
+	// IWaitSignal blocks the thread until ISignal with the same ID ran.
+	IWaitSignal
+)
+
+// Instr is one program instruction, executed in order by its CPU thread.
+type Instr struct {
+	Kind InstrKind
+
+	// Op is the kernel for ILaunch.
+	Op model.Op
+	// Stream targets IEventRecord / IStreamWaitEvent / IStreamSync and
+	// overrides Op.Stream when launching.
+	Stream model.StreamKind
+	// Event is the CUDA event handle for record/wait pairs.
+	Event int64
+	// Signal is the cross-thread signal ID.
+	Signal int64
+	// CPUDur is the span length for ICPUWork.
+	CPUDur trace.Dur
+	// Name labels ICPUWork spans.
+	Name string
+	// Microbatch tags the slot's microbatch for trace annotation (-1 when
+	// not slot-scoped).
+	Microbatch int
+
+	// Comm metadata for ILaunch of communication kernels.
+	CommID    int64
+	CommSeq   int64
+	CommRanks []int
+	PeerRank  int
+}
+
+// Program is one rank's instruction streams, one per CPU thread.
+// Thread 0 is the main (forward/optimizer) thread; thread 1 is the autograd
+// (backward) thread, matching PyTorch's execution structure.
+type Program struct {
+	Rank    int
+	Threads [][]Instr
+}
+
+// NumInstrs returns the total instruction count.
+func (p *Program) NumInstrs() int {
+	n := 0
+	for _, t := range p.Threads {
+		n += len(t)
+	}
+	return n
+}
+
+const (
+	threadMain     = 0
+	threadAutograd = 1
+)
+
+// builder accumulates a rank's program.
+type builder struct {
+	cfg   Config
+	rank  int
+	stage int
+
+	threads   [][]Instr
+	nextEvent int64
+	nextSig   int64
+
+	// per-communicator sequence counters; p2p channels use payload-keyed
+	// sequence numbers instead (see ppSeq).
+	seq map[int64]int64
+
+	tpRanks []int
+	dpRanks []int
+}
+
+func (b *builder) emit(thread int, in Instr) {
+	b.threads[thread] = append(b.threads[thread], in)
+}
+
+func (b *builder) newEvent() int64 {
+	b.nextEvent++
+	return b.nextEvent
+}
+
+func (b *builder) newSignal() int64 {
+	b.nextSig++
+	return b.nextSig
+}
+
+// launch emits a kernel launch, filling comm metadata for collectives.
+func (b *builder) launch(thread int, op model.Op, mb int) {
+	in := Instr{Kind: ILaunch, Op: op, Stream: op.Stream, Microbatch: mb, PeerRank: -1}
+	if op.IsComm() {
+		switch op.Group {
+		case model.GroupTP:
+			in.CommID = b.cfg.Map.TPGroupID(b.rank)
+			in.CommRanks = b.tpRanks
+			in.CommSeq = b.nextSeq(in.CommID)
+		case model.GroupDP:
+			in.CommID = b.cfg.Map.DPGroupID(b.rank)
+			in.CommRanks = b.dpRanks
+			in.CommSeq = b.nextSeq(in.CommID)
+		case model.GroupPPNext, model.GroupPPPrev:
+			b.fillP2P(&in, op, mb)
+		}
+	}
+	b.emit(thread, in)
+}
+
+// fillP2P assigns the pair communicator and a payload-keyed sequence number
+// so that the matching send/recv on the two ranks agree regardless of their
+// local issue order. Activations of microbatch m use seq 2m; gradients use
+// 2m+1.
+func (b *builder) fillP2P(in *Instr, op model.Op, mb int) {
+	m := b.cfg.Map
+	var src, dst int
+	// The channel is identified by its upstream member's PPPairID.
+	switch {
+	case op.Comm == trace.CommSend && op.Group == model.GroupPPNext: // fwd act out
+		src, dst = b.rank, m.PPNeighbor(b.rank, +1)
+		in.CommID = m.PPPairID(b.rank)
+	case op.Comm == trace.CommRecv && op.Group == model.GroupPPPrev: // fwd act in
+		src, dst = m.PPNeighbor(b.rank, -1), b.rank
+		in.CommID = m.PPPairID(src)
+	case op.Comm == trace.CommSend && op.Group == model.GroupPPPrev: // bwd grad out
+		src, dst = b.rank, m.PPNeighbor(b.rank, -1)
+		in.CommID = m.PPPairID(dst)
+	case op.Comm == trace.CommRecv && op.Group == model.GroupPPNext: // bwd grad in
+		src, dst = m.PPNeighbor(b.rank, +1), b.rank
+		in.CommID = m.PPPairID(b.rank)
+	}
+	in.CommRanks = []int{src, dst}
+	if op.Pass == trace.PassBackward {
+		in.CommSeq = int64(mb)*2 + 1
+	} else {
+		in.CommSeq = int64(mb) * 2
+	}
+	if op.Comm == trace.CommSend {
+		in.PeerRank = dst
+	} else {
+		in.PeerRank = src
+	}
+}
+
+func (b *builder) nextSeq(commID int64) int64 {
+	s := b.seq[commID]
+	b.seq[commID] = s + 1
+	return s
+}
+
+// bridge emits the event-record / stream-wait pair that orders dst after
+// src's current frontier: record on src, wait on dst. This is exactly the
+// cudaEventRecord → cudaStreamWaitEvent mechanism the paper's execution
+// graph recovers (Section 3.3.2, GPU-to-GPU inter-stream dependencies).
+func (b *builder) bridge(thread int, src, dst model.StreamKind, mb int) {
+	ev := b.newEvent()
+	b.emit(thread, Instr{Kind: IEventRecord, Stream: src, Event: ev, Microbatch: mb})
+	b.emit(thread, Instr{Kind: IStreamWaitEvent, Stream: dst, Event: ev, Microbatch: mb})
+}
+
+// launchOps launches a compute-stream op run, bridging around any comm ops
+// so the stream graph matches Megatron's: compute → comm stream → compute.
+func (b *builder) launchOps(thread int, ops []model.Op, mb int) {
+	for _, op := range ops {
+		if op.IsComm() && op.Stream != model.StreamCompute {
+			b.bridge(thread, model.StreamCompute, op.Stream, mb)
+			b.launch(thread, op, mb)
+			b.bridge(thread, op.Stream, model.StreamCompute, mb)
+		} else {
+			b.launch(thread, op, mb)
+		}
+	}
+}
+
+// BuildProgram constructs the full training-iteration program for a rank.
+func BuildProgram(cfg Config, rank int) (*Program, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if rank < 0 || rank >= cfg.Map.WorldSize() {
+		return nil, fmt.Errorf("parallel: rank %d out of range [0,%d)", rank, cfg.Map.WorldSize())
+	}
+	_, stage, _ := cfg.Map.Coords(rank)
+	b := &builder{
+		cfg:     cfg,
+		rank:    rank,
+		stage:   stage,
+		threads: make([][]Instr, 2),
+		seq:     map[int64]int64{},
+		tpRanks: cfg.Map.TPGroup(rank),
+		dpRanks: cfg.Map.DPGroup(rank),
+	}
+
+	slots, err := BuildSchedule(cfg.Schedule, stage, cfg.Map.PP, cfg.Microbatches)
+	if err != nil {
+		return nil, err
+	}
+
+	shape := cfg.shape()
+	lo, hi := cfg.StageLayers(stage)
+	buckets := cfg.bucketPlan(stage)
+
+	// Iteration preamble: dataloader + python dispatch overhead.
+	b.emit(threadMain, Instr{Kind: ICPUWork, Name: "DataLoader::next", CPUDur: 150 * trace.Microsecond, Microbatch: -1})
+
+	lastBwd := -1
+	for i := range slots {
+		if slots[i].Kind == SlotBackward {
+			lastBwd = slots[i].Microbatch
+		}
+	}
+
+	for _, slot := range slots {
+		mb := slot.Microbatch
+		switch slot.Kind {
+		case SlotForward:
+			b.forwardSlot(shape, mb, lo, hi)
+		case SlotBackward:
+			b.backwardSlot(shape, mb, lo, hi, mb == lastBwd, buckets)
+		}
+	}
+
+	// Wait for gradient all-reduces before the optimizer step: a real
+	// GPU→CPU dependency via cudaStreamSynchronize.
+	if cfg.Map.DP > 1 {
+		b.emit(threadMain, Instr{Kind: IStreamSync, Stream: model.StreamDPComm, Microbatch: -1})
+	}
+	for _, op := range cfg.Arch.OptimizerOps(cfg.LocalParams(stage), cfg.OptimizerChunks) {
+		b.launch(threadMain, op, -1)
+	}
+	b.emit(threadMain, Instr{Kind: IDeviceSync, Microbatch: -1})
+	b.emit(threadMain, Instr{Kind: ICPUWork, Name: "Iteration::end", CPUDur: 50 * trace.Microsecond, Microbatch: -1})
+
+	return &Program{Rank: rank, Threads: b.threads}, nil
+}
+
+// forwardSlot emits one microbatch's forward pass on the main thread.
+func (b *builder) forwardSlot(shape model.ShapeConfig, mb, lo, hi int) {
+	cfg := b.cfg
+	arch := cfg.Arch
+	b.emit(threadMain, Instr{Kind: ICPUWork, Name: "forward_step", CPUDur: 30 * trace.Microsecond, Microbatch: mb})
+
+	if b.stage > 0 {
+		// Receive the upstream activation, then make compute wait on it.
+		// Megatron's p2p_communication synchronizes the CPU after the
+		// batched recv, so the host does not run ahead of the pipeline;
+		// this is also the main source of GPU→CPU dependencies in traces.
+		recv := arch.PPRecv(shape, trace.PassForward)
+		b.launch(threadMain, recv, mb)
+		b.bridge(threadMain, model.StreamPPRecv, model.StreamCompute, mb)
+		if cfg.SyncAfterRecv {
+			b.emit(threadMain, Instr{Kind: IStreamSync, Stream: model.StreamPPRecv, Microbatch: mb})
+		}
+	} else {
+		b.launchOps(threadMain, arch.EmbeddingForward(shape), mb)
+	}
+	for layer := lo; layer < hi; layer++ {
+		b.launchOps(threadMain, arch.LayerForward(shape, layer), mb)
+	}
+	if b.stage < cfg.Map.PP-1 {
+		b.bridge(threadMain, model.StreamCompute, model.StreamPPSend, mb)
+		b.launch(threadMain, arch.PPSend(shape, trace.PassForward), mb)
+	} else {
+		b.launchOps(threadMain, arch.HeadForward(shape), mb)
+	}
+}
+
+// backwardSlot emits one microbatch's backward pass. The main thread hands
+// off to the autograd thread (signal), which launches the backward kernels;
+// the main thread blocks until the autograd thread finishes launching,
+// reproducing PyTorch's loss.backward() thread structure and the paper's
+// inter-thread CPU dependency.
+func (b *builder) backwardSlot(shape model.ShapeConfig, mb, lo, hi int, last bool, buckets []bucket) {
+	cfg := b.cfg
+	arch := cfg.Arch
+
+	start := b.newSignal()
+	done := b.newSignal()
+	b.emit(threadMain, Instr{Kind: ICPUWork, Name: "backward_step", CPUDur: 25 * trace.Microsecond, Microbatch: mb})
+	b.emit(threadMain, Instr{Kind: ISignal, Signal: start, Microbatch: mb})
+
+	ag := threadAutograd
+	b.emit(ag, Instr{Kind: IWaitSignal, Signal: start, Microbatch: mb})
+
+	if b.stage < cfg.Map.PP-1 {
+		recv := arch.PPRecv(shape, trace.PassBackward)
+		b.launch(ag, recv, mb)
+		b.bridge(ag, model.StreamPPRecv, model.StreamCompute, mb)
+		if cfg.SyncAfterRecv {
+			b.emit(ag, Instr{Kind: IStreamSync, Stream: model.StreamPPRecv, Microbatch: mb})
+		}
+	} else {
+		b.launchOps(ag, arch.HeadBackward(shape), mb)
+	}
+
+	// Bucket triggers are stage-local layer completions in backward order.
+	bucketIdx := 0
+	for layer := hi - 1; layer >= lo; layer-- {
+		b.launchOps(ag, arch.LayerBackward(shape, layer), mb)
+		if last && cfg.Map.DP > 1 {
+			for bucketIdx < len(buckets) && buckets[bucketIdx].triggerLayer == layer {
+				b.fireBucket(ag, buckets[bucketIdx], mb)
+				bucketIdx++
+			}
+		}
+	}
+	if b.stage == 0 {
+		b.launchOps(ag, arch.EmbeddingBackward(shape), mb)
+	}
+	if last && cfg.Map.DP > 1 {
+		for bucketIdx < len(buckets) {
+			b.fireBucket(ag, buckets[bucketIdx], mb)
+			bucketIdx++
+		}
+	}
+
+	if b.stage > 0 {
+		b.bridge(ag, model.StreamCompute, model.StreamPPSend, mb)
+		b.launch(ag, arch.PPSend(shape, trace.PassBackward), mb)
+	}
+
+	b.emit(ag, Instr{Kind: ISignal, Signal: done, Microbatch: mb})
+	b.emit(threadMain, Instr{Kind: IWaitSignal, Signal: done, Microbatch: mb})
+}
+
+// fireBucket launches one data-parallel gradient all-reduce, ordered after
+// the compute stream's current frontier.
+func (b *builder) fireBucket(thread int, bk bucket, mb int) {
+	b.bridge(thread, model.StreamCompute, model.StreamDPComm, mb)
+	b.launch(thread, model.DPAllReduce(bk.index, bk.bytes), mb)
+}
+
+// bucket is a data-parallel gradient bucket: fired when triggerLayer's
+// backward completes during the last microbatch (or at the end for the
+// remainder bucket with triggerLayer == -1).
+type bucket struct {
+	index        int
+	bytes        int64
+	triggerLayer int
+}
+
+// bucketPlan lays gradients out into buckets in backward (high→low layer)
+// order, Megatron/DDP style.
+func (c Config) bucketPlan(stage int) []bucket {
+	if c.Map.DP <= 1 {
+		return nil
+	}
+	lo, hi := c.StageLayers(stage)
+	gradBytes := int64(c.Arch.GradDTypeBytes)
+	layerBytes := c.Arch.LayerParams() / int64(c.Map.TP) * gradBytes
+
+	var out []bucket
+	var acc int64
+	for layer := hi - 1; layer >= lo; layer-- {
+		acc += layerBytes
+		if acc >= c.BucketBytes {
+			out = append(out, bucket{index: len(out), bytes: acc, triggerLayer: layer})
+			acc = 0
+		}
+	}
+	if stage == 0 {
+		acc += c.Arch.EmbeddingParams() / int64(c.Map.TP) * gradBytes
+	}
+	if acc > 0 {
+		out = append(out, bucket{index: len(out), bytes: acc, triggerLayer: -1})
+	}
+	return out
+}
+
+// NumBuckets exposes the gradient bucket count for a stage (reporting).
+func (c Config) NumBuckets(stage int) int { return len(c.bucketPlan(stage)) }

@@ -1,0 +1,145 @@
+// Package parallel composes model ops into per-rank training programs under
+// 3D parallelism: tensor-parallel shapes (delegated to model), pipeline
+// schedules (1F1B per the paper's Figure 4, plus GPipe), data-parallel
+// gradient bucketing, and the CPU-thread / CUDA-stream / event-sync
+// structure that the ground-truth cluster simulator executes.
+package parallel
+
+import "fmt"
+
+// SchedulePolicy selects the pipeline schedule.
+type SchedulePolicy uint8
+
+const (
+	// OneFOneB is the memory-efficient interleaving from Narayanan et al.
+	// 2021, used throughout the paper.
+	OneFOneB SchedulePolicy = iota
+	// GPipe runs all forwards then all backwards.
+	GPipe
+)
+
+// String names the policy.
+func (p SchedulePolicy) String() string {
+	switch p {
+	case OneFOneB:
+		return "1F1B"
+	case GPipe:
+		return "GPipe"
+	}
+	return fmt.Sprintf("policy(%d)", uint8(p))
+}
+
+// SlotKind is a schedule slot type.
+type SlotKind uint8
+
+const (
+	SlotForward SlotKind = iota
+	SlotBackward
+)
+
+// Slot is one schedule entry: run the forward or backward pass of a
+// microbatch on this stage.
+type Slot struct {
+	Kind       SlotKind
+	Microbatch int
+}
+
+// BuildSchedule returns the slot sequence for one pipeline stage.
+// stage is in [0, stages); microbatches must be >= 1. For 1F1B the result
+// is the standard warmup / steady 1F1B / cooldown structure; Figure 4 of
+// the paper is exactly this sequence for stage 0.
+func BuildSchedule(policy SchedulePolicy, stage, stages, microbatches int) ([]Slot, error) {
+	if stage < 0 || stage >= stages {
+		return nil, fmt.Errorf("parallel: stage %d out of range [0,%d)", stage, stages)
+	}
+	if microbatches < 1 {
+		return nil, fmt.Errorf("parallel: microbatches must be >= 1, got %d", microbatches)
+	}
+	slots := make([]Slot, 0, 2*microbatches)
+	switch policy {
+	case GPipe:
+		for m := 0; m < microbatches; m++ {
+			slots = append(slots, Slot{SlotForward, m})
+		}
+		for m := 0; m < microbatches; m++ {
+			slots = append(slots, Slot{SlotBackward, m})
+		}
+	case OneFOneB:
+		warmup := stages - stage - 1
+		if warmup > microbatches {
+			warmup = microbatches
+		}
+		steady := microbatches - warmup
+		for m := 0; m < warmup; m++ {
+			slots = append(slots, Slot{SlotForward, m})
+		}
+		for i := 0; i < steady; i++ {
+			slots = append(slots, Slot{SlotForward, warmup + i})
+			slots = append(slots, Slot{SlotBackward, i})
+		}
+		for m := steady; m < microbatches; m++ {
+			slots = append(slots, Slot{SlotBackward, m})
+		}
+	default:
+		return nil, fmt.Errorf("parallel: unknown schedule policy %v", policy)
+	}
+	return slots, nil
+}
+
+// ValidateSchedule checks the invariants every correct pipeline schedule
+// must satisfy: each microbatch appears exactly once per kind, and a
+// microbatch's backward never precedes its forward.
+func ValidateSchedule(slots []Slot, microbatches int) error {
+	fwdAt := make([]int, microbatches)
+	bwdAt := make([]int, microbatches)
+	for i := range fwdAt {
+		fwdAt[i], bwdAt[i] = -1, -1
+	}
+	for i, s := range slots {
+		if s.Microbatch < 0 || s.Microbatch >= microbatches {
+			return fmt.Errorf("parallel: slot %d references microbatch %d outside [0,%d)", i, s.Microbatch, microbatches)
+		}
+		switch s.Kind {
+		case SlotForward:
+			if fwdAt[s.Microbatch] != -1 {
+				return fmt.Errorf("parallel: duplicate forward for microbatch %d", s.Microbatch)
+			}
+			fwdAt[s.Microbatch] = i
+		case SlotBackward:
+			if bwdAt[s.Microbatch] != -1 {
+				return fmt.Errorf("parallel: duplicate backward for microbatch %d", s.Microbatch)
+			}
+			bwdAt[s.Microbatch] = i
+		}
+	}
+	for m := 0; m < microbatches; m++ {
+		if fwdAt[m] == -1 {
+			return fmt.Errorf("parallel: missing forward for microbatch %d", m)
+		}
+		if bwdAt[m] == -1 {
+			return fmt.Errorf("parallel: missing backward for microbatch %d", m)
+		}
+		if bwdAt[m] < fwdAt[m] {
+			return fmt.Errorf("parallel: backward of microbatch %d at slot %d precedes its forward at %d", m, bwdAt[m], fwdAt[m])
+		}
+	}
+	return nil
+}
+
+// InFlight returns the maximum number of microbatches whose forward has run
+// but whose backward has not, i.e. the peak activation-memory pressure of
+// the schedule in microbatches.
+func InFlight(slots []Slot) int {
+	cur, peak := 0, 0
+	for _, s := range slots {
+		if s.Kind == SlotForward {
+			cur++
+			if cur > peak {
+				peak = cur
+			}
+		} else {
+			cur--
+		}
+	}
+	return peak
+}

@@ -1,0 +1,416 @@
+// Package replay implements the paper's simulation algorithm (Section 3.5,
+// Algorithm 1): a task-graph simulator that assigns each task to its
+// processor (CPU thread or CUDA stream), honors fixed dependencies seeded at
+// initialization and runtime dependencies resolved during execution
+// (synchronization calls and cross-rank collective rendezvous), and produces
+// an output trace with the replayed timestamps of every task.
+package replay
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"lumos/internal/execgraph"
+	"lumos/internal/trace"
+)
+
+// Options tunes the simulator.
+type Options struct {
+	// SyncMinDur is the minimum duration of a blocking synchronization call.
+	SyncMinDur trace.Dur
+	// CoupleCollectives enables cross-rank rendezvous semantics: all members
+	// of a collective group finish together at max(ready)+GroupDur. When
+	// false each comm kernel simply replays its recorded duration.
+	CoupleCollectives bool
+}
+
+// DefaultOptions returns the settings used throughout the evaluation.
+func DefaultOptions() Options {
+	return Options{SyncMinDur: 1500, CoupleCollectives: true}
+}
+
+// Result is a completed simulation.
+type Result struct {
+	// Start and End hold replayed times indexed by task ID.
+	Start, End []trace.Time
+	// Makespan is the global simulated iteration time (max end − min start).
+	Makespan trace.Dur
+	// RankSpan holds each rank's simulated [start, end).
+	RankSpan []struct{ Start, End trace.Time }
+	// Executed counts simulated tasks (should equal len(g.Tasks)).
+	Executed int
+}
+
+// readyItem orders the ready heap by recorded start time so the simulator's
+// pick() matches the profiled execution order, with task ID as tiebreak.
+type readyItem struct {
+	task     int32
+	recStart trace.Time
+}
+
+type readyHeap []readyItem
+
+func (h readyHeap) Len() int { return len(h) }
+func (h readyHeap) Less(i, j int) bool {
+	if h[i].recStart != h[j].recStart {
+		return h[i].recStart < h[j].recStart
+	}
+	return h[i].task < h[j].task
+}
+func (h readyHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *readyHeap) Push(x any)   { *h = append(*h, x.(readyItem)) }
+func (h *readyHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// collGroup tracks a collective rendezvous during simulation.
+type collGroup struct {
+	expected int
+	arrived  []int32
+	ready    []trace.Time
+}
+
+// sim is the running state.
+type sim struct {
+	g    *execgraph.Graph
+	opts Options
+
+	deps     []int32 // remaining unresolved dependencies per task
+	earliest []trace.Time
+	start    []trace.Time
+	end      []trace.Time
+	done     []bool
+
+	procTime []trace.Time // per-processor frontier
+
+	ready readyHeap
+
+	// procKernels lists each GPU processor's kernels in queue order;
+	// procCursor points at the first unfinished one.
+	procKernels [][]int32
+	procCursor  []int
+
+	// syncWaiters maps a task to sync tasks waiting on its completion.
+	syncWaiters map[int32][]int32
+	syncMaxEnd  map[int32]trace.Time
+
+	groups  map[execgraph.GroupKey]*collGroup
+	groupOf map[int32]execgraph.GroupKey
+
+	// rankGPUProcs lists each rank's GPU processor indices.
+	rankGPUProcs [][]int32
+
+	executed int
+}
+
+// Run simulates the graph and returns replayed task times.
+func Run(g *execgraph.Graph, opts Options) (*Result, error) {
+	n := len(g.Tasks)
+	s := &sim{
+		g:           g,
+		opts:        opts,
+		deps:        make([]int32, n),
+		earliest:    make([]trace.Time, n),
+		start:       make([]trace.Time, n),
+		end:         make([]trace.Time, n),
+		done:        make([]bool, n),
+		procTime:    make([]trace.Time, len(g.Procs)),
+		procKernels: make([][]int32, len(g.Procs)),
+		procCursor:  make([]int, len(g.Procs)),
+		syncWaiters: map[int32][]int32{},
+		syncMaxEnd:  map[int32]trace.Time{},
+		groups:      map[execgraph.GroupKey]*collGroup{},
+		groupOf:     map[int32]execgraph.GroupKey{},
+	}
+
+	for i := range g.Tasks {
+		t := &g.Tasks[i]
+		s.deps[i] = t.NFixedIn
+		if t.Kind == execgraph.TaskGPU {
+			s.procKernels[t.Proc] = append(s.procKernels[t.Proc], int32(i))
+		}
+	}
+	s.rankGPUProcs = make([][]int32, g.NumRanks)
+	for p := range g.Procs {
+		if g.Procs[p].IsGPU {
+			r := g.Procs[p].Rank
+			s.rankGPUProcs[r] = append(s.rankGPUProcs[r], int32(p))
+		}
+	}
+	if opts.CoupleCollectives {
+		for key, members := range g.Groups {
+			cg := &collGroup{expected: len(members)}
+			s.groups[key] = cg
+			for _, id := range members {
+				s.groupOf[id] = key
+			}
+		}
+	}
+	for i := range g.Tasks {
+		if s.deps[i] == 0 {
+			heap.Push(&s.ready, readyItem{int32(i), g.Tasks[i].Start})
+		}
+	}
+
+	for s.ready.Len() > 0 {
+		it := heap.Pop(&s.ready).(readyItem)
+		s.execute(it.task)
+	}
+
+	if s.executed != n {
+		return nil, fmt.Errorf("replay: simulated %d of %d tasks (dependency deadlock; graph invalid)", s.executed, n)
+	}
+
+	res := &Result{Start: s.start, End: s.end, Executed: s.executed}
+	res.RankSpan = make([]struct{ Start, End trace.Time }, g.NumRanks)
+	for r := range res.RankSpan {
+		res.RankSpan[r].Start = math.MaxInt64
+	}
+	var lo, hi trace.Time = math.MaxInt64, 0
+	for i := range g.Tasks {
+		r := g.Tasks[i].Rank
+		if s.start[i] < res.RankSpan[r].Start {
+			res.RankSpan[r].Start = s.start[i]
+		}
+		if s.end[i] > res.RankSpan[r].End {
+			res.RankSpan[r].End = s.end[i]
+		}
+		if s.start[i] < lo {
+			lo = s.start[i]
+		}
+		if s.end[i] > hi {
+			hi = s.end[i]
+		}
+	}
+	if n > 0 {
+		res.Makespan = hi - lo
+	}
+	return res, nil
+}
+
+// execute runs one ready task, applying runtime-dependency semantics.
+func (s *sim) execute(id int32) {
+	t := &s.g.Tasks[id]
+
+	// Runtime dependencies of synchronization tasks: all kernels enqueued
+	// so far (launch task finished) on the awaited stream(s) that have not
+	// yet completed. Kernels that were already simulated still bound the
+	// sync through the stream frontier, folded into syncMaxEnd here.
+	if t.Sync != execgraph.SyncNone {
+		s.foldStreamFrontiers(id, t)
+		if pending := s.gatherSyncDeps(id, t); pending > 0 {
+			s.deps[id] += pending
+			return // re-queued as the awaited kernels finish
+		}
+		s.finishSync(id, t)
+		return
+	}
+
+	// Collective rendezvous.
+	if s.opts.CoupleCollectives {
+		if key, ok := s.groupOf[id]; ok {
+			s.arrive(id, key)
+			return
+		}
+	}
+
+	start := s.earliest[id]
+	if p := s.procTime[t.Proc]; p > start {
+		start = p
+	}
+	s.finish(id, start, start+t.Dur)
+}
+
+// foldStreamFrontiers accounts for already-simulated kernels on the awaited
+// stream(s): their completion times are the stream frontiers, which lower-
+// bound the sync's end.
+func (s *sim) foldStreamFrontiers(id int32, t *execgraph.Task) {
+	for _, p := range s.rankGPUProcs[t.Rank] {
+		proc := &s.g.Procs[p]
+		if t.Sync == execgraph.SyncStream && proc.TID != int(t.SyncStreamID) {
+			continue
+		}
+		if f := s.procTime[p]; f > s.syncMaxEnd[id] {
+			s.syncMaxEnd[id] = f
+		}
+	}
+}
+
+// gatherSyncDeps registers the sync task as a waiter on every unfinished
+// enqueued kernel of its target stream(s); it returns the number of
+// registrations.
+func (s *sim) gatherSyncDeps(id int32, t *execgraph.Task) int32 {
+	var pending int32
+	register := func(proc int32) {
+		kerns := s.procKernels[proc]
+		for i := s.procCursor[proc]; i < len(kerns); i++ {
+			k := kerns[i]
+			if s.done[k] {
+				continue
+			}
+			lt := s.g.Tasks[k].LaunchTask
+			if lt >= 0 && !s.done[lt] {
+				// Not yet enqueued: FIFO order means no later kernel on this
+				// stream is enqueued either.
+				break
+			}
+			s.syncWaiters[k] = append(s.syncWaiters[k], id)
+			pending++
+		}
+	}
+	for _, p := range s.rankGPUProcs[t.Rank] {
+		proc := &s.g.Procs[p]
+		if t.Sync == execgraph.SyncStream && proc.TID != int(t.SyncStreamID) {
+			continue
+		}
+		register(p)
+	}
+	return pending
+}
+
+// finishSync completes a synchronization task once its awaited kernels are
+// done: it blocks from its start until the latest of them finished.
+func (s *sim) finishSync(id int32, t *execgraph.Task) {
+	start := s.earliest[id]
+	if p := s.procTime[t.Proc]; p > start {
+		start = p
+	}
+	end := start + s.opts.SyncMinDur
+	if m, ok := s.syncMaxEnd[id]; ok && m > end {
+		end = m
+	}
+	delete(s.syncMaxEnd, id)
+	s.finish(id, start, end)
+}
+
+// arrive registers a collective member; the group resolves when all
+// participants have arrived, finishing together at max(ready)+GroupDur.
+func (s *sim) arrive(id int32, key execgraph.GroupKey) {
+	t := &s.g.Tasks[id]
+	ready := s.earliest[id]
+	if p := s.procTime[t.Proc]; p > ready {
+		ready = p
+	}
+	cg := s.groups[key]
+	cg.arrived = append(cg.arrived, id)
+	cg.ready = append(cg.ready, ready)
+	// Block the stream until the collective resolves so later kernels in
+	// the queue cannot jump ahead (they depend on this task anyway via the
+	// intra-stream chain; this keeps procTime consistent).
+	if len(cg.arrived) < cg.expected {
+		return
+	}
+	var maxReady trace.Time
+	for _, r := range cg.ready {
+		if r > maxReady {
+			maxReady = r
+		}
+	}
+	dur := s.g.Tasks[cg.arrived[0]].GroupDur
+	if dur <= 0 {
+		dur = s.g.Tasks[cg.arrived[0]].Dur
+	}
+	end := maxReady + dur
+	for i, member := range cg.arrived {
+		s.finish(member, cg.ready[i], end)
+	}
+	delete(s.groups, key)
+}
+
+// finish completes a task: records times, advances its processor, unblocks
+// dependents, sync waiters, and GPU queue cursors.
+func (s *sim) finish(id int32, start, end trace.Time) {
+	t := &s.g.Tasks[id]
+	s.start[id] = start
+	s.end[id] = end
+	s.done[id] = true
+	s.executed++
+	if end > s.procTime[t.Proc] {
+		s.procTime[t.Proc] = end
+	}
+
+	// Advance the stream cursor past finished kernels.
+	if t.Kind == execgraph.TaskGPU {
+		kerns := s.procKernels[t.Proc]
+		cur := s.procCursor[t.Proc]
+		for cur < len(kerns) && s.done[kerns[cur]] {
+			cur++
+		}
+		s.procCursor[t.Proc] = cur
+	}
+
+	for _, c := range t.Out {
+		if end > s.earliest[c] {
+			s.earliest[c] = end
+		}
+		s.deps[c]--
+		if s.deps[c] == 0 {
+			heap.Push(&s.ready, readyItem{c, s.g.Tasks[c].Start})
+		}
+	}
+
+	if waiters, ok := s.syncWaiters[id]; ok {
+		for _, w := range waiters {
+			if end > s.syncMaxEnd[w] {
+				s.syncMaxEnd[w] = end
+			}
+			s.deps[w]--
+			if s.deps[w] == 0 {
+				heap.Push(&s.ready, readyItem{w, s.g.Tasks[w].Start})
+			}
+		}
+		delete(s.syncWaiters, id)
+	}
+}
+
+// ToTrace materializes the simulation as per-rank traces with replayed
+// timestamps, mirroring the structure of the originally collected trace so
+// downstream analyses run unchanged on real and simulated executions.
+func ToTrace(g *execgraph.Graph, res *Result) *trace.Multi {
+	m := trace.NewMulti(g.NumRanks)
+	for i := range g.Tasks {
+		t := &g.Tasks[i]
+		proc := &g.Procs[t.Proc]
+		e := trace.Event{
+			Name:       t.Name,
+			Ts:         res.Start[i],
+			Dur:        res.End[i] - res.Start[i],
+			PID:        int(t.Rank),
+			TID:        proc.TID,
+			Stream:     -1,
+			PeerRank:   -1,
+			Layer:      int(t.Layer),
+			Microbatch: int(t.Microbatch),
+			Pass:       t.Pass,
+		}
+		if t.Kind == execgraph.TaskGPU {
+			e.Cat = trace.CatKernel
+			e.Stream = proc.TID
+			e.Class = t.Class
+			e.Comm = t.Comm
+			e.CommID = t.CommID
+			e.CommSeq = t.CommSeq
+			e.CommBytes = t.CommBytes
+			e.FLOPs = t.FLOPs
+			e.Bytes = t.Bytes
+			e.Correlation = int64(i) + 1
+		} else if t.Runtime != trace.RuntimeNone {
+			e.Cat = trace.CatCUDARuntime
+			e.Runtime = t.Runtime
+			e.CUDAEvent = t.CUDAEvent
+			e.Stream = int(t.SyncStreamID)
+		} else {
+			e.Cat = trace.CatCPUOp
+		}
+		m.Ranks[int(t.Rank)].Add(e)
+	}
+	for _, tr := range m.Ranks {
+		tr.Sort()
+	}
+	return m
+}

@@ -1,0 +1,70 @@
+// Package rng provides a small, fast, deterministic PRNG (SplitMix64) used
+// by the ground-truth cluster simulator for per-kernel jitter. Determinism
+// matters: two simulations with the same seed must produce identical traces,
+// and the "profiled" vs "actual" iterations must differ only by their seeds.
+package rng
+
+import "math"
+
+// Source is a SplitMix64 generator. The zero value is a valid generator
+// seeded with 0.
+type Source struct {
+	state uint64
+}
+
+// New returns a generator with the given seed.
+func New(seed uint64) *Source { return &Source{state: seed} }
+
+// Uint64 returns the next 64 random bits.
+func (s *Source) Uint64() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (s *Source) Float64() float64 {
+	return float64(s.Uint64()>>11) / (1 << 53)
+}
+
+// Norm returns a standard normal variate (Box–Muller).
+func (s *Source) Norm() float64 {
+	// Avoid log(0) by shifting u1 away from zero.
+	u1 := s.Float64()
+	if u1 < 1e-300 {
+		u1 = 1e-300
+	}
+	u2 := s.Float64()
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}
+
+// LogNormal returns a multiplicative jitter factor with median 1 and the
+// given sigma (log-space standard deviation). sigma = 0 returns exactly 1.
+func (s *Source) LogNormal(sigma float64) float64 {
+	if sigma == 0 {
+		return 1
+	}
+	return math.Exp(sigma * s.Norm())
+}
+
+// Intn returns a uniform value in [0, n). n must be > 0.
+func (s *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with n <= 0")
+	}
+	return int(s.Uint64() % uint64(n))
+}
+
+// Fork derives an independent child generator; deriving with the same tag
+// always yields the same child stream regardless of how much the parent has
+// been consumed since construction is based on the tag and the parent's
+// seed lineage.
+func (s *Source) Fork(tag uint64) *Source {
+	mix := s.state ^ (tag * 0xd6e8feb86659fd93)
+	child := New(mix)
+	// Burn one output so closely-related tags decorrelate.
+	child.Uint64()
+	return child
+}

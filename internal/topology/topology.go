@@ -1,0 +1,178 @@
+// Package topology models the cluster fabric the paper's evaluation ran on:
+// servers of 8 NVIDIA H100-class GPUs joined by NVLink inside a node and a
+// RoCE data-center network (8x400 Gbps per host) across nodes. It also owns
+// the 3D-parallel rank mapping (tensor innermost, pipeline middle, data
+// outermost — the Megatron-LM convention), so that communication groups can
+// be classified as intra- or inter-node.
+package topology
+
+import "fmt"
+
+// Cluster describes the physical deployment.
+type Cluster struct {
+	// GPUsPerNode is the number of accelerators per server (8 for the
+	// paper's H100 hosts).
+	GPUsPerNode int
+	// NumGPUs is the total accelerator count.
+	NumGPUs int
+
+	// IntraNodeBW is per-GPU NVLink bandwidth in bytes/sec (unidirectional
+	// effective).
+	IntraNodeBW float64
+	// InterNodeBW is per-GPU network bandwidth in bytes/sec. The paper's
+	// hosts have 8x400 Gbps shared by 8 GPUs, i.e. 400 Gbps ≈ 50 GB/s per
+	// GPU.
+	InterNodeBW float64
+
+	// IntraNodeLatency and InterNodeLatency are per-hop latencies in
+	// nanoseconds.
+	IntraNodeLatency float64
+	InterNodeLatency float64
+}
+
+// H100Cluster returns a cluster model matching the paper's testbed: nodes of
+// 8 H100s, NVLink 4 (~450 GB/s effective per direction, derated), and a
+// RoCE fabric with 400 Gbps per GPU.
+func H100Cluster(numGPUs int) Cluster {
+	return Cluster{
+		GPUsPerNode:      8,
+		NumGPUs:          numGPUs,
+		IntraNodeBW:      360e9, // 450 GB/s peak derated to ~80% achievable
+		InterNodeBW:      42e9,  // 50 GB/s peak derated for RoCE/ECMP effects
+		IntraNodeLatency: 4_000,
+		InterNodeLatency: 12_000,
+	}
+}
+
+// NumNodes returns the server count (ceiling division).
+func (c Cluster) NumNodes() int {
+	if c.GPUsPerNode <= 0 {
+		return 0
+	}
+	return (c.NumGPUs + c.GPUsPerNode - 1) / c.GPUsPerNode
+}
+
+// Node returns the node index hosting the given global rank.
+func (c Cluster) Node(rank int) int { return rank / c.GPUsPerNode }
+
+// SameNode reports whether all ranks are on one server.
+func (c Cluster) SameNode(ranks []int) bool {
+	if len(ranks) == 0 {
+		return true
+	}
+	n := c.Node(ranks[0])
+	for _, r := range ranks[1:] {
+		if c.Node(r) != n {
+			return false
+		}
+	}
+	return true
+}
+
+// GroupBW returns the bottleneck per-GPU bandwidth (bytes/sec) and per-hop
+// latency (ns) for a communication group: NVLink numbers if the group fits
+// in one node, network numbers otherwise.
+func (c Cluster) GroupBW(ranks []int) (bw float64, latency float64) {
+	if c.SameNode(ranks) {
+		return c.IntraNodeBW, c.IntraNodeLatency
+	}
+	return c.InterNodeBW, c.InterNodeLatency
+}
+
+// Mapping is a 3D-parallel rank layout: tensor parallel innermost (so TP
+// groups sit inside a node and use NVLink), pipeline next, data outermost.
+type Mapping struct {
+	TP, PP, DP int
+}
+
+// NewMapping validates and returns a rank mapping.
+func NewMapping(tp, pp, dp int) (Mapping, error) {
+	if tp < 1 || pp < 1 || dp < 1 {
+		return Mapping{}, fmt.Errorf("topology: parallel degrees must be >= 1, got TP=%d PP=%d DP=%d", tp, pp, dp)
+	}
+	return Mapping{TP: tp, PP: pp, DP: dp}, nil
+}
+
+// WorldSize returns TP*PP*DP.
+func (m Mapping) WorldSize() int { return m.TP * m.PP * m.DP }
+
+// Rank composes a global rank from (dp, pp, tp) coordinates.
+func (m Mapping) Rank(dp, pp, tp int) int {
+	return dp*m.PP*m.TP + pp*m.TP + tp
+}
+
+// Coords decomposes a global rank into (dp, pp, tp).
+func (m Mapping) Coords(rank int) (dp, pp, tp int) {
+	tp = rank % m.TP
+	pp = (rank / m.TP) % m.PP
+	dp = rank / (m.TP * m.PP)
+	return
+}
+
+// TPGroup returns the tensor-parallel group containing rank, in tp order.
+func (m Mapping) TPGroup(rank int) []int {
+	dp, pp, _ := m.Coords(rank)
+	out := make([]int, m.TP)
+	for t := 0; t < m.TP; t++ {
+		out[t] = m.Rank(dp, pp, t)
+	}
+	return out
+}
+
+// DPGroup returns the data-parallel group containing rank, in dp order.
+func (m Mapping) DPGroup(rank int) []int {
+	_, pp, tp := m.Coords(rank)
+	out := make([]int, m.DP)
+	for d := 0; d < m.DP; d++ {
+		out[d] = m.Rank(d, pp, tp)
+	}
+	return out
+}
+
+// PPGroup returns the pipeline group containing rank, in stage order.
+func (m Mapping) PPGroup(rank int) []int {
+	dp, _, tp := m.Coords(rank)
+	out := make([]int, m.PP)
+	for p := 0; p < m.PP; p++ {
+		out[p] = m.Rank(dp, p, tp)
+	}
+	return out
+}
+
+// PPNeighbor returns the global rank of the pipeline stage adjacent to rank
+// in direction dir (+1 downstream, -1 upstream), or -1 at the pipeline edge.
+func (m Mapping) PPNeighbor(rank, dir int) int {
+	dp, pp, tp := m.Coords(rank)
+	np := pp + dir
+	if np < 0 || np >= m.PP {
+		return -1
+	}
+	return m.Rank(dp, np, tp)
+}
+
+// GroupID assigns a stable communicator ID to each distinct group kind and
+// group instance, so collective kernels can be matched across ranks.
+// Kind: 0=TP, 1=DP, 2=PP(p2p pair), 3=embedding tie. IDs are always
+// nonzero: 0 is the "no communicator" sentinel in trace metadata.
+func (m Mapping) GroupID(kind, instance int) int64 {
+	return int64(kind+1)*1_000_000 + int64(instance)
+}
+
+// TPGroupID returns the communicator ID of rank's TP group.
+func (m Mapping) TPGroupID(rank int) int64 {
+	dp, pp, _ := m.Coords(rank)
+	return m.GroupID(0, dp*m.PP+pp)
+}
+
+// DPGroupID returns the communicator ID of rank's DP group.
+func (m Mapping) DPGroupID(rank int) int64 {
+	_, pp, tp := m.Coords(rank)
+	return m.GroupID(1, pp*m.TP+tp)
+}
+
+// PPPairID returns the communicator ID of the p2p channel between rank and
+// its downstream neighbor (stage pp → pp+1 within the same dp/tp slice).
+func (m Mapping) PPPairID(rank int) int64 {
+	dp, pp, tp := m.Coords(rank)
+	return m.GroupID(2, (dp*m.PP+pp)*m.TP+tp)
+}

@@ -1,0 +1,70 @@
+package trace
+
+import (
+	"sort"
+	"strings"
+)
+
+// SplitIterations partitions a rank trace containing multiple profiler
+// steps (ProfilerStep#k annotations) into one trace per iteration. Events
+// are assigned to the iteration whose annotation span contains their start.
+// A trace without annotations is returned whole as a single iteration.
+func SplitIterations(t *Trace) []*Trace {
+	type span struct {
+		start, end Time
+	}
+	var spans []span
+	for i := range t.Events {
+		e := &t.Events[i]
+		if e.Cat == CatUserAnnotation && strings.HasPrefix(e.Name, "ProfilerStep#") {
+			spans = append(spans, span{e.Ts, e.End()})
+		}
+	}
+	if len(spans) == 0 {
+		return []*Trace{t}
+	}
+	sort.Slice(spans, func(i, j int) bool { return spans[i].start < spans[j].start })
+
+	out := make([]*Trace, len(spans))
+	for i := range out {
+		out[i] = New(t.Rank)
+		out[i].Meta = t.Meta
+	}
+	for i := range t.Events {
+		e := &t.Events[i]
+		if e.Cat == CatUserAnnotation {
+			continue
+		}
+		// Binary search: last span starting at or before e.Ts.
+		idx := sort.Search(len(spans), func(k int) bool { return spans[k].start > e.Ts }) - 1
+		if idx < 0 || e.Ts >= spans[idx].end {
+			continue // inter-iteration gap activity (none emitted today)
+		}
+		out[idx].Add(*e)
+	}
+	return out
+}
+
+// SplitIterationsMulti applies SplitIterations rank-wise, returning one
+// Multi per iteration. All ranks must contain the same iteration count.
+func SplitIterationsMulti(m *Multi) []*Multi {
+	if m.NumRanks() == 0 {
+		return nil
+	}
+	perRank := make([][]*Trace, m.NumRanks())
+	iters := -1
+	for r, t := range m.Ranks {
+		perRank[r] = SplitIterations(t)
+		if iters == -1 || len(perRank[r]) < iters {
+			iters = len(perRank[r])
+		}
+	}
+	out := make([]*Multi, iters)
+	for k := 0; k < iters; k++ {
+		out[k] = &Multi{Ranks: make([]*Trace, m.NumRanks())}
+		for r := range perRank {
+			out[k].Ranks[r] = perRank[r][k]
+		}
+	}
+	return out
+}

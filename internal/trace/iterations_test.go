@@ -1,0 +1,72 @@
+package trace
+
+import "testing"
+
+func multiIterTrace() *Trace {
+	t := New(0)
+	for k := 0; k < 3; k++ {
+		base := int64(k) * 1000
+		t.Add(Event{Name: "ProfilerStep#" + string(rune('1'+k)), Cat: CatUserAnnotation,
+			Ts: base, Dur: 800, TID: 1})
+		t.Add(Event{Name: "op", Cat: CatCPUOp, Ts: base + 10, Dur: 50, TID: 1})
+		t.Add(Event{Name: "k", Cat: CatKernel, Ts: base + 100, Dur: 500, TID: 7,
+			Correlation: base + 1, Stream: 7})
+	}
+	t.Sort()
+	return t
+}
+
+func TestSplitIterations(t *testing.T) {
+	tr := multiIterTrace()
+	iters := SplitIterations(tr)
+	if len(iters) != 3 {
+		t.Fatalf("got %d iterations", len(iters))
+	}
+	for k, it := range iters {
+		if len(it.Events) != 2 {
+			t.Fatalf("iteration %d has %d events, want 2 (annotation excluded)", k, len(it.Events))
+		}
+		for i := range it.Events {
+			if it.Events[i].Cat == CatUserAnnotation {
+				t.Fatal("annotations must not leak into split traces")
+			}
+		}
+	}
+	// Events outside any step span are dropped.
+	tr2 := multiIterTrace()
+	tr2.Add(Event{Name: "straggler", Cat: CatCPUOp, Ts: 900, Dur: 50, TID: 1})
+	tr2.Sort()
+	its := SplitIterations(tr2)
+	total := 0
+	for _, it := range its {
+		total += len(it.Events)
+	}
+	if total != 6 {
+		t.Fatalf("straggler outside step spans should be dropped, total=%d", total)
+	}
+}
+
+func TestSplitIterationsNoAnnotations(t *testing.T) {
+	tr := New(0)
+	tr.Add(Event{Name: "op", Cat: CatCPUOp, Ts: 0, Dur: 10, TID: 1})
+	iters := SplitIterations(tr)
+	if len(iters) != 1 || iters[0] != tr {
+		t.Fatal("annotation-free trace should be returned whole")
+	}
+}
+
+func TestSplitIterationsMulti(t *testing.T) {
+	m := &Multi{Ranks: []*Trace{multiIterTrace(), multiIterTrace()}}
+	iters := SplitIterationsMulti(m)
+	if len(iters) != 3 {
+		t.Fatalf("got %d iterations", len(iters))
+	}
+	for _, it := range iters {
+		if it.NumRanks() != 2 {
+			t.Fatal("rank count changed")
+		}
+	}
+	if SplitIterationsMulti(&Multi{}) != nil {
+		t.Fatal("empty multi should return nil")
+	}
+}

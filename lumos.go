@@ -1,0 +1,140 @@
+// Package lumos is the public API of the Lumos reproduction: a trace-driven
+// performance modeling and estimation toolkit for large-scale LLM training
+// (Liang et al., MLSys 2025).
+//
+// The package re-exports the toolkit façade and the domain types needed to
+// drive it; subsystem packages live under internal/.
+//
+//	tk := lumos.New(lumos.Options{})
+//	cfg := lumos.DeploymentConfig(lumos.GPT3_15B(), 2, 2, 4) // TP×PP×DP
+//	traces, _ := tk.Profile(cfg, 42)
+//	rep, _ := tk.ReplayTraces(traces)
+//	fmt.Println(rep.Iteration, rep.Breakdown)
+package lumos
+
+import (
+	"fmt"
+
+	"lumos/internal/analysis"
+	"lumos/internal/core"
+	"lumos/internal/execgraph"
+	"lumos/internal/manip"
+	"lumos/internal/model"
+	"lumos/internal/parallel"
+	"lumos/internal/topology"
+	"lumos/internal/trace"
+)
+
+// Core façade.
+type (
+	// Toolkit is a configured Lumos instance.
+	Toolkit = core.Toolkit
+	// Options configures a Toolkit.
+	Options = core.Options
+	// ReplayResult is a simulated execution with derived metrics.
+	ReplayResult = core.ReplayResult
+)
+
+// New returns a toolkit.
+func New(opts Options) *Toolkit { return core.New(opts) }
+
+// Workload and deployment types.
+type (
+	// Arch is a transformer architecture description.
+	Arch = model.Arch
+	// Config is a full training deployment.
+	Config = parallel.Config
+	// Mapping is a 3D-parallel rank layout.
+	Mapping = topology.Mapping
+	// Cluster describes the physical fabric.
+	Cluster = topology.Cluster
+	// Trace is one rank's profiling trace; Multi a distributed run's set.
+	Trace = trace.Trace
+	// Multi is a set of per-rank traces.
+	Multi = trace.Multi
+	// Graph is the task-level execution graph.
+	Graph = execgraph.Graph
+	// Breakdown is the exposed-compute/overlapped/exposed-comm/other
+	// decomposition.
+	Breakdown = analysis.Breakdown
+	// Request describes a graph manipulation (new parallelism or
+	// architecture).
+	Request = manip.Request
+	// PredictResult is a manipulation prediction.
+	PredictResult = manip.Result
+)
+
+// GPT-3 presets from the paper's Table 1 and Table 2.
+func GPT3_15B() Arch  { return model.GPT3_15B() }
+func GPT3_44B() Arch  { return model.GPT3_44B() }
+func GPT3_117B() Arch { return model.GPT3_117B() }
+func GPT3_175B() Arch { return model.GPT3_175B() }
+func GPT3_V1() Arch   { return model.GPT3_V1() }
+func GPT3_V2() Arch   { return model.GPT3_V2() }
+func GPT3_V3() Arch   { return model.GPT3_V3() }
+func GPT3_V4() Arch   { return model.GPT3_V4() }
+
+// DeploymentConfig builds a deployment with paper-like defaults for the
+// given architecture and TP×PP×DP mapping.
+func DeploymentConfig(arch Arch, tp, pp, dp int) (Config, error) {
+	m, err := topology.NewMapping(tp, pp, dp)
+	if err != nil {
+		return Config{}, err
+	}
+	cfg := parallel.DefaultConfig(arch, m)
+	if err := cfg.Validate(); err != nil {
+		return Config{}, fmt.Errorf("lumos: %w", err)
+	}
+	return cfg, nil
+}
+
+// Manipulation constructors (Section 3.4): data-parallel scaling,
+// pipeline-parallel re-staging, simultaneous scaling, and architecture
+// changes. Tensor-parallel changes are rejected, matching the paper.
+func ScaleDP(base Config, dp int) Request           { return manip.ScaleDP(base, dp) }
+func ScalePP(base Config, pp int) Request           { return manip.ScalePP(base, pp) }
+func Scale3D(base Config, pp, dp int) Request       { return manip.Scale3D(base, pp, dp) }
+func ChangeArch(base Config, target Config) Request { return manip.ChangeArch(base, target) }
+
+// Analysis helpers.
+
+// IterationTime returns the distributed iteration time of a trace set.
+func IterationTime(m *Multi) int64 { return analysis.IterationTime(m) }
+
+// RankBreakdown decomposes one rank's execution.
+func RankBreakdown(t *Trace) Breakdown { return analysis.RankBreakdown(t) }
+
+// MultiBreakdown averages per-rank breakdowns.
+func MultiBreakdown(m *Multi) Breakdown { return analysis.MultiBreakdown(m) }
+
+// SMUtilization returns per-window GPU busy fractions (Figure 6).
+func SMUtilization(t *Trace, windowNs int64) []float64 {
+	return analysis.SMUtilization(t, windowNs)
+}
+
+// SaveTraces / LoadTraces persist per-rank Kineto-style JSON.
+func SaveTraces(m *Multi, dir string) error { return core.SaveTraces(m, dir) }
+func LoadTraces(dir string) (*Multi, error) { return core.LoadTraces(dir) }
+
+// H100Cluster returns the paper-like fabric model for n GPUs.
+func H100Cluster(n int) Cluster { return topology.H100Cluster(n) }
+
+// WhatIfScale estimates the makespan if kernels matched by the predicate ran
+// at the given duration factor (Section 5's what-if analysis).
+func WhatIfScale(g *Graph, match func(*execgraph.Task) bool, factor float64) (int64, error) {
+	return analysis.WhatIfScale(g, match, factor)
+}
+
+// FusionReport summarizes an operator-fusion what-if.
+type FusionReport = analysis.FusionReport
+
+// WhatIfFusion estimates the benefit of fusing consecutive elementwise/
+// norm/softmax kernels (the "new operator fusion pattern" scenario from
+// Section 3.4) without implementing the fused kernels.
+func WhatIfFusion(g *Graph) (FusionReport, error) {
+	return analysis.WhatIfFusion(g, analysis.DefaultFusionOpts())
+}
+
+// SplitIterations partitions a multi-iteration profile (ProfilerStep#k
+// annotations) into per-iteration trace sets.
+func SplitIterations(m *Multi) []*Multi { return trace.SplitIterationsMulti(m) }

@@ -1,0 +1,135 @@
+package lumos
+
+import (
+	"testing"
+
+	"lumos/internal/execgraph"
+	"lumos/internal/trace"
+)
+
+// TestPublicAPIEndToEnd drives the whole toolkit through the public facade:
+// profile → persist → reload → graph → replay → dPRO baseline → manipulate
+// → what-if. This is the integration test a downstream user's first session
+// corresponds to.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	tk := New(Options{})
+
+	cfg, err := DeploymentConfig(GPT3_15B(), 2, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Microbatches = 4
+
+	traces, err := tk.Profile(cfg, 123)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recorded := IterationTime(traces)
+	if recorded <= 0 {
+		t.Fatal("no iteration time")
+	}
+
+	// Persistence round trip.
+	dir := t.TempDir()
+	if err := SaveTraces(traces, dir); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadTraces(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Replay from the reloaded traces.
+	rep, err := tk.ReplayTraces(loaded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := float64(rep.Iteration-recorded) / float64(recorded)
+	if rel < -0.02 || rel > 0.02 {
+		t.Fatalf("replay err %.2f%% after persistence round trip", 100*rel)
+	}
+	sum := rep.Breakdown.ExposedCompute + rep.Breakdown.Overlapped +
+		rep.Breakdown.ExposedComm + rep.Breakdown.Other
+	if sum != rep.Breakdown.Total {
+		t.Fatal("breakdown does not partition the iteration")
+	}
+
+	// Baseline comparison.
+	dp, err := tk.ReplayDPRO(loaded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dp.Iteration >= rep.Iteration {
+		t.Fatal("dPRO replay should be optimistic (shorter)")
+	}
+
+	// Manipulation.
+	pred, err := tk.Predict(ScaleDP(cfg, 4), traces)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred.Trace.NumRanks() != 16 {
+		t.Fatalf("scaled world = %d", pred.Trace.NumRanks())
+	}
+
+	// What-if.
+	g, err := tk.BuildGraph(traces)
+	if err != nil {
+		t.Fatal(err)
+	}
+	free, err := WhatIfScale(g, func(tk *execgraph.Task) bool { return tk.Class == trace.KCComm }, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if free >= rep.Iteration {
+		t.Fatal("free communication cannot be slower")
+	}
+}
+
+// TestManipulationScopeMatchesPaper verifies TP-change rejection through
+// the public API.
+func TestManipulationScopeMatchesPaper(t *testing.T) {
+	cfg, err := DeploymentConfig(GPT3_15B(), 2, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := cfg
+	target.Map.TP = 4
+	tk := New(Options{})
+	traces, err := tk.Profile(cfg, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tk.Predict(Request{Base: cfg, Target: target}, traces); err == nil {
+		t.Fatal("tensor-parallel manipulation must be rejected (paper scope)")
+	}
+}
+
+// TestDeploymentConfigValidation covers the public constructor's checks.
+func TestDeploymentConfigValidation(t *testing.T) {
+	if _, err := DeploymentConfig(GPT3_15B(), 0, 1, 1); err == nil {
+		t.Fatal("TP=0 must fail")
+	}
+	if _, err := DeploymentConfig(GPT3_15B(), 2, 5, 1); err == nil {
+		t.Fatal("48 layers over PP=5 must fail")
+	}
+	cfg, err := DeploymentConfig(GPT3_175B(), 8, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Map.WorldSize() != 64 {
+		t.Fatalf("world = %d", cfg.Map.WorldSize())
+	}
+}
+
+// TestPresetAccessors sanity-checks the re-exported presets.
+func TestPresetAccessors(t *testing.T) {
+	for _, a := range []Arch{
+		GPT3_15B(), GPT3_44B(), GPT3_117B(), GPT3_175B(),
+		GPT3_V1(), GPT3_V2(), GPT3_V3(), GPT3_V4(),
+	} {
+		if err := a.Validate(); err != nil {
+			t.Errorf("%s: %v", a.Name, err)
+		}
+	}
+}
