@@ -1,0 +1,23 @@
+GO ?= go
+
+.PHONY: check fmt vet build test bench
+
+# check is the CI gate: formatting, static analysis, full build, tests, and
+# a one-iteration benchmark smoke pass.
+check: fmt vet build test bench
+
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+bench:
+	$(GO) test -run xxx -bench . -benchtime 1x ./...

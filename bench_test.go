@@ -7,6 +7,7 @@
 package lumos
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -416,6 +417,40 @@ func BenchmarkWhatIfFusion(b *testing.B) {
 		speedup = rep.Speedup()
 	}
 	b.ReportMetric(speedup, "fusion-speedup")
+}
+
+// BenchmarkSweep_SharedCalibration measures the campaign hot path: an
+// 8-scenario Evaluate against prepared base state, where every scenario
+// shares one execution graph, kernel library and fitted model. The
+// per-scenario cost is what a sweep service pays per design point.
+func BenchmarkSweep_SharedCalibration(b *testing.B) {
+	ctx := context.Background()
+	tk := New(WithConcurrency(4))
+	cfg, err := DeploymentConfig(GPT3_15B(), 2, 2, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg.Microbatches = 4
+	base, err := tk.Prepare(ctx, cfg, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	scenarios := append(GridSweep(GPT3_15B(), []int{2}, []int{1, 2}, []int{1, 2}),
+		BaselineScenario(),
+		ArchScenario(GPT3_V1()),
+		ClassScaleScenario(KCGEMM, 0.5),
+		FusionScenario(),
+	)
+	b.ResetTimer()
+	var feasible int
+	for i := 0; i < b.N; i++ {
+		sweep, err := tk.EvaluateState(ctx, base, scenarios...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		feasible = len(sweep.Top(len(scenarios)))
+	}
+	b.ReportMetric(float64(feasible), "feasible-scenarios")
 }
 
 // BenchmarkMultiIterationProfile measures the multi-step profiling window

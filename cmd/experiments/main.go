@@ -17,6 +17,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -24,6 +25,7 @@ import (
 	"strings"
 	"time"
 
+	"lumos"
 	"lumos/internal/analysis"
 	"lumos/internal/cluster"
 	"lumos/internal/dpro"
@@ -400,74 +402,75 @@ func fig7Base() (parallel.Config, *trace.Multi) {
 	return base, simulate(base, *seed)
 }
 
-// predictAndCompare runs a manipulation prediction and the target's actual
-// simulation, producing a comparison row.
-func predictAndCompare(label string, req manip.Request, profiled *trace.Multi, seedOffset uint64) metrics.Row {
-	world := req.Target.Map.WorldSize()
-	if b := req.Base.Map.WorldSize(); b > world {
-		world = b
-	}
-	topo := topology.H100Cluster(world)
-	pred, err := manip.Predict(req, profiled, topo)
+// sweepAndCompare evaluates scenarios as one campaign through the public
+// Scenario/Sweep API — the base profile is shared, the kernel library and
+// fitted model are built once — and validates every ranked prediction
+// against a fresh ground-truth simulation of its target.
+func sweepAndCompare(title string, scenarios []lumos.Scenario, seedOffset uint64) {
+	base, profiled := fig7Base()
+	tk := lumos.New()
+	sweep, err := tk.EvaluateTraces(context.Background(), base, profiled, scenarios...)
 	if err != nil {
-		panic(fmt.Sprintf("%s: %v", label, err))
+		panic(fmt.Sprintf("%s: %v", title, err))
 	}
-	actual := simulate(req.Target, *seed+2000+seedOffset)
-	row := metrics.Row{
-		Label:    label,
-		Actual:   analysis.IterationTime(actual),
-		Lumos:    pred.Iteration,
-		ActualBD: analysis.MultiBreakdown(actual),
-		LumosBD:  analysis.MultiBreakdown(pred.Trace),
+	t := &metrics.Table{Title: title}
+	for i, r := range sweep.Results {
+		if !r.Feasible() {
+			fmt.Printf("# %s: infeasible: %s\n", r.Name, r.Err)
+			continue
+		}
+		logf("%s: world=%d predicted %.1fms (rank %d)", r.Name, r.World, analysis.Millis(r.Iteration), i+1)
+		actual := simulate(r.Target, *seed+2000+seedOffset+uint64(i))
+		t.Add(metrics.Row{
+			Label:    r.Name,
+			Actual:   analysis.IterationTime(actual),
+			Lumos:    r.Iteration,
+			ActualBD: analysis.MultiBreakdown(actual),
+			LumosBD:  r.Breakdown,
+		})
+		runtime.GC()
 	}
-	runtime.GC()
-	return row
+	fmt.Println(t.String())
+	fmt.Println(t.BreakdownString())
 }
 
 func fig7a() {
 	fmt.Println("=== Figure 7a: scaling data parallelism (baseline 2x2x4) ===")
-	base, profiled := fig7Base()
-	t := &metrics.Table{Title: "DP scale-out prediction"}
 	dps := []int{8, 16, 32}
 	if *quick {
 		dps = []int{8}
 	}
-	for i, dp := range dps {
-		t.Add(predictAndCompare(fmt.Sprintf("2x2x%d", dp), manip.ScaleDP(base, dp), profiled, uint64(i)))
+	var scenarios []lumos.Scenario
+	for _, dp := range dps {
+		scenarios = append(scenarios, lumos.ScaleDPScenario(dp))
 	}
-	fmt.Println(t.String())
-	fmt.Println(t.BreakdownString())
+	sweepAndCompare("DP scale-out prediction", scenarios, 0)
 }
 
 func fig7b() {
 	fmt.Println("=== Figure 7b: scaling pipeline parallelism (baseline 2x2x4) ===")
-	base, profiled := fig7Base()
-	t := &metrics.Table{Title: "PP scale-out prediction"}
 	pps := []int{4, 8, 16}
 	if *quick {
 		pps = []int{4}
 	}
-	for i, pp := range pps {
-		t.Add(predictAndCompare(fmt.Sprintf("2x%dx4", pp), manip.ScalePP(base, pp), profiled, 10+uint64(i)))
+	var scenarios []lumos.Scenario
+	for _, pp := range pps {
+		scenarios = append(scenarios, lumos.ScalePPScenario(pp))
 	}
-	fmt.Println(t.String())
-	fmt.Println(t.BreakdownString())
+	sweepAndCompare("PP scale-out prediction", scenarios, 10)
 }
 
 func fig7c() {
 	fmt.Println("=== Figure 7c: simultaneous DP and PP scaling (baseline 2x2x4) ===")
-	base, profiled := fig7Base()
-	t := &metrics.Table{Title: "DP+PP scale-out prediction"}
 	targets := [][2]int{{4, 8}, {8, 8}, {4, 16}} // (PP, DP)
 	if *quick {
 		targets = [][2]int{{4, 8}}
 	}
-	for i, tg := range targets {
-		t.Add(predictAndCompare(fmt.Sprintf("2x%dx%d", tg[0], tg[1]),
-			manip.Scale3D(base, tg[0], tg[1]), profiled, 20+uint64(i)))
+	var scenarios []lumos.Scenario
+	for _, tg := range targets {
+		scenarios = append(scenarios, lumos.Scale3DScenario(tg[0], tg[1]))
 	}
-	fmt.Println(t.String())
-	fmt.Println(t.BreakdownString())
+	sweepAndCompare("DP+PP scale-out prediction", scenarios, 20)
 }
 
 // ---------------------------------------------------------------------------
@@ -475,19 +478,15 @@ func fig7c() {
 
 func fig8() {
 	fmt.Println("=== Figure 8: architecture variants (baseline GPT-3 15B 2x2x4) ===")
-	base, profiled := fig7Base()
-	t := &metrics.Table{Title: "architecture-change prediction"}
 	variants := []model.Arch{model.GPT3_V1(), model.GPT3_V2(), model.GPT3_V3(), model.GPT3_V4()}
 	if *quick {
 		variants = variants[:2]
 	}
-	for i, v := range variants {
-		target := base
-		target.Arch = v
-		t.Add(predictAndCompare(v.Name, manip.ChangeArch(base, target), profiled, 30+uint64(i)))
+	var scenarios []lumos.Scenario
+	for _, v := range variants {
+		scenarios = append(scenarios, lumos.ArchScenario(v))
 	}
-	fmt.Println(t.String())
-	fmt.Println(t.BreakdownString())
+	sweepAndCompare("architecture-change prediction", scenarios, 30)
 }
 
 // ---------------------------------------------------------------------------

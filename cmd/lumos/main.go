@@ -18,24 +18,37 @@
 //	lumos whatif    -in traces/ -class gemm -factor 0.5
 //	    estimate the iteration time if all kernels of a class ran at the
 //	    given duration factor
+//	lumos sweep     -model 15b -tp 2 -pp 2 -dp 4 -mb 8 [-in traces/] \
+//	                [-pp-range 2,4,8] [-dp-range 4,8,16] [-arch v1,v2,v3,v4] \
+//	                [-whatif] [-top 10] [-workers 0]
+//	    profile the base deployment once (or reuse -in traces), then
+//	    evaluate a whole what-if campaign — a TP×PP×DP grid, architecture
+//	    variants and kernel counterfactuals — concurrently against shared
+//	    calibration, printing results ranked by predicted iteration time
+//
+// All subcommands honor Ctrl-C: the context is canceled and in-flight
+// sweeps stop.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"lumos"
 	"lumos/internal/analysis"
-	"lumos/internal/execgraph"
-	"lumos/internal/model"
 	"lumos/internal/replay"
 )
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: lumos <tracegen|replay|breakdown|smutil|predict|whatif> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: lumos <tracegen|replay|breakdown|smutil|predict|whatif|sweep> [flags]")
 	os.Exit(2)
 }
 
@@ -43,21 +56,26 @@ func main() {
 	if len(os.Args) < 2 {
 		usage()
 	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	cmd, args := os.Args[1], os.Args[2:]
 	var err error
 	switch cmd {
 	case "tracegen":
-		err = cmdTracegen(args)
+		err = cmdTracegen(ctx, args)
 	case "replay":
-		err = cmdReplay(args)
+		err = cmdReplay(ctx, args)
 	case "breakdown":
 		err = cmdBreakdown(args)
 	case "smutil":
 		err = cmdSMUtil(args)
 	case "predict":
-		err = cmdPredict(args)
+		err = cmdPredict(ctx, args)
 	case "whatif":
-		err = cmdWhatIf(args)
+		err = cmdWhatIf(ctx, args)
+	case "sweep":
+		err = cmdSweep(ctx, args)
 	default:
 		usage()
 	}
@@ -67,29 +85,29 @@ func main() {
 	}
 }
 
-func archByName(name string) (model.Arch, error) {
+func archByName(name string) (lumos.Arch, error) {
 	switch strings.ToLower(name) {
 	case "15b":
-		return model.GPT3_15B(), nil
+		return lumos.GPT3_15B(), nil
 	case "44b":
-		return model.GPT3_44B(), nil
+		return lumos.GPT3_44B(), nil
 	case "117b":
-		return model.GPT3_117B(), nil
+		return lumos.GPT3_117B(), nil
 	case "175b":
-		return model.GPT3_175B(), nil
+		return lumos.GPT3_175B(), nil
 	case "v1":
-		return model.GPT3_V1(), nil
+		return lumos.GPT3_V1(), nil
 	case "v2":
-		return model.GPT3_V2(), nil
+		return lumos.GPT3_V2(), nil
 	case "v3":
-		return model.GPT3_V3(), nil
+		return lumos.GPT3_V3(), nil
 	case "v4":
-		return model.GPT3_V4(), nil
+		return lumos.GPT3_V4(), nil
 	}
-	return model.Arch{}, fmt.Errorf("unknown model %q (want 15b|44b|117b|175b|v1..v4)", name)
+	return lumos.Arch{}, fmt.Errorf("unknown model %q (want 15b|44b|117b|175b|v1..v4)", name)
 }
 
-// deployFlags registers the deployment flag set shared by tracegen/predict.
+// deployFlags registers the deployment flag set shared by tracegen/predict/sweep.
 func deployFlags(fs *flag.FlagSet) (mdl *string, tp, pp, dp, mb *int, seed *uint64) {
 	mdl = fs.String("model", "15b", "architecture preset")
 	tp = fs.Int("tp", 2, "tensor parallelism")
@@ -113,7 +131,7 @@ func buildConfig(mdl string, tp, pp, dp, mb int) (lumos.Config, error) {
 	return cfg, nil
 }
 
-func cmdTracegen(args []string) error {
+func cmdTracegen(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("tracegen", flag.ExitOnError)
 	mdl, tp, pp, dp, mb, seed := deployFlags(fs)
 	out := fs.String("out", "traces", "output directory for rank_<N>.json")
@@ -123,9 +141,9 @@ func cmdTracegen(args []string) error {
 	if err != nil {
 		return err
 	}
-	tk := lumos.New(lumos.Options{})
+	tk := lumos.New()
 	t0 := time.Now()
-	traces, err := tk.Profile(cfg, *seed)
+	traces, err := tk.Profile(ctx, cfg, *seed)
 	if err != nil {
 		return err
 	}
@@ -138,7 +156,7 @@ func cmdTracegen(args []string) error {
 	return nil
 }
 
-func cmdReplay(args []string) error {
+func cmdReplay(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("replay", flag.ExitOnError)
 	in := fs.String("in", "traces", "trace directory")
 	baseline := fs.String("baseline", "", "also replay with a baseline: dpro")
@@ -148,15 +166,15 @@ func cmdReplay(args []string) error {
 	if err != nil {
 		return err
 	}
-	tk := lumos.New(lumos.Options{})
-	rep, err := tk.ReplayTraces(traces)
+	tk := lumos.New()
+	rep, err := tk.ReplayTraces(ctx, traces)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("recorded: %.1fms\n", analysis.Millis(lumos.IterationTime(traces)))
 	fmt.Printf("lumos:    %.1fms  %v\n", analysis.Millis(rep.Iteration), rep.Breakdown)
 	if *baseline == "dpro" {
-		dp, err := tk.ReplayDPRO(traces)
+		dp, err := tk.ReplayDPRO(ctx, traces)
 		if err != nil {
 			return err
 		}
@@ -206,7 +224,7 @@ func cmdSMUtil(args []string) error {
 	return nil
 }
 
-func cmdPredict(args []string) error {
+func cmdPredict(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("predict", flag.ExitOnError)
 	mdl, tp, pp, dp, mb, _ := deployFlags(fs)
 	in := fs.String("in", "traces", "profiled trace directory (collected under the base config)")
@@ -237,8 +255,8 @@ func cmdPredict(args []string) error {
 		}
 		target.Arch = arch
 	}
-	tk := lumos.New(lumos.Options{})
-	pred, err := tk.Predict(lumos.Request{Base: base, Target: target}, traces)
+	tk := lumos.New()
+	pred, err := tk.Predict(ctx, lumos.Request{Base: base, Target: target}, traces)
 	if err != nil {
 		return err
 	}
@@ -252,7 +270,7 @@ func cmdPredict(args []string) error {
 	return nil
 }
 
-func cmdWhatIf(args []string) error {
+func cmdWhatIf(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("whatif", flag.ExitOnError)
 	in := fs.String("in", "traces", "trace directory")
 	class := fs.String("class", "gemm", "kernel class to scale (gemm|attention|comm|norm|elementwise|optimizer)")
@@ -264,8 +282,8 @@ func cmdWhatIf(args []string) error {
 	if err != nil {
 		return err
 	}
-	tk := lumos.New(lumos.Options{})
-	g, err := tk.BuildGraph(traces)
+	tk := lumos.New()
+	g, err := tk.BuildGraph(ctx, traces)
 	if err != nil {
 		return err
 	}
@@ -284,7 +302,7 @@ func cmdWhatIf(args []string) error {
 		return err
 	}
 	want := strings.ToLower(*class)
-	match := func(t *execgraph.Task) bool { return t.Class.String() == want }
+	match := func(t *lumos.Task) bool { return t.Class.String() == want }
 	scaled, err := lumos.WhatIfScale(g, match, *factor)
 	if err != nil {
 		return err
@@ -294,4 +312,162 @@ func cmdWhatIf(args []string) error {
 		want, *factor, analysis.Millis(scaled),
 		100*(float64(scaled)-float64(baseRep.Makespan))/float64(baseRep.Makespan))
 	return nil
+}
+
+// parseIntList parses "2,4,8" into []int.
+func parseIntList(s string) ([]int, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad list element %q: %w", part, err)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func cmdSweep(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
+	mdl, tp, pp, dp, mb, seed := deployFlags(fs)
+	in := fs.String("in", "", "profiled trace directory of the base config (empty = profile now)")
+	tpRange := fs.String("tp-range", "", "comma-separated TP grid (default: base TP)")
+	ppRange := fs.String("pp-range", "", "comma-separated PP grid")
+	dpRange := fs.String("dp-range", "", "comma-separated DP grid")
+	archList := fs.String("arch", "", "comma-separated architecture variants (e.g. v1,v2,v3,v4)")
+	whatIf := fs.Bool("whatif", false, "include kernel counterfactuals (2x GEMM/attention/comm, operator fusion)")
+	top := fs.Int("top", 10, "print only the K best-ranked scenarios (0 = all)")
+	workers := fs.Int("workers", 0, "sweep worker pool size (0 = auto)")
+	fs.Parse(args)
+
+	base, err := buildConfig(*mdl, *tp, *pp, *dp, *mb)
+	if err != nil {
+		return err
+	}
+	tps, err := parseIntList(*tpRange)
+	if err != nil {
+		return err
+	}
+	if tps == nil {
+		tps = []int{base.Map.TP}
+	}
+	pps, err := parseIntList(*ppRange)
+	if err != nil {
+		return err
+	}
+	if pps == nil {
+		pps = []int{base.Map.PP}
+	}
+	dps, err := parseIntList(*dpRange)
+	if err != nil {
+		return err
+	}
+	if dps == nil {
+		dps = []int{base.Map.DP}
+	}
+
+	scenarios := []lumos.Scenario{lumos.BaselineScenario()}
+	scenarios = append(scenarios, lumos.GridSweep(base.Arch, tps, pps, dps)...)
+	if *archList != "" {
+		for _, name := range strings.Split(*archList, ",") {
+			arch, err := archByName(strings.TrimSpace(name))
+			if err != nil {
+				return err
+			}
+			scenarios = append(scenarios, lumos.ArchScenario(arch))
+		}
+	}
+	if *whatIf {
+		scenarios = append(scenarios,
+			lumos.ClassScaleScenario(lumos.KCGEMM, 0.5),
+			lumos.ClassScaleScenario(lumos.KCAttention, 0.5),
+			lumos.ClassScaleScenario(lumos.KCComm, 0.5),
+			lumos.FusionScenario(),
+		)
+	}
+
+	tk := lumos.New(lumos.WithConcurrency(*workers), lumos.WithSeed(*seed))
+	t0 := time.Now()
+	var sweep *lumos.SweepResult
+	if *in != "" {
+		traces, err := lumos.LoadTraces(*in)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("base %s %dx%dx%d: %d profiled ranks loaded from %s\n", base.Arch.Name,
+			base.Map.TP, base.Map.PP, base.Map.DP, traces.NumRanks(), *in)
+		sweep, err = tk.EvaluateTraces(ctx, base, traces, scenarios...)
+		if err != nil {
+			return sweepErr(err)
+		}
+	} else {
+		fmt.Printf("base %s %dx%dx%d: profiling %d GPUs (seed %d)...\n", base.Arch.Name,
+			base.Map.TP, base.Map.PP, base.Map.DP, base.Map.WorldSize(), *seed)
+		sweep, err = tk.Evaluate(ctx, base, scenarios...)
+		if err != nil {
+			return sweepErr(err)
+		}
+	}
+
+	fmt.Printf("base iteration %.1fms; %d scenarios evaluated in %v (profile-once, shared calibration)\n\n",
+		analysis.Millis(sweep.Base.Iteration), len(sweep.Results), time.Since(t0).Round(time.Millisecond))
+
+	results := sweep.Results
+	if *top > 0 {
+		ranked := sweep.Top(*top)
+		// Keep infeasible points visible below the cut so campaigns over
+		// mixed grids explain themselves.
+		infeasible := results[len(results)-countInfeasible(results):]
+		results = append(append([]lumos.ScenarioResult{}, ranked...), infeasible...)
+	}
+	fmt.Printf("%4s  %-24s %-13s %6s %12s %9s %9s  %s\n",
+		"rank", "scenario", "kind", "gpus", "pred/iter", "speedup", "Δcost", "notes")
+	rank := 1
+	for _, r := range results {
+		if !r.Feasible() {
+			fmt.Printf("%4s  %-24s %-13s %6s %12s %9s %9s  infeasible: %s\n",
+				"-", clip(r.Name, 24), r.Kind, "-", "-", "-", "-", r.Err)
+			continue
+		}
+		notes := r.Detail
+		if r.LibraryHits+r.LibraryMisses > 0 {
+			notes = fmt.Sprintf("%d kernels measured, %d modeled", r.LibraryHits, r.LibraryMisses)
+		}
+		fmt.Printf("%4d  %-24s %-13s %6d %10.1fms %8.2fx %+8.1f%%  %s\n",
+			rank, clip(r.Name, 24), r.Kind, r.World, analysis.Millis(r.Iteration),
+			r.Speedup, 100*r.CostDelta, notes)
+		rank++
+	}
+	if best, ok := sweep.Best(); ok {
+		fmt.Printf("\nbest: %s — %.1fms/iter (%.2fx vs base)\n",
+			best.Name, analysis.Millis(best.Iteration), best.Speedup)
+	}
+	return nil
+}
+
+func countInfeasible(results []lumos.ScenarioResult) int {
+	n := 0
+	for _, r := range results {
+		if !r.Feasible() {
+			n++
+		}
+	}
+	return n
+}
+
+func sweepErr(err error) error {
+	if errors.Is(err, context.Canceled) {
+		return fmt.Errorf("sweep canceled")
+	}
+	return err
+}
+
+func clip(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-1] + "…"
 }

@@ -1,24 +1,25 @@
 // Archsearch: the Figure-8 workflow plus the discussion section's what-if
-// analysis — starting from one profile of the GPT-3 15B baseline, sweep
-// architecture variants (more layers, wider hidden/FFN) by graph
-// manipulation, and ask counterfactuals ("what if GEMMs were 2x faster?",
-// "what if communication were free?") on the baseline graph.
+// analysis, expressed as one campaign — starting from one profile of the
+// GPT-3 15B baseline, sweep architecture variants (more layers, wider
+// hidden/FFN) and kernel counterfactuals ("what if GEMMs were 2x faster?",
+// "what if communication were free?") concurrently, ranked by predicted
+// iteration time.
 //
 //	go run ./examples/archsearch
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
 	"lumos"
 	"lumos/internal/analysis"
-	"lumos/internal/execgraph"
-	"lumos/internal/trace"
 )
 
 func main() {
-	tk := lumos.New(lumos.Options{})
+	ctx := context.Background()
+	tk := lumos.New(lumos.WithSeed(42))
 
 	base, err := lumos.DeploymentConfig(lumos.GPT3_15B(), 2, 2, 4)
 	if err != nil {
@@ -26,68 +27,40 @@ func main() {
 	}
 	base.Microbatches = 8
 
-	fmt.Println("profiling GPT-3 15B baseline (2x2x4)...")
-	profiled, err := tk.Profile(base, 42)
+	// One campaign: the baseline, four Table-2 architecture variants, five
+	// kernel-level counterfactuals, and the operator-fusion estimate. The
+	// base is profiled once; every scenario shares its execution graph and
+	// kernel library.
+	scenarios := []lumos.Scenario{
+		lumos.BaselineScenario(),
+		lumos.ArchScenario(lumos.GPT3_V1()),
+		lumos.ArchScenario(lumos.GPT3_V2()),
+		lumos.ArchScenario(lumos.GPT3_V3()),
+		lumos.ArchScenario(lumos.GPT3_V4()),
+		lumos.ClassScaleScenario(lumos.KCGEMM, 0.5),
+		lumos.ClassScaleScenario(lumos.KCAttention, 0.5),
+		lumos.ClassScaleScenario(lumos.KCComm, 0.5),
+		lumos.KernelScaleScenario("layernorm fused away",
+			func(t *lumos.Task) bool { return t.Class == lumos.KCNorm }, 0),
+		lumos.KernelScaleScenario("optimizer 4x faster",
+			func(t *lumos.Task) bool { return t.Class == lumos.KCOptimizer }, 0.25),
+		lumos.FusionScenario(),
+	}
+
+	fmt.Println("profiling GPT-3 15B baseline (2x2x4) and sweeping the design space...")
+	sweep, err := tk.Evaluate(ctx, base, scenarios...)
 	if err != nil {
 		log.Fatal(err)
 	}
-	baseIter := lumos.IterationTime(profiled)
-	fmt.Printf("baseline: %.1f ms/iteration\n\n", analysis.Millis(baseIter))
+	fmt.Printf("baseline: %.1f ms/iteration\n\n", analysis.Millis(sweep.Base.Iteration))
 
-	// --- Architecture sweep (Table 2 variants) -------------------------
-	fmt.Println("architecture sweep (predicted from the single baseline profile):")
-	fmt.Printf("%-10s %8s %8s %8s %14s %14s\n", "variant", "layers", "hidden", "ffn", "pred ms/iter", "vs baseline")
-	for _, v := range []lumos.Arch{
-		lumos.GPT3_V1(), lumos.GPT3_V2(), lumos.GPT3_V3(), lumos.GPT3_V4(),
-	} {
-		target := base
-		target.Arch = v
-		pred, err := tk.Predict(lumos.ChangeArch(base, target), profiled)
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("%-10s %8d %8d %8d %12.1f   %+12.1f%%\n",
-			v.Name, v.Layers, v.Hidden, v.FFN, analysis.Millis(pred.Iteration),
-			100*(float64(pred.Iteration)-float64(baseIter))/float64(baseIter))
+	fmt.Printf("%4s  %-24s %-13s %12s %12s  %s\n", "rank", "scenario", "kind", "pred ms/iter", "vs baseline", "detail")
+	for i, r := range sweep.Results {
+		delta := 100 * (float64(r.Iteration) - float64(sweep.Base.Iteration)) / float64(sweep.Base.Iteration)
+		fmt.Printf("%4d  %-24s %-13s %12.1f %+11.1f%%  %s\n",
+			i+1, r.Name, r.Kind, analysis.Millis(r.Iteration), delta, r.Detail)
 	}
 
-	// --- What-if analysis on the baseline graph ------------------------
-	g, err := tk.BuildGraph(profiled)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Println("\nwhat-if analysis (which optimization pays off most?):")
-	scenarios := []struct {
-		name   string
-		match  func(*execgraph.Task) bool
-		factor float64
-	}{
-		{"GEMM kernels 2x faster", classIs(trace.KCGEMM), 0.5},
-		{"attention 2x faster", classIs(trace.KCAttention), 0.5},
-		{"all communication 2x faster", classIs(trace.KCComm), 0.5},
-		{"layernorm fused away", classIs(trace.KCNorm), 0.0},
-		{"optimizer 4x faster", classIs(trace.KCOptimizer), 0.25},
-	}
-	for _, sc := range scenarios {
-		iter, err := lumos.WhatIfScale(g, sc.match, sc.factor)
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("  %-30s → %8.1f ms (%+.1f%%)\n", sc.name,
-			analysis.Millis(iter), 100*(float64(iter)-float64(baseIter))/float64(baseIter))
-	}
-	// Operator fusion, the paper's Section 3.4 motivating what-if.
-	fus, err := lumos.WhatIfFusion(g)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("  %-30s → %8.1f ms (%d kernels fused away)\n",
-		"fuse elementwise/norm chains", analysis.Millis(fus.Fused), fus.KernelsRemoved)
-
-	fmt.Println("\nThe counterfactuals ran in milliseconds each — no kernels were")
+	fmt.Println("\nThe whole campaign ran from a single profile — no kernels were")
 	fmt.Println("implemented or deployed, matching the paper's discussion (§5).")
-}
-
-func classIs(c trace.KernelClass) func(*execgraph.Task) bool {
-	return func(t *execgraph.Task) bool { return t.Class == c }
 }

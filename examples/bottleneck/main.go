@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sort"
@@ -19,7 +20,8 @@ import (
 )
 
 func main() {
-	tk := lumos.New(lumos.Options{})
+	ctx := context.Background()
+	tk := lumos.New()
 
 	cfg, err := lumos.DeploymentConfig(lumos.GPT3_15B(), 2, 4, 2)
 	if err != nil {
@@ -28,7 +30,7 @@ func main() {
 	cfg.Microbatches = 8
 
 	fmt.Println("profiling GPT-3 15B at 2x4x2 (16 GPUs)...")
-	traces, err := tk.Profile(cfg, 42)
+	traces, err := tk.Profile(ctx, cfg, 42)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -78,7 +80,7 @@ func main() {
 		mean(u), busy, idle, len(u))
 
 	// --- Critical path through the replayed schedule ---------------------
-	g, err := tk.BuildGraph(traces)
+	g, err := tk.BuildGraph(ctx, traces)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -14,7 +15,8 @@ import (
 )
 
 func main() {
-	tk := lumos.New(lumos.Options{})
+	ctx := context.Background()
+	tk := lumos.New()
 
 	// 1. Describe the deployment: architecture + TP×PP×DP.
 	cfg, err := lumos.DeploymentConfig(lumos.GPT3_15B(), 2, 2, 4)
@@ -25,7 +27,7 @@ func main() {
 
 	// 2. "Collect" traces: one simulated iteration plays the role of a
 	// PyTorch Kineto profile from a real cluster.
-	traces, err := tk.Profile(cfg, 42)
+	traces, err := tk.Profile(ctx, cfg, 42)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -33,7 +35,7 @@ func main() {
 		traces.NumRanks(), traces.Events(), analysis.Millis(lumos.IterationTime(traces)))
 
 	// 3. Build the execution graph (CPU/GPU tasks + 4 dependency types).
-	g, err := tk.BuildGraph(traces)
+	g, err := tk.BuildGraph(ctx, traces)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -42,7 +44,7 @@ func main() {
 		st.Tasks, st.CPUTasks, st.GPUTasks, st.Edges, st.Groups)
 
 	// 4. Replay it with the simulator (Algorithm 1).
-	rep, err := tk.Replay(g)
+	rep, err := tk.Replay(ctx, g)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -51,7 +53,7 @@ func main() {
 
 	// 5. The same traces replayed under dPRO's assumptions show why
 	// inter-stream dependencies matter.
-	dp, err := tk.ReplayDPRO(traces)
+	dp, err := tk.ReplayDPRO(ctx, traces)
 	if err != nil {
 		log.Fatal(err)
 	}

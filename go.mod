@@ -1,0 +1,3 @@
+module lumos
+
+go 1.24

@@ -5,18 +5,24 @@
 //
 // Typical use:
 //
-//	tk := core.New(core.Options{})
-//	traces, _ := tk.Profile(cfg, 42)              // or load Kineto JSON
-//	g, _ := tk.BuildGraph(traces)
-//	rep, _ := tk.Replay(g)                        // replayed execution
-//	pred, _ := tk.Predict(manip.ScaleDP(cfg, 32), traces)
+//	tk := core.New(core.WithCluster(topology.H100Cluster(64)))
+//	traces, _ := tk.Profile(ctx, cfg, 42)         // or load Kineto JSON
+//	g, _ := tk.BuildGraph(ctx, traces)
+//	rep, _ := tk.Replay(ctx, g)                   // replayed execution
+//	sweep, _ := tk.Evaluate(ctx, cfg, scenarios...) // profile-once campaign
 package core
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync/atomic"
 
 	"lumos/internal/analysis"
 	"lumos/internal/cluster"
@@ -29,7 +35,9 @@ import (
 	"lumos/internal/trace"
 )
 
-// Options configures a toolkit instance.
+// Options carries a toolkit's resolved configuration. Construct toolkits
+// with New and functional options; Options remains exported for the
+// deprecated NewFromOptions shim and for introspection.
 type Options struct {
 	// Cluster is the fabric model used for profiling and prediction.
 	// The zero value selects an H100 cluster sized on demand.
@@ -38,15 +46,94 @@ type Options struct {
 	Graph *execgraph.BuildOptions
 	// Replay overrides simulation options.
 	Replay *replay.Options
+	// Concurrency bounds the sweep worker pool. Zero selects
+	// min(GOMAXPROCS, 8).
+	Concurrency int
+	// Seed is the profiling seed Evaluate uses when it collects the base
+	// profile itself.
+	Seed uint64
 }
 
-// Toolkit is a configured Lumos instance.
+// Option configures a Toolkit.
+type Option func(*Options)
+
+// WithCluster sets the fabric model used for profiling and prediction.
+func WithCluster(c topology.Cluster) Option {
+	return func(o *Options) { o.Cluster = c }
+}
+
+// WithGraphOptions overrides execution-graph construction options.
+func WithGraphOptions(g execgraph.BuildOptions) Option {
+	return func(o *Options) { o.Graph = &g }
+}
+
+// WithReplayOptions overrides simulation options.
+func WithReplayOptions(r replay.Options) Option {
+	return func(o *Options) { o.Replay = &r }
+}
+
+// WithConcurrency bounds the number of scenarios evaluated in parallel
+// during a sweep. n <= 0 restores the default.
+func WithConcurrency(n int) Option {
+	return func(o *Options) { o.Concurrency = n }
+}
+
+// WithSeed sets the profiling seed Evaluate uses for the base profile.
+func WithSeed(seed uint64) Option {
+	return func(o *Options) { o.Seed = seed }
+}
+
+// Toolkit is a configured Lumos instance. It is safe for concurrent use.
 type Toolkit struct {
 	opts Options
+
+	// profiles and libraryBuilds count substrate runs and kernel-library
+	// calibrations, so tests can verify that sweeps share one profile and
+	// one calibration across all scenarios.
+	profiles      atomic.Int64
+	libraryBuilds atomic.Int64
 }
 
-// New returns a toolkit.
-func New(opts Options) *Toolkit { return &Toolkit{opts: opts} }
+// New returns a toolkit configured by the given options.
+func New(opts ...Option) *Toolkit {
+	o := Options{Seed: 42}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return &Toolkit{opts: o}
+}
+
+// NewFromOptions returns a toolkit from a literal Options value.
+//
+// Deprecated: use New with functional options (WithCluster,
+// WithGraphOptions, WithReplayOptions, WithConcurrency, WithSeed).
+func NewFromOptions(o Options) *Toolkit {
+	if o.Seed == 0 {
+		o.Seed = 42
+	}
+	return &Toolkit{opts: o}
+}
+
+// Counters reports how many ground-truth profiles and kernel-library
+// calibrations this toolkit has performed.
+func (tk *Toolkit) Counters() (profiles, libraryBuilds int64) {
+	return tk.profiles.Load(), tk.libraryBuilds.Load()
+}
+
+// concurrency resolves the sweep worker-pool bound.
+func (tk *Toolkit) concurrency() int {
+	if n := tk.opts.Concurrency; n > 0 {
+		return n
+	}
+	n := runtime.GOMAXPROCS(0)
+	if n > 8 {
+		n = 8
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
 
 // clusterFor returns the fabric model, sized to at least world GPUs.
 func (tk *Toolkit) clusterFor(world int) topology.Cluster {
@@ -77,7 +164,11 @@ func (tk *Toolkit) replayOpts() replay.Options {
 // Profile runs one training iteration of the deployment on the ground-truth
 // cluster simulator (the stand-in for a real cluster + PyTorch Kineto) and
 // returns per-rank traces. Different seeds are different iterations.
-func (tk *Toolkit) Profile(cfg parallel.Config, seed uint64) (*trace.Multi, error) {
+func (tk *Toolkit) Profile(ctx context.Context, cfg parallel.Config, seed uint64) (*trace.Multi, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	tk.profiles.Add(1)
 	world := cfg.Map.WorldSize()
 	simCfg := cluster.DefaultSimConfig(world, seed)
 	simCfg.Cluster = tk.clusterFor(world)
@@ -87,7 +178,11 @@ func (tk *Toolkit) Profile(cfg parallel.Config, seed uint64) (*trace.Multi, erro
 // ProfileN runs n consecutive iterations (the paper's "a single
 // iteration — or just a few" profiling window) and returns merged traces
 // with per-iteration ProfilerStep annotations.
-func (tk *Toolkit) ProfileN(cfg parallel.Config, seed uint64, n int) (*trace.Multi, error) {
+func (tk *Toolkit) ProfileN(ctx context.Context, cfg parallel.Config, seed uint64, n int) (*trace.Multi, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	tk.profiles.Add(1)
 	world := cfg.Map.WorldSize()
 	simCfg := cluster.DefaultSimConfig(world, seed)
 	simCfg.Cluster = tk.clusterFor(world)
@@ -95,7 +190,10 @@ func (tk *Toolkit) ProfileN(cfg parallel.Config, seed uint64, n int) (*trace.Mul
 }
 
 // BuildGraph constructs the execution graph from traces (Section 3.3).
-func (tk *Toolkit) BuildGraph(m *trace.Multi) (*execgraph.Graph, error) {
+func (tk *Toolkit) BuildGraph(ctx context.Context, m *trace.Multi) (*execgraph.Graph, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	return execgraph.Build(m, tk.graphOpts())
 }
 
@@ -111,7 +209,10 @@ type ReplayResult struct {
 }
 
 // Replay simulates an execution graph (Section 3.5, Algorithm 1).
-func (tk *Toolkit) Replay(g *execgraph.Graph) (*ReplayResult, error) {
+func (tk *Toolkit) Replay(ctx context.Context, g *execgraph.Graph) (*ReplayResult, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	res, err := replay.Run(g, tk.replayOpts())
 	if err != nil {
 		return nil, err
@@ -125,18 +226,21 @@ func (tk *Toolkit) Replay(g *execgraph.Graph) (*ReplayResult, error) {
 	}, nil
 }
 
-// ReplayTraces is Profile→BuildGraph→Replay composed over existing traces.
-func (tk *Toolkit) ReplayTraces(m *trace.Multi) (*ReplayResult, error) {
-	g, err := tk.BuildGraph(m)
+// ReplayTraces is BuildGraph→Replay composed over existing traces.
+func (tk *Toolkit) ReplayTraces(ctx context.Context, m *trace.Multi) (*ReplayResult, error) {
+	g, err := tk.BuildGraph(ctx, m)
 	if err != nil {
 		return nil, err
 	}
-	return tk.Replay(g)
+	return tk.Replay(ctx, g)
 }
 
 // ReplayDPRO replays the traces with the dPRO baseline's modeling
 // assumptions, for comparison.
-func (tk *Toolkit) ReplayDPRO(m *trace.Multi) (*ReplayResult, error) {
+func (tk *Toolkit) ReplayDPRO(ctx context.Context, m *trace.Multi) (*ReplayResult, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	g, err := dpro.Build(m)
 	if err != nil {
 		return nil, err
@@ -155,12 +259,18 @@ func (tk *Toolkit) ReplayDPRO(m *trace.Multi) (*ReplayResult, error) {
 }
 
 // Predict manipulates the profiled execution into the requested target
-// configuration and simulates it (Section 3.4).
-func (tk *Toolkit) Predict(req manip.Request, profiled *trace.Multi) (*manip.Result, error) {
+// configuration and simulates it (Section 3.4). One-shot calibration: for
+// repeated predictions from the same profile, use Evaluate, which builds
+// the kernel library once and shares it across scenarios.
+func (tk *Toolkit) Predict(ctx context.Context, req manip.Request, profiled *trace.Multi) (*manip.Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	world := req.Target.Map.WorldSize()
 	if base := req.Base.Map.WorldSize(); base > world {
 		world = base
 	}
+	tk.libraryBuilds.Add(1)
 	return manip.Predict(req, profiled, tk.clusterFor(world))
 }
 
@@ -186,27 +296,46 @@ func SaveTraces(m *trace.Multi, dir string) error {
 	return nil
 }
 
-// LoadTraces reads rank_<N>.json files from dir until a rank is missing.
+// LoadTraces reads every rank_<N>.json in dir, sorted by rank. Gaps in the
+// rank numbering are tolerated: the trace set is whatever ranks are
+// present, not the contiguous prefix starting at 0.
 func LoadTraces(dir string) (*trace.Multi, error) {
-	var ranks []*trace.Trace
-	for r := 0; ; r++ {
-		f, err := os.Open(filepath.Join(dir, fmt.Sprintf("rank_%d.json", r)))
+	paths, err := filepath.Glob(filepath.Join(dir, "rank_*.json"))
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	type rankFile struct {
+		rank int
+		path string
+	}
+	var files []rankFile
+	for _, p := range paths {
+		name := filepath.Base(p)
+		numeral := strings.TrimSuffix(strings.TrimPrefix(name, "rank_"), ".json")
+		r, err := strconv.Atoi(numeral)
+		if err != nil || r < 0 {
+			continue // not a rank trace (e.g. rank_meta.json)
+		}
+		files = append(files, rankFile{rank: r, path: p})
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("core: no rank_*.json traces in %s", dir)
+	}
+	sort.Slice(files, func(i, j int) bool { return files[i].rank < files[j].rank })
+
+	ranks := make([]*trace.Trace, 0, len(files))
+	for _, rf := range files {
+		f, err := os.Open(rf.path)
 		if err != nil {
-			if os.IsNotExist(err) {
-				break
-			}
 			return nil, err
 		}
 		t, err := trace.DecodeJSON(f)
 		f.Close()
 		if err != nil {
-			return nil, fmt.Errorf("core: rank %d: %w", r, err)
+			return nil, fmt.Errorf("core: rank %d: %w", rf.rank, err)
 		}
-		t.Rank = r
+		t.Rank = rf.rank
 		ranks = append(ranks, t)
-	}
-	if len(ranks) == 0 {
-		return nil, fmt.Errorf("core: no rank_*.json traces in %s", dir)
 	}
 	return &trace.Multi{Ranks: ranks}, nil
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"testing"
@@ -23,21 +24,22 @@ func testConfig(t *testing.T) parallel.Config {
 }
 
 func TestEndToEndWorkflow(t *testing.T) {
-	tk := New(Options{})
+	ctx := context.Background()
+	tk := New()
 	cfg := testConfig(t)
 
-	traces, err := tk.Profile(cfg, 7)
+	traces, err := tk.Profile(ctx, cfg, 7)
 	if err != nil {
 		t.Fatal(err)
 	}
-	g, err := tk.BuildGraph(traces)
+	g, err := tk.BuildGraph(ctx, traces)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if err := g.Validate(); err != nil {
 		t.Fatal(err)
 	}
-	rep, err := tk.Replay(g)
+	rep, err := tk.Replay(ctx, g)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -52,7 +54,7 @@ func TestEndToEndWorkflow(t *testing.T) {
 	if rep.Breakdown.Total <= 0 {
 		t.Fatal("no breakdown")
 	}
-	dp, err := tk.ReplayDPRO(traces)
+	dp, err := tk.ReplayDPRO(ctx, traces)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -62,13 +64,14 @@ func TestEndToEndWorkflow(t *testing.T) {
 }
 
 func TestReplayTracesShortcut(t *testing.T) {
-	tk := New(Options{})
+	ctx := context.Background()
+	tk := New()
 	cfg := testConfig(t)
-	traces, err := tk.Profile(cfg, 9)
+	traces, err := tk.Profile(ctx, cfg, 9)
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep, err := tk.ReplayTraces(traces)
+	rep, err := tk.ReplayTraces(ctx, traces)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,13 +81,14 @@ func TestReplayTracesShortcut(t *testing.T) {
 }
 
 func TestPredictViaToolkit(t *testing.T) {
-	tk := New(Options{})
+	ctx := context.Background()
+	tk := New()
 	cfg := testConfig(t)
-	traces, err := tk.Profile(cfg, 11)
+	traces, err := tk.Profile(ctx, cfg, 11)
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := tk.Predict(manip.ScaleDP(cfg, 2), traces)
+	res, err := tk.Predict(ctx, manip.ScaleDP(cfg, 2), traces)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,10 +97,37 @@ func TestPredictViaToolkit(t *testing.T) {
 	}
 }
 
-func TestSaveLoadTraces(t *testing.T) {
-	tk := New(Options{})
+func TestContextCancellationShortCircuits(t *testing.T) {
+	tk := New()
 	cfg := testConfig(t)
-	traces, err := tk.Profile(cfg, 13)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := tk.Profile(ctx, cfg, 1); err != context.Canceled {
+		t.Fatalf("Profile: err = %v, want context.Canceled", err)
+	}
+	if _, err := tk.BuildGraph(ctx, nil); err != context.Canceled {
+		t.Fatalf("BuildGraph: err = %v, want context.Canceled", err)
+	}
+	if _, err := tk.Predict(ctx, manip.ScaleDP(cfg, 2), nil); err != context.Canceled {
+		t.Fatalf("Predict: err = %v, want context.Canceled", err)
+	}
+}
+
+func TestNewFromOptionsShim(t *testing.T) {
+	tk := NewFromOptions(Options{Concurrency: 3})
+	if got := tk.concurrency(); got != 3 {
+		t.Fatalf("concurrency = %d, want 3", got)
+	}
+	if tk.opts.Seed == 0 {
+		t.Fatal("shim must default the sweep seed")
+	}
+}
+
+func TestSaveLoadTraces(t *testing.T) {
+	ctx := context.Background()
+	tk := New()
+	cfg := testConfig(t)
+	traces, err := tk.Profile(ctx, cfg, 13)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -115,16 +146,62 @@ func TestSaveLoadTraces(t *testing.T) {
 		t.Fatalf("events %d != %d", loaded.Events(), traces.Events())
 	}
 	// A replay of the persisted traces must agree with the in-memory one.
-	a, err := tk.ReplayTraces(traces)
+	a, err := tk.ReplayTraces(ctx, traces)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := tk.ReplayTraces(loaded)
+	b, err := tk.ReplayTraces(ctx, loaded)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if a.Iteration != b.Iteration {
 		t.Fatalf("persisted replay %d != in-memory %d", b.Iteration, a.Iteration)
+	}
+}
+
+// TestLoadTracesGappedRanks exercises the glob-based loader: a gap in the
+// rank numbering (e.g. one rank's trace lost in transfer) must not silently
+// truncate the set to the contiguous prefix.
+func TestLoadTracesGappedRanks(t *testing.T) {
+	ctx := context.Background()
+	tk := New()
+	cfg := testConfig(t) // 4 ranks
+	traces, err := tk.Profile(ctx, cfg, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(t.TempDir(), "traces")
+	if err := SaveTraces(traces, dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(filepath.Join(dir, "rank_1.json")); err != nil {
+		t.Fatal(err)
+	}
+	// A stray non-rank file must be ignored, not break parsing.
+	if err := os.WriteFile(filepath.Join(dir, "rank_meta.json"), []byte("{}"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadTraces(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.NumRanks() != traces.NumRanks()-1 {
+		t.Fatalf("loaded %d ranks, want %d (gap must not truncate)", loaded.NumRanks(), traces.NumRanks()-1)
+	}
+	want := []int{0, 2, 3}
+	for i, tr := range loaded.Ranks {
+		if tr.Rank != want[i] {
+			t.Fatalf("rank order %v at %d, want %v", tr.Rank, i, want[i])
+		}
+	}
+	// The gapped set must stay usable end to end: graph construction sizes
+	// rank-indexed state by the highest rank present, not the trace count.
+	rep, err := tk.ReplayTraces(ctx, loaded)
+	if err != nil {
+		t.Fatalf("replaying gapped trace set: %v", err)
+	}
+	if rep.Iteration <= 0 {
+		t.Fatal("no iteration time from gapped trace set")
 	}
 }
 

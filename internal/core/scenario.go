@@ -1,0 +1,493 @@
+// Scenario/Sweep engine: the profile-once, predict-many campaign API.
+//
+// The paper's core value proposition is cheap what-if exploration: collect
+// one profile, then predict many alternative deployments without touching a
+// cluster. A Scenario is one point in that design space — a new parallelism
+// mapping, a new architecture, or a kernel-level counterfactual — and
+// Evaluate fans a whole campaign of them out over a bounded worker pool
+// against shared calibration state (one graph, one kernel library, one
+// fitted model), returning deterministic results ranked by predicted
+// iteration time.
+package core
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+
+	"lumos/internal/analysis"
+	"lumos/internal/execgraph"
+	"lumos/internal/kernelmodel"
+	"lumos/internal/manip"
+	"lumos/internal/model"
+	"lumos/internal/parallel"
+	"lumos/internal/topology"
+	"lumos/internal/trace"
+)
+
+// BaseState is the shared, read-only state of a sweep: the base deployment,
+// its profiled traces, the execution graph and replayed baseline, and the
+// calibration artifacts every scenario prices kernels against. It is built
+// once per campaign (Prepare / PrepareTraces) and may be reused across
+// multiple Evaluate calls; scenarios must treat it as immutable.
+type BaseState struct {
+	// Config is the deployment the traces were collected under.
+	Config parallel.Config
+	// Traces is the base profile.
+	Traces *trace.Multi
+	// Graph is the execution graph built from the profile.
+	Graph *execgraph.Graph
+	// Iteration is the replayed base iteration time; scenario speedups are
+	// relative to it.
+	Iteration trace.Dur
+	// Breakdown is the replayed base execution breakdown.
+	Breakdown analysis.Breakdown
+	// Library holds measured kernel durations from the profile.
+	Library *manip.Library
+	// Fitted is the trace-fitted kernel performance model for kernels the
+	// library cannot price.
+	Fitted *kernelmodel.Fitted
+	// Cluster is the fabric model calibration was performed against.
+	Cluster topology.Cluster
+}
+
+// ScenarioResult is the structured outcome of one evaluated scenario.
+type ScenarioResult struct {
+	// Name identifies the scenario within its sweep.
+	Name string
+	// Kind classifies the scenario: "baseline", "deploy", "arch",
+	// "whatif-scale" or "whatif-fusion".
+	Kind string
+	// Target is the deployment the scenario describes. For what-if
+	// scenarios it equals the base deployment.
+	Target parallel.Config
+	// World is the number of GPUs the target occupies.
+	World int
+	// Iteration is the predicted per-iteration time.
+	Iteration trace.Dur
+	// Breakdown decomposes the predicted execution (zero for what-if
+	// scenarios, which only re-time the base graph).
+	Breakdown analysis.Breakdown
+	// Speedup is base iteration / predicted iteration (>1 is faster).
+	Speedup float64
+	// CostDelta is the relative change in GPU-seconds per iteration vs the
+	// base (+0.5 means the scenario costs 50% more GPU time per step).
+	CostDelta float64
+	// LibraryHits/LibraryMisses report how many kernels reused measured
+	// durations vs were priced by the fitted model (deploy scenarios only).
+	LibraryHits, LibraryMisses int
+	// Detail is an optional scenario-specific annotation.
+	Detail string
+	// Err is non-empty when the scenario is infeasible (e.g. a
+	// tensor-parallel change, which the paper's manipulation scope
+	// rejects) or failed; infeasible scenarios rank last.
+	Err string
+}
+
+// Feasible reports whether the scenario produced a prediction.
+func (r ScenarioResult) Feasible() bool { return r.Err == "" }
+
+// Scenario is one point in a what-if campaign. Implementations must be safe
+// for concurrent use and must not mutate the BaseState.
+type Scenario interface {
+	// Name identifies the scenario in ranked output.
+	Name() string
+	// Run evaluates the scenario against the shared base state.
+	Run(ctx context.Context, base *BaseState) (ScenarioResult, error)
+}
+
+// --- Scenario implementations ---------------------------------------------
+
+// deployScenario predicts a manipulated deployment via the shared library.
+type deployScenario struct {
+	name      string
+	kind      string
+	transform func(parallel.Config) parallel.Config
+}
+
+func (s *deployScenario) Name() string { return s.name }
+
+func (s *deployScenario) Run(_ context.Context, b *BaseState) (ScenarioResult, error) {
+	target := s.transform(b.Config)
+	res := ScenarioResult{
+		Name:   s.name,
+		Kind:   s.kind,
+		Target: target,
+		World:  target.Map.WorldSize(),
+	}
+	req := manip.Request{Base: b.Config, Target: target}
+	if err := req.Validate(); err != nil {
+		res.Err = err.Error()
+		return res, nil
+	}
+	out, err := manip.PredictWith(req, b.Library, b.Fitted, b.Cluster)
+	if err != nil {
+		res.Err = err.Error()
+		return res, nil
+	}
+	res.Iteration = out.Iteration
+	res.Breakdown = analysis.MultiBreakdown(out.Trace)
+	res.LibraryHits = out.LibraryHits
+	res.LibraryMisses = out.LibraryMisses
+	return res, nil
+}
+
+// DeployScenario wraps a config transform as a scenario: the target
+// deployment is derived from the sweep's base at evaluation time, so one
+// scenario value can be evaluated against different bases.
+func DeployScenario(name string, transform func(parallel.Config) parallel.Config) Scenario {
+	return &deployScenario{name: name, kind: "deploy", transform: transform}
+}
+
+// ScaleDPScenario scales data parallelism to dp (Section 3.4).
+func ScaleDPScenario(dp int) Scenario {
+	return &deployScenario{
+		name: fmt.Sprintf("dp=%d", dp),
+		kind: "deploy",
+		transform: func(base parallel.Config) parallel.Config {
+			return manip.ScaleDP(base, dp).Target
+		},
+	}
+}
+
+// ScalePPScenario re-stages the pipeline to pp stages (Section 3.4).
+func ScalePPScenario(pp int) Scenario {
+	return &deployScenario{
+		name: fmt.Sprintf("pp=%d", pp),
+		kind: "deploy",
+		transform: func(base parallel.Config) parallel.Config {
+			return manip.ScalePP(base, pp).Target
+		},
+	}
+}
+
+// Scale3DScenario changes PP and DP simultaneously (Section 3.4).
+func Scale3DScenario(pp, dp int) Scenario {
+	return &deployScenario{
+		name: fmt.Sprintf("pp=%d,dp=%d", pp, dp),
+		kind: "deploy",
+		transform: func(base parallel.Config) parallel.Config {
+			return manip.Scale3D(base, pp, dp).Target
+		},
+	}
+}
+
+// DeploymentScenario targets an explicit TP×PP×DP mapping (and optionally a
+// different architecture) while keeping the base's other knobs. TP changes
+// are detected at evaluation time and reported as infeasible, matching the
+// paper's manipulation scope.
+func DeploymentScenario(arch model.Arch, tp, pp, dp int) Scenario {
+	return &deployScenario{
+		name: fmt.Sprintf("%s %dx%dx%d", arch.Name, tp, pp, dp),
+		kind: "deploy",
+		transform: func(base parallel.Config) parallel.Config {
+			target := base
+			target.Arch = arch
+			target.Map = topology.Mapping{TP: tp, PP: pp, DP: dp}
+			return target
+		},
+	}
+}
+
+// ArchScenario replaces the architecture while keeping the deployment.
+func ArchScenario(arch model.Arch) Scenario {
+	return &deployScenario{
+		name: fmt.Sprintf("arch=%s", arch.Name),
+		kind: "arch",
+		transform: func(base parallel.Config) parallel.Config {
+			target := base
+			target.Arch = arch
+			return target
+		},
+	}
+}
+
+// kernelScaleScenario re-times matched kernels on the base graph.
+type kernelScaleScenario struct {
+	name   string
+	match  func(*execgraph.Task) bool
+	factor float64
+}
+
+func (s *kernelScaleScenario) Name() string { return s.name }
+
+func (s *kernelScaleScenario) Run(_ context.Context, b *BaseState) (ScenarioResult, error) {
+	res := ScenarioResult{
+		Name:   s.name,
+		Kind:   "whatif-scale",
+		Target: b.Config,
+		World:  b.Config.Map.WorldSize(),
+	}
+	iter, err := analysis.WhatIfScale(b.Graph, s.match, s.factor)
+	if err != nil {
+		res.Err = err.Error()
+		return res, nil
+	}
+	res.Iteration = iter
+	res.Detail = fmt.Sprintf("matched kernels scaled x%.2f", s.factor)
+	return res, nil
+}
+
+// KernelScaleScenario estimates the makespan if kernels matched by the
+// predicate ran at the given duration factor (Section 5's what-if analysis).
+func KernelScaleScenario(name string, match func(*execgraph.Task) bool, factor float64) Scenario {
+	return &kernelScaleScenario{name: name, match: match, factor: factor}
+}
+
+// ClassScaleScenario is KernelScaleScenario for one kernel class.
+func ClassScaleScenario(class trace.KernelClass, factor float64) Scenario {
+	return &kernelScaleScenario{
+		name:   fmt.Sprintf("%s x%.2f", class, factor),
+		match:  func(t *execgraph.Task) bool { return t.Class == class },
+		factor: factor,
+	}
+}
+
+// fusionScenario estimates the operator-fusion counterfactual.
+type fusionScenario struct {
+	name string
+	opts analysis.FusionOpts
+}
+
+func (s *fusionScenario) Name() string { return s.name }
+
+func (s *fusionScenario) Run(_ context.Context, b *BaseState) (ScenarioResult, error) {
+	res := ScenarioResult{
+		Name:   s.name,
+		Kind:   "whatif-fusion",
+		Target: b.Config,
+		World:  b.Config.Map.WorldSize(),
+	}
+	rep, err := analysis.WhatIfFusion(b.Graph, s.opts)
+	if err != nil {
+		res.Err = err.Error()
+		return res, nil
+	}
+	res.Iteration = rep.Fused
+	res.Detail = fmt.Sprintf("%d kernel runs merged, %d kernels removed", rep.FusedGroups, rep.KernelsRemoved)
+	return res, nil
+}
+
+// FusionScenario estimates the benefit of fusing consecutive elementwise/
+// norm/softmax kernels (the "new operator fusion pattern" scenario from
+// Section 3.4) without implementing the fused kernels.
+func FusionScenario() Scenario {
+	return &fusionScenario{name: "fuse elementwise/norm", opts: analysis.DefaultFusionOpts()}
+}
+
+// baselineScenario reports the base point itself, so it appears in rankings.
+type baselineScenario struct{}
+
+func (baselineScenario) Name() string { return "baseline" }
+
+func (baselineScenario) Run(_ context.Context, b *BaseState) (ScenarioResult, error) {
+	return ScenarioResult{
+		Name:      "baseline",
+		Kind:      "baseline",
+		Target:    b.Config,
+		World:     b.Config.Map.WorldSize(),
+		Iteration: b.Iteration,
+		Breakdown: b.Breakdown,
+	}, nil
+}
+
+// BaselineScenario ranks the base deployment alongside its alternatives.
+func BaselineScenario() Scenario { return baselineScenario{} }
+
+// --- Sweep engine ----------------------------------------------------------
+
+// SweepResult is a completed campaign: the base point plus every scenario,
+// ranked by predicted iteration time (fastest first, infeasible last).
+type SweepResult struct {
+	// Base is the replayed base point the scenarios are relative to.
+	Base ScenarioResult
+	// Results holds every scenario outcome in rank order.
+	Results []ScenarioResult
+}
+
+// Top returns the k best-ranked feasible results.
+func (s *SweepResult) Top(k int) []ScenarioResult {
+	n := 0
+	for n < len(s.Results) && s.Results[n].Feasible() {
+		n++
+	}
+	if k > n {
+		k = n
+	}
+	return s.Results[:k]
+}
+
+// Best returns the top-ranked feasible result.
+func (s *SweepResult) Best() (ScenarioResult, bool) {
+	if len(s.Results) == 0 || !s.Results[0].Feasible() {
+		return ScenarioResult{}, false
+	}
+	return s.Results[0], true
+}
+
+// Prepare profiles the base deployment once and builds the shared campaign
+// state: execution graph, replayed baseline, kernel library and fitted
+// kernel model.
+func (tk *Toolkit) Prepare(ctx context.Context, cfg parallel.Config, seed uint64) (*BaseState, error) {
+	traces, err := tk.Profile(ctx, cfg, seed)
+	if err != nil {
+		return nil, err
+	}
+	return tk.PrepareTraces(ctx, cfg, traces)
+}
+
+// PrepareTraces builds the shared campaign state from an existing profile
+// (e.g. loaded Kineto JSON) of the base deployment.
+func (tk *Toolkit) PrepareTraces(ctx context.Context, cfg parallel.Config, m *trace.Multi) (*BaseState, error) {
+	g, err := tk.BuildGraph(ctx, m)
+	if err != nil {
+		return nil, err
+	}
+	rep, err := tk.Replay(ctx, g)
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	c := tk.clusterFor(cfg.Map.WorldSize())
+	tk.libraryBuilds.Add(1)
+	lib := manip.BuildLibrary(m, c)
+	fitted, err := kernelmodel.Fit([]*trace.Multi{m}, c, kernelmodel.NewOracle(c))
+	if err != nil {
+		return nil, fmt.Errorf("core: fitting kernel model: %w", err)
+	}
+	return &BaseState{
+		Config:    cfg,
+		Traces:    m,
+		Graph:     g,
+		Iteration: rep.Iteration,
+		Breakdown: rep.Breakdown,
+		Library:   lib,
+		Fitted:    fitted,
+		Cluster:   c,
+	}, nil
+}
+
+// Evaluate runs a what-if campaign: profile the base deployment once (with
+// the toolkit's seed), build the graph and kernel library once, then
+// evaluate every scenario against that shared state over a bounded worker
+// pool. Results are deterministic and independent of the worker count.
+func (tk *Toolkit) Evaluate(ctx context.Context, base parallel.Config, scenarios ...Scenario) (*SweepResult, error) {
+	st, err := tk.Prepare(ctx, base, tk.opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+	return tk.EvaluateState(ctx, st, scenarios...)
+}
+
+// EvaluateTraces is Evaluate over an already-collected base profile.
+func (tk *Toolkit) EvaluateTraces(ctx context.Context, base parallel.Config, m *trace.Multi, scenarios ...Scenario) (*SweepResult, error) {
+	st, err := tk.PrepareTraces(ctx, base, m)
+	if err != nil {
+		return nil, err
+	}
+	return tk.EvaluateState(ctx, st, scenarios...)
+}
+
+// EvaluateState fans scenarios out over the worker pool against prepared
+// base state. The state may be reused across calls.
+func (tk *Toolkit) EvaluateState(ctx context.Context, base *BaseState, scenarios ...Scenario) (*SweepResult, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	results := make([]ScenarioResult, len(scenarios))
+	workers := tk.concurrency()
+	if workers > len(scenarios) {
+		workers = len(scenarios)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				results[i] = runScenario(ctx, scenarios[i], base)
+			}
+		}()
+	}
+dispatch:
+	for i := range scenarios {
+		select {
+		case idx <- i:
+		case <-ctx.Done():
+			break dispatch
+		}
+	}
+	close(idx)
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	baseCost := float64(base.Config.Map.WorldSize()) * float64(base.Iteration)
+	for i := range results {
+		r := &results[i]
+		if !r.Feasible() || r.Iteration <= 0 {
+			continue
+		}
+		r.Speedup = float64(base.Iteration) / float64(r.Iteration)
+		if baseCost > 0 {
+			r.CostDelta = float64(r.World)*float64(r.Iteration)/baseCost - 1
+		}
+	}
+	rank(results)
+	return &SweepResult{
+		Base: ScenarioResult{
+			Name:      "base",
+			Kind:      "baseline",
+			Target:    base.Config,
+			World:     base.Config.Map.WorldSize(),
+			Iteration: base.Iteration,
+			Breakdown: base.Breakdown,
+			Speedup:   1,
+		},
+		Results: results,
+	}, nil
+}
+
+// runScenario evaluates one scenario, converting panics-free hard errors
+// into infeasible results so a single bad point cannot sink the campaign.
+func runScenario(ctx context.Context, sc Scenario, base *BaseState) ScenarioResult {
+	if err := ctx.Err(); err != nil {
+		return ScenarioResult{Name: sc.Name(), Err: err.Error()}
+	}
+	res, err := sc.Run(ctx, base)
+	if err != nil {
+		return ScenarioResult{Name: sc.Name(), Err: err.Error()}
+	}
+	if res.Name == "" {
+		res.Name = sc.Name()
+	}
+	return res
+}
+
+// rank orders results fastest-first with name tiebreaks; infeasible
+// scenarios sort last by name. The order is a pure function of the result
+// set, so sweeps are deterministic under any worker count.
+func rank(results []ScenarioResult) {
+	sort.SliceStable(results, func(i, j int) bool {
+		a, b := results[i], results[j]
+		if a.Feasible() != b.Feasible() {
+			return a.Feasible()
+		}
+		if !a.Feasible() {
+			return a.Name < b.Name
+		}
+		if a.Iteration != b.Iteration {
+			return a.Iteration < b.Iteration
+		}
+		return a.Name < b.Name
+	})
+}

@@ -61,9 +61,18 @@ type kernRef struct {
 	launchAt trace.Time
 }
 
-// Build constructs the execution graph from per-rank traces.
+// Build constructs the execution graph from per-rank traces. Rank-indexed
+// state is sized by the highest rank number present, not the trace count,
+// so a set with gaps in its rank numbering (e.g. one rank's trace lost)
+// still builds and replays.
 func Build(m *trace.Multi, opts BuildOptions) (*Graph, error) {
-	g := NewGraph(m.NumRanks())
+	numRanks := 0
+	for _, t := range m.Ranks {
+		if t.Rank+1 > numRanks {
+			numRanks = t.Rank + 1
+		}
+	}
+	g := NewGraph(numRanks)
 	g.Tasks = make([]Task, 0, m.Events())
 	for _, t := range m.Ranks {
 		if err := buildRank(g, t, opts); err != nil {

@@ -2,14 +2,33 @@
 // performance modeling and estimation toolkit for large-scale LLM training
 // (Liang et al., MLSys 2025).
 //
-// The package re-exports the toolkit façade and the domain types needed to
-// drive it; subsystem packages live under internal/.
+// The workflow is profile-once, sweep-many: collect (or simulate) one
+// profiled iteration of a base deployment, then explore the design space —
+// other data/pipeline-parallel degrees, other architectures, kernel-level
+// counterfactuals — as a campaign of Scenarios evaluated concurrently
+// against shared calibration state:
 //
-//	tk := lumos.New(lumos.Options{})
-//	cfg := lumos.DeploymentConfig(lumos.GPT3_15B(), 2, 2, 4) // TP×PP×DP
-//	traces, _ := tk.Profile(cfg, 42)
-//	rep, _ := tk.ReplayTraces(traces)
-//	fmt.Println(rep.Iteration, rep.Breakdown)
+//	tk := lumos.New(lumos.WithConcurrency(8))
+//	cfg, _ := lumos.DeploymentConfig(lumos.GPT3_15B(), 2, 2, 4) // TP×PP×DP
+//	sweep, _ := tk.Evaluate(ctx, cfg,
+//		lumos.BaselineScenario(),
+//		lumos.ScaleDPScenario(8),
+//		lumos.ScalePPScenario(4),
+//		lumos.ArchScenario(lumos.GPT3_V3()),
+//		lumos.ClassScaleScenario(lumos.KCGEMM, 0.5),
+//		lumos.FusionScenario(),
+//	)
+//	for _, r := range sweep.Top(3) {
+//		fmt.Println(r.Name, r.Iteration, r.Speedup)
+//	}
+//
+// The base is profiled once and the kernel library and fitted kernel model
+// are built once; every scenario shares them, so campaigns are both the
+// idiomatic and the fast path. GridSweep enumerates whole TP×PP×DP grids.
+// Single-shot entry points (Profile, BuildGraph, Replay, Predict) remain
+// for step-by-step use and all accept a context for cancellation.
+//
+// Subsystem packages live under internal/.
 package lumos
 
 import (
@@ -21,22 +40,39 @@ import (
 	"lumos/internal/manip"
 	"lumos/internal/model"
 	"lumos/internal/parallel"
+	"lumos/internal/replay"
 	"lumos/internal/topology"
 	"lumos/internal/trace"
 )
 
 // Core façade.
 type (
-	// Toolkit is a configured Lumos instance.
+	// Toolkit is a configured Lumos instance, safe for concurrent use.
 	Toolkit = core.Toolkit
-	// Options configures a Toolkit.
-	Options = core.Options
+	// Option configures a Toolkit (see With*).
+	Option = core.Option
 	// ReplayResult is a simulated execution with derived metrics.
 	ReplayResult = core.ReplayResult
 )
 
-// New returns a toolkit.
-func New(opts Options) *Toolkit { return core.New(opts) }
+// New returns a toolkit configured by the given options.
+func New(opts ...Option) *Toolkit { return core.New(opts...) }
+
+// WithCluster sets the fabric model used for profiling and prediction.
+func WithCluster(c Cluster) Option { return core.WithCluster(c) }
+
+// WithGraphOptions overrides execution-graph construction options.
+func WithGraphOptions(g execgraph.BuildOptions) Option { return core.WithGraphOptions(g) }
+
+// WithReplayOptions overrides simulation options.
+func WithReplayOptions(r replay.Options) Option { return core.WithReplayOptions(r) }
+
+// WithConcurrency bounds the number of scenarios evaluated in parallel
+// during a sweep.
+func WithConcurrency(n int) Option { return core.WithConcurrency(n) }
+
+// WithSeed sets the profiling seed Evaluate uses for the base profile.
+func WithSeed(seed uint64) Option { return core.WithSeed(seed) }
 
 // Workload and deployment types.
 type (
@@ -54,6 +90,10 @@ type (
 	Multi = trace.Multi
 	// Graph is the task-level execution graph.
 	Graph = execgraph.Graph
+	// Task is one node of the execution graph.
+	Task = execgraph.Task
+	// KernelClass classifies GPU kernels (KCGEMM, KCComm, ...).
+	KernelClass = trace.KernelClass
 	// Breakdown is the exposed-compute/overlapped/exposed-comm/other
 	// decomposition.
 	Breakdown = analysis.Breakdown
@@ -62,6 +102,18 @@ type (
 	Request = manip.Request
 	// PredictResult is a manipulation prediction.
 	PredictResult = manip.Result
+)
+
+// Kernel classes, re-exported for scenario predicates.
+const (
+	KCGEMM        = trace.KCGEMM
+	KCAttention   = trace.KCAttention
+	KCElementwise = trace.KCElementwise
+	KCNorm        = trace.KCNorm
+	KCSoftmax     = trace.KCSoftmax
+	KCOptimizer   = trace.KCOptimizer
+	KCEmbedding   = trace.KCEmbedding
+	KCComm        = trace.KCComm
 )
 
 // GPT-3 presets from the paper's Table 1 and Table 2.
@@ -88,14 +140,6 @@ func DeploymentConfig(arch Arch, tp, pp, dp int) (Config, error) {
 	return cfg, nil
 }
 
-// Manipulation constructors (Section 3.4): data-parallel scaling,
-// pipeline-parallel re-staging, simultaneous scaling, and architecture
-// changes. Tensor-parallel changes are rejected, matching the paper.
-func ScaleDP(base Config, dp int) Request           { return manip.ScaleDP(base, dp) }
-func ScalePP(base Config, pp int) Request           { return manip.ScalePP(base, pp) }
-func Scale3D(base Config, pp, dp int) Request       { return manip.Scale3D(base, pp, dp) }
-func ChangeArch(base Config, target Config) Request { return manip.ChangeArch(base, target) }
-
 // Analysis helpers.
 
 // IterationTime returns the distributed iteration time of a trace set.
@@ -119,22 +163,63 @@ func LoadTraces(dir string) (*Multi, error) { return core.LoadTraces(dir) }
 // H100Cluster returns the paper-like fabric model for n GPUs.
 func H100Cluster(n int) Cluster { return topology.H100Cluster(n) }
 
-// WhatIfScale estimates the makespan if kernels matched by the predicate ran
-// at the given duration factor (Section 5's what-if analysis).
-func WhatIfScale(g *Graph, match func(*execgraph.Task) bool, factor float64) (int64, error) {
-	return analysis.WhatIfScale(g, match, factor)
-}
-
 // FusionReport summarizes an operator-fusion what-if.
 type FusionReport = analysis.FusionReport
-
-// WhatIfFusion estimates the benefit of fusing consecutive elementwise/
-// norm/softmax kernels (the "new operator fusion pattern" scenario from
-// Section 3.4) without implementing the fused kernels.
-func WhatIfFusion(g *Graph) (FusionReport, error) {
-	return analysis.WhatIfFusion(g, analysis.DefaultFusionOpts())
-}
 
 // SplitIterations partitions a multi-iteration profile (ProfilerStep#k
 // annotations) into per-iteration trace sets.
 func SplitIterations(m *Multi) []*Multi { return trace.SplitIterationsMulti(m) }
+
+// --- Deprecated shims -------------------------------------------------------
+//
+// The pre-campaign API built manipulation Requests and ran what-if analyses
+// as disjoint free functions, one prediction per call with no shared
+// calibration. They remain as thin shims; new code should express the same
+// intents as Scenarios and evaluate them with Toolkit.Evaluate.
+
+// Options configures a Toolkit as a literal struct.
+//
+// Deprecated: use New with functional options.
+type Options = core.Options
+
+// NewFromOptions returns a toolkit from a literal Options value.
+//
+// Deprecated: use New with functional options.
+func NewFromOptions(o Options) *Toolkit { return core.NewFromOptions(o) }
+
+// ScaleDP returns a Request scaling only data parallelism.
+//
+// Deprecated: use ScaleDPScenario with Toolkit.Evaluate.
+func ScaleDP(base Config, dp int) Request { return manip.ScaleDP(base, dp) }
+
+// ScalePP returns a Request scaling pipeline parallelism.
+//
+// Deprecated: use ScalePPScenario with Toolkit.Evaluate.
+func ScalePP(base Config, pp int) Request { return manip.ScalePP(base, pp) }
+
+// Scale3D returns a Request changing PP and DP simultaneously.
+//
+// Deprecated: use Scale3DScenario with Toolkit.Evaluate.
+func Scale3D(base Config, pp, dp int) Request { return manip.Scale3D(base, pp, dp) }
+
+// ChangeArch returns a Request replacing the architecture.
+//
+// Deprecated: use ArchScenario with Toolkit.Evaluate.
+func ChangeArch(base Config, target Config) Request { return manip.ChangeArch(base, target) }
+
+// WhatIfScale estimates the makespan if kernels matched by the predicate ran
+// at the given duration factor.
+//
+// Deprecated: use KernelScaleScenario or ClassScaleScenario with
+// Toolkit.Evaluate.
+func WhatIfScale(g *Graph, match func(*Task) bool, factor float64) (int64, error) {
+	return analysis.WhatIfScale(g, match, factor)
+}
+
+// WhatIfFusion estimates the benefit of fusing consecutive elementwise/
+// norm/softmax kernels.
+//
+// Deprecated: use FusionScenario with Toolkit.Evaluate.
+func WhatIfFusion(g *Graph) (FusionReport, error) {
+	return analysis.WhatIfFusion(g, analysis.DefaultFusionOpts())
+}

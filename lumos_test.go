@@ -1,10 +1,8 @@
 package lumos
 
 import (
+	"context"
 	"testing"
-
-	"lumos/internal/execgraph"
-	"lumos/internal/trace"
 )
 
 // TestPublicAPIEndToEnd drives the whole toolkit through the public facade:
@@ -12,7 +10,8 @@ import (
 // → what-if. This is the integration test a downstream user's first session
 // corresponds to.
 func TestPublicAPIEndToEnd(t *testing.T) {
-	tk := New(Options{})
+	ctx := context.Background()
+	tk := New()
 
 	cfg, err := DeploymentConfig(GPT3_15B(), 2, 2, 2)
 	if err != nil {
@@ -20,7 +19,7 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 	}
 	cfg.Microbatches = 4
 
-	traces, err := tk.Profile(cfg, 123)
+	traces, err := tk.Profile(ctx, cfg, 123)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -40,7 +39,7 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 	}
 
 	// Replay from the reloaded traces.
-	rep, err := tk.ReplayTraces(loaded)
+	rep, err := tk.ReplayTraces(ctx, loaded)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,7 +54,7 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 	}
 
 	// Baseline comparison.
-	dp, err := tk.ReplayDPRO(loaded)
+	dp, err := tk.ReplayDPRO(ctx, loaded)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -63,8 +62,8 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 		t.Fatal("dPRO replay should be optimistic (shorter)")
 	}
 
-	// Manipulation.
-	pred, err := tk.Predict(ScaleDP(cfg, 4), traces)
+	// Manipulation through the deprecated single-shot path.
+	pred, err := tk.Predict(ctx, ScaleDP(cfg, 4), traces)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,12 +71,12 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 		t.Fatalf("scaled world = %d", pred.Trace.NumRanks())
 	}
 
-	// What-if.
-	g, err := tk.BuildGraph(traces)
+	// What-if through the deprecated free function.
+	g, err := tk.BuildGraph(ctx, traces)
 	if err != nil {
 		t.Fatal(err)
 	}
-	free, err := WhatIfScale(g, func(tk *execgraph.Task) bool { return tk.Class == trace.KCComm }, 0)
+	free, err := WhatIfScale(g, func(tk *Task) bool { return tk.Class == KCComm }, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -87,21 +86,38 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 }
 
 // TestManipulationScopeMatchesPaper verifies TP-change rejection through
-// the public API.
+// the public API, both the single-shot path (hard error) and the campaign
+// path (infeasible result, campaign survives).
 func TestManipulationScopeMatchesPaper(t *testing.T) {
+	ctx := context.Background()
 	cfg, err := DeploymentConfig(GPT3_15B(), 2, 2, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
 	target := cfg
 	target.Map.TP = 4
-	tk := New(Options{})
-	traces, err := tk.Profile(cfg, 5)
+	tk := New()
+	traces, err := tk.Profile(ctx, cfg, 5)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := tk.Predict(Request{Base: cfg, Target: target}, traces); err == nil {
+	if _, err := tk.Predict(ctx, Request{Base: cfg, Target: target}, traces); err == nil {
 		t.Fatal("tensor-parallel manipulation must be rejected (paper scope)")
+	}
+
+	sweep, err := tk.EvaluateTraces(ctx, cfg, traces,
+		DeploymentScenario(GPT3_15B(), 4, 2, 2), // TP change: infeasible
+		ScaleDPScenario(4),                      // fine
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := sweep.Results[len(sweep.Results)-1]
+	if last.Feasible() {
+		t.Fatal("TP-change scenario must rank last as infeasible")
+	}
+	if got := len(sweep.Top(10)); got != 1 {
+		t.Fatalf("Top must exclude infeasible results, got %d", got)
 	}
 }
 
