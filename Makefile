@@ -1,10 +1,10 @@
 GO ?= go
 
-.PHONY: check fmt vet build test bench
+.PHONY: check fmt vet build test bench benchsmoke
 
 # check is the CI gate: formatting, static analysis, full build, tests, and
 # a one-iteration benchmark smoke pass.
-check: fmt vet build test bench
+check: fmt vet build test benchsmoke
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -19,5 +19,15 @@ build:
 test:
 	$(GO) test ./...
 
-bench:
+# benchsmoke runs every benchmark once as a regression canary.
+benchsmoke:
 	$(GO) test -run xxx -bench . -benchtime 1x ./...
+
+# bench measures the sweep hot path (shared-calibration campaign and raw
+# uncached throughput) with allocation stats, archiving the results as
+# machine-readable JSON in BENCH_sweep.json. The bench output lands in a
+# file first so a benchmark failure fails the target (no pipeline masking).
+bench:
+	$(GO) test -run xxx -bench 'BenchmarkSweep_SharedCalibration$$|BenchmarkSweepThroughput$$' \
+		-benchmem -benchtime 20x -count 1 . > BENCH_sweep.txt
+	$(GO) run ./cmd/benchjson < BENCH_sweep.txt > BENCH_sweep.json

@@ -442,6 +442,7 @@ func BenchmarkSweep_SharedCalibration(b *testing.B) {
 		FusionScenario(),
 	)
 	b.ResetTimer()
+	b.ReportAllocs()
 	var feasible int
 	for i := 0; i < b.N; i++ {
 		sweep, err := tk.EvaluateState(ctx, base, scenarios...)
@@ -451,6 +452,42 @@ func BenchmarkSweep_SharedCalibration(b *testing.B) {
 		feasible = len(sweep.Top(len(scenarios)))
 	}
 	b.ReportMetric(float64(feasible), "feasible-scenarios")
+}
+
+// BenchmarkSweepThroughput measures the raw per-scenario prediction cost
+// with memoization disabled: every iteration re-predicts each scenario
+// against the prepared base state, exercising direct graph synthesis (no
+// trace round trip), copy-on-write retiming, and the pooled simulators.
+func BenchmarkSweepThroughput(b *testing.B) {
+	ctx := context.Background()
+	tk := New(WithConcurrency(4), WithScenarioCache(false))
+	cfg, err := DeploymentConfig(GPT3_15B(), 2, 2, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg.Microbatches = 4
+	base, err := tk.Prepare(ctx, cfg, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	scenarios := append(GridSweep(GPT3_15B(), []int{2}, []int{1, 2}, []int{1, 2}),
+		BaselineScenario(),
+		ArchScenario(GPT3_V1()),
+		ClassScaleScenario(KCGEMM, 0.5),
+		FusionScenario(),
+	)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sweep, err := tk.EvaluateState(ctx, base, scenarios...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(sweep.Results) != len(scenarios) {
+			b.Fatal("scenario lost")
+		}
+	}
+	b.ReportMetric(float64(len(scenarios)), "scenarios/sweep")
 }
 
 // BenchmarkMultiIterationProfile measures the multi-step profiling window

@@ -288,7 +288,7 @@ func cmdWhatIf(ctx context.Context, args []string) error {
 		return err
 	}
 	if *fusion {
-		rep, err := lumos.WhatIfFusion(g)
+		rep, err := tk.WhatIfFusion(ctx, g, lumos.DefaultFusionOpts())
 		if err != nil {
 			return err
 		}
@@ -303,7 +303,7 @@ func cmdWhatIf(ctx context.Context, args []string) error {
 	}
 	want := strings.ToLower(*class)
 	match := func(t *lumos.Task) bool { return t.Class.String() == want }
-	scaled, err := lumos.WhatIfScale(g, match, *factor)
+	scaled, err := tk.WhatIfScale(ctx, g, match, *factor)
 	if err != nil {
 		return err
 	}

@@ -8,6 +8,7 @@ package analysis
 import (
 	"fmt"
 
+	"lumos/internal/execgraph"
 	"lumos/internal/timeline"
 	"lumos/internal/trace"
 )
@@ -52,6 +53,52 @@ func rankSets(t *trace.Trace) (compute, comm *timeline.Set) {
 	return compute, comm
 }
 
+// breakdownFromSets decomposes one rank's iteration span from its compute
+// and communication busy-interval sets.
+func breakdownFromSets(compute, comm *timeline.Set, span trace.Dur) Breakdown {
+	overlap := timeline.Intersect(compute, comm)
+	busy := timeline.Union(compute, comm)
+	b := Breakdown{
+		ExposedCompute: compute.Total() - overlap.Total(),
+		Overlapped:     overlap.Total(),
+		ExposedComm:    comm.Total() - overlap.Total(),
+		Total:          span,
+	}
+	b.Other = b.Total - busy.Total()
+	if b.Other < 0 {
+		b.Other = 0
+	}
+	return b
+}
+
+// averageBreakdowns divides an accumulated sum over n ranks, keeping the
+// partition identity exact under integer averaging by making Other the
+// residual.
+func averageBreakdowns(sum Breakdown, n int) Breakdown {
+	if n == 0 {
+		return Breakdown{}
+	}
+	sum.ExposedCompute /= trace.Dur(n)
+	sum.Overlapped /= trace.Dur(n)
+	sum.ExposedComm /= trace.Dur(n)
+	sum.Total /= trace.Dur(n)
+	sum.Other = sum.Total - sum.ExposedCompute - sum.Overlapped - sum.ExposedComm
+	if sum.Other < 0 {
+		sum.Other = 0
+		sum.Total = sum.ExposedCompute + sum.Overlapped + sum.ExposedComm
+	}
+	return sum
+}
+
+// addBreakdown accumulates a per-rank breakdown into a running sum.
+func addBreakdown(sum *Breakdown, b Breakdown) {
+	sum.ExposedCompute += b.ExposedCompute
+	sum.Overlapped += b.Overlapped
+	sum.ExposedComm += b.ExposedComm
+	sum.Other += b.Other
+	sum.Total += b.Total
+}
+
 // RankBreakdown decomposes one rank's iteration. The iteration span is the
 // union extent of all GPU and CPU activity on the rank.
 func RankBreakdown(t *trace.Trace) Breakdown {
@@ -60,19 +107,7 @@ func RankBreakdown(t *trace.Trace) Breakdown {
 		return Breakdown{}
 	}
 	compute, comm := rankSets(t)
-	overlap := timeline.Intersect(compute, comm)
-	busy := timeline.Union(compute, comm)
-	b := Breakdown{
-		ExposedCompute: compute.Total() - overlap.Total(),
-		Overlapped:     overlap.Total(),
-		ExposedComm:    comm.Total() - overlap.Total(),
-		Total:          end - start,
-	}
-	b.Other = b.Total - busy.Total()
-	if b.Other < 0 {
-		b.Other = 0
-	}
-	return b
+	return breakdownFromSets(compute, comm, end-start)
 }
 
 // MultiBreakdown averages the per-rank breakdowns of a distributed trace,
@@ -85,34 +120,66 @@ func MultiBreakdown(m *trace.Multi) Breakdown {
 		if len(t.Events) == 0 {
 			continue
 		}
-		b := RankBreakdown(t)
-		sum.ExposedCompute += b.ExposedCompute
-		sum.Overlapped += b.Overlapped
-		sum.ExposedComm += b.ExposedComm
-		sum.Other += b.Other
-		sum.Total += b.Total
+		addBreakdown(&sum, RankBreakdown(t))
 		n++
 	}
-	if n == 0 {
-		return Breakdown{}
-	}
-	sum.ExposedCompute /= trace.Dur(n)
-	sum.Overlapped /= trace.Dur(n)
-	sum.ExposedComm /= trace.Dur(n)
-	sum.Total /= trace.Dur(n)
-	// Keep the partition identity exact under integer averaging by making
-	// Other the residual.
-	sum.Other = sum.Total - sum.ExposedCompute - sum.Overlapped - sum.ExposedComm
-	if sum.Other < 0 {
-		sum.Other = 0
-		sum.Total = sum.ExposedCompute + sum.Overlapped + sum.ExposedComm
-	}
-	return sum
+	return averageBreakdowns(sum, n)
 }
 
 // IterationTime returns the distributed iteration time: the maximum
 // per-rank span (the slowest rank bounds the step).
 func IterationTime(m *trace.Multi) trace.Dur { return m.Duration() }
+
+// GraphBreakdown is MultiBreakdown computed directly from an execution
+// graph's recorded timestamps, so synthesized graphs (trace-free
+// predictions) decompose without materializing a trace. For a graph built
+// from (or equivalent to) a trace it returns exactly MultiBreakdown's
+// numbers: the same task spans feed the same interval algebra.
+func GraphBreakdown(g *execgraph.Graph) Breakdown {
+	type rankAcc struct {
+		compute, comm timeline.Set
+		start, end    trace.Time
+		seen          bool
+	}
+	accs := make([]rankAcc, g.NumRanks)
+	for i := range g.Tasks {
+		t := &g.Tasks[i]
+		a := &accs[t.Rank]
+		s, e := t.Start, t.End()
+		if !a.seen {
+			a.start, a.end, a.seen = s, e, true
+		} else {
+			if s < a.start {
+				a.start = s
+			}
+			if e > a.end {
+				a.end = e
+			}
+		}
+		if t.Kind != execgraph.TaskGPU {
+			continue
+		}
+		if t.IsComm() {
+			a.comm.AddFast(s, e)
+		} else {
+			a.compute.AddFast(s, e)
+		}
+	}
+
+	var sum Breakdown
+	n := 0
+	for r := range accs {
+		a := &accs[r]
+		if !a.seen {
+			continue
+		}
+		a.compute.Normalize()
+		a.comm.Normalize()
+		addBreakdown(&sum, breakdownFromSets(&a.compute, &a.comm, a.end-a.start))
+		n++
+	}
+	return averageBreakdowns(sum, n)
+}
 
 // SMUtilization computes the fraction of each window during which at least
 // one CUDA stream of the rank is executing a kernel (the paper's Figure 6

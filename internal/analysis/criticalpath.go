@@ -97,26 +97,23 @@ func CriticalPath(g *execgraph.Graph, res *replay.Result) []PathEntry {
 	return path
 }
 
-// WhatIfScale estimates the effect of scaling the duration of every kernel
-// matched by the predicate (e.g. "all GEMMs 2x faster" → factor 0.5),
-// answering the what-if questions from the paper's discussion section. It
-// returns the new makespan from a fresh replay of the scaled graph.
-func WhatIfScale(g *execgraph.Graph, match func(*execgraph.Task) bool, factor float64) (trace.Dur, error) {
-	scaled := *g
-	scaled.Tasks = make([]execgraph.Task, len(g.Tasks))
-	copy(scaled.Tasks, g.Tasks)
-	for i := range scaled.Tasks {
-		t := &scaled.Tasks[i]
-		if t.Kind == execgraph.TaskGPU && match(t) {
-			t.Dur = trace.Dur(float64(t.Dur) * factor)
-			if t.GroupDur > 0 {
-				t.GroupDur = trace.Dur(float64(t.GroupDur) * factor)
-			}
-		}
-	}
-	res, err := replay.Run(&scaled, replay.DefaultOptions())
+// WhatIfScaleSim estimates the effect of scaling the duration of every
+// kernel matched by the predicate (e.g. "all GEMMs 2x faster" → factor
+// 0.5), answering the what-if questions from the paper's discussion
+// section. The retiming is a copy-on-write view — only the duration
+// columns are copied, never the task array — replayed on the given
+// simulator.
+func WhatIfScaleSim(sim *replay.Simulator, g *execgraph.Graph, match func(*execgraph.Task) bool, factor float64) (trace.Dur, error) {
+	v := execgraph.NewRetimed(g)
+	v.Scale(match, factor)
+	res, err := sim.RunRetimed(v)
 	if err != nil {
 		return 0, err
 	}
 	return res.Makespan, nil
+}
+
+// WhatIfScale is WhatIfScaleSim on a fresh simulator.
+func WhatIfScale(g *execgraph.Graph, match func(*execgraph.Task) bool, factor float64) (trace.Dur, error) {
+	return WhatIfScaleSim(replay.NewSimulator(replay.DefaultOptions()), g, match, factor)
 }

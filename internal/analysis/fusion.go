@@ -49,34 +49,24 @@ func (r FusionReport) Speedup() float64 {
 	return float64(r.Baseline) / float64(r.Fused)
 }
 
-// WhatIfFusion estimates the end-to-end effect of fusing consecutive
-// eligible kernels. It rewrites a copy of the graph — merged runs keep
-// their first kernel, whose duration becomes the run's total minus the
-// recovered overheads and memory savings; the rest become zero-duration —
-// and replays both versions.
-func WhatIfFusion(g *execgraph.Graph, opts FusionOpts) (FusionReport, error) {
-	var rep FusionReport
-
-	base, err := replay.Run(g, replay.DefaultOptions())
-	if err != nil {
-		return rep, err
-	}
-	rep.Baseline = base.Makespan
-
+// ApplyFusion rewrites a duration view with the fusion counterfactual:
+// merged runs keep their first kernel, whose duration becomes the run's
+// total minus the recovered overheads and memory savings; the rest become
+// zero-duration. Durations are read through the view, so fusion composes
+// with overrides already applied (e.g. a kernel-scale retiming). The
+// underlying graph is never mutated.
+func ApplyFusion(v *execgraph.Retimed, opts FusionOpts) (fusedGroups, kernelsRemoved int) {
+	g := v.Graph
 	eligible := map[trace.KernelClass]bool{}
 	for _, c := range opts.Classes {
 		eligible[c] = true
 	}
 
-	fused := *g
-	fused.Tasks = make([]execgraph.Task, len(g.Tasks))
-	copy(fused.Tasks, g.Tasks)
-
 	// Kernels per GPU processor in queue (recorded start) order; the build
 	// order of tasks within a stream already satisfies this.
-	byProc := map[int32][]int32{}
-	for i := range fused.Tasks {
-		t := &fused.Tasks[i]
+	byProc := make([][]int32, len(g.Procs))
+	for i := range g.Tasks {
+		t := &g.Tasks[i]
 		if t.Kind == execgraph.TaskGPU {
 			byProc[t.Proc] = append(byProc[t.Proc], int32(i))
 		}
@@ -84,39 +74,60 @@ func WhatIfFusion(g *execgraph.Graph, opts FusionOpts) (FusionReport, error) {
 	for _, kerns := range byProc {
 		i := 0
 		for i < len(kerns) {
-			if !eligible[fused.Tasks[kerns[i]].Class] {
+			if !eligible[g.Tasks[kerns[i]].Class] {
 				i++
 				continue
 			}
 			j := i + 1
-			for j < len(kerns) && eligible[fused.Tasks[kerns[j]].Class] {
+			for j < len(kerns) && eligible[g.Tasks[kerns[j]].Class] {
 				j++
 			}
 			if run := j - i; run > 1 {
 				var total trace.Dur
 				for k := i; k < j; k++ {
-					total += fused.Tasks[kerns[k]].Dur
+					total += v.Dur(kerns[k])
 				}
 				saved := trace.Dur(float64(total)*opts.MemorySavings) +
 					trace.Dur(run-1)*opts.KernelOverhead
 				if saved > total {
 					saved = total
 				}
-				fused.Tasks[kerns[i]].Dur = total - saved
+				v.SetDur(kerns[i], total-saved)
 				for k := i + 1; k < j; k++ {
-					fused.Tasks[kerns[k]].Dur = 0
+					v.SetDur(kerns[k], 0)
 				}
-				rep.FusedGroups++
-				rep.KernelsRemoved += run - 1
+				fusedGroups++
+				kernelsRemoved += run - 1
 			}
 			i = j
 		}
 	}
+	return fusedGroups, kernelsRemoved
+}
 
-	res, err := replay.Run(&fused, replay.DefaultOptions())
+// WhatIfFusionSim estimates the end-to-end effect of fusing consecutive
+// eligible kernels, replaying a retimed view of the graph on the given
+// simulator. baseline is the unfused iteration time (typically already
+// known from the campaign's base replay, so it is not recomputed here).
+func WhatIfFusionSim(sim *replay.Simulator, g *execgraph.Graph, opts FusionOpts, baseline trace.Dur) (FusionReport, error) {
+	rep := FusionReport{Baseline: baseline}
+	v := execgraph.NewRetimed(g)
+	rep.FusedGroups, rep.KernelsRemoved = ApplyFusion(v, opts)
+	res, err := sim.RunRetimed(v)
 	if err != nil {
 		return rep, err
 	}
 	rep.Fused = res.Makespan
 	return rep, nil
+}
+
+// WhatIfFusion is the one-shot form: it replays the baseline itself on a
+// fresh simulator, then the fused counterfactual.
+func WhatIfFusion(g *execgraph.Graph, opts FusionOpts) (FusionReport, error) {
+	sim := replay.NewSimulator(replay.DefaultOptions())
+	base, err := sim.Run(g)
+	if err != nil {
+		return FusionReport{}, err
+	}
+	return WhatIfFusionSim(sim, g, opts, base.Makespan)
 }

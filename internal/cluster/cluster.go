@@ -17,6 +17,7 @@ package cluster
 import (
 	"fmt"
 
+	"lumos/internal/execgraph"
 	"lumos/internal/kernelmodel"
 	"lumos/internal/model"
 	"lumos/internal/parallel"
@@ -139,6 +140,10 @@ type entry struct {
 
 	// markerThread/markerIdx identify the blocked thread for eMarker.
 	markerThread int
+
+	// launchTask is the CPU task that performed the launch (graph-synthesis
+	// mode only; -1 otherwise).
+	launchTask int32
 }
 
 // streamState is one CUDA stream's FIFO queue.
@@ -162,6 +167,9 @@ type eventState struct {
 	time     trace.Time
 	// waiting streams re-queued on resolution
 	waiters []int // global stream indices
+	// snap is the kernel task the event snapshot resolves to in
+	// graph-synthesis mode (-1 = none).
+	snap int32
 }
 
 // signalState is one cross-thread signal.
@@ -169,6 +177,10 @@ type signalState struct {
 	set     bool
 	time    trace.Time
 	waiters []int // global thread indices
+	// lastTask is the signaling thread's most recent CPU task in
+	// graph-synthesis mode (-1 = none), the true inter-thread dependency the
+	// trace-side gap heuristic approximates.
+	lastTask int32
 }
 
 type blockKind uint8
@@ -243,6 +255,12 @@ type sim struct {
 	// queueWaiters holds threads blocked on launch-queue backpressure.
 	outstanding  []int
 	queueWaiters [][]int
+
+	// gb, when non-nil, switches the simulator into graph-synthesis mode:
+	// instead of materializing trace events it emits execution-graph tasks
+	// and dependencies directly. All stochastic draws happen at the same
+	// points in both modes, so the two emit identical timings.
+	gb *graphBuilder
 }
 
 func (s *sim) streamIdx(rank int, kind model.StreamKind) int {
@@ -270,6 +288,53 @@ func (s *sim) pushStream(idx int) {
 // Run simulates one training iteration of the deployment and returns the
 // per-rank traces.
 func Run(cfg parallel.Config, simCfg SimConfig) (*trace.Multi, error) {
+	s, err := newSim(cfg, simCfg, false)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.simulate(); err != nil {
+		return nil, err
+	}
+
+	// Close out per-rank iteration annotations and sort.
+	for r := 0; r < s.numRanks; r++ {
+		tr := s.traces.Ranks[r]
+		start, end, ok := tr.Span()
+		if ok {
+			tr.Add(trace.Event{
+				Name: "ProfilerStep#1", Cat: trace.CatUserAnnotation,
+				Ts: start, Dur: end - start, PID: r, TID: 1,
+				Stream: -1, PeerRank: -1, Layer: -1, Microbatch: -1,
+			})
+		}
+		tr.Sort()
+	}
+	return s.traces, nil
+}
+
+// Synthesize simulates one training iteration exactly like Run but emits a
+// task-level execution graph directly, skipping the trace-materialize-then-
+// reparse round trip. The graph carries the same timings Run's trace would
+// (identical stochastic draw order), with dependency structure taken from
+// the simulator's own ground truth: CPU program order, launch→kernel edges,
+// stream FIFO order, cudaEventRecord/cudaStreamWaitEvent bridges, true
+// inter-thread signal edges, sync-task metadata and cross-rank collective
+// groups. trace.Multi remains the ingestion format for real profiles;
+// predicted deployments use this path.
+func Synthesize(cfg parallel.Config, simCfg SimConfig) (*execgraph.Graph, error) {
+	s, err := newSim(cfg, simCfg, true)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.simulate(); err != nil {
+		return nil, err
+	}
+	return s.gb.finish(), nil
+}
+
+// newSim builds the whole-cluster simulation state. With synthesize set it
+// emits an execution graph instead of traces.
+func newSim(cfg parallel.Config, simCfg SimConfig, synthesize bool) (*sim, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -286,9 +351,13 @@ func Run(cfg parallel.Config, simCfg SimConfig) (*trace.Multi, error) {
 		cfg:      simCfg,
 		parallel: cfg,
 		colls:    map[collKey]*collState{},
-		traces:   trace.NewMulti(world),
 		oracle:   oracle,
 		numRanks: world,
+	}
+	if synthesize {
+		s.gb = newGraphBuilder(world)
+	} else {
+		s.traces = trace.NewMulti(world)
 	}
 	s.outstanding = make([]int, world)
 	s.queueWaiters = make([][]int, world)
@@ -306,8 +375,10 @@ func Run(cfg parallel.Config, simCfg SimConfig) (*trace.Multi, error) {
 		s.nextCorr[r] = int64(r)*1_000_000_000 + 1
 		s.events[r] = map[int64]*eventState{}
 		s.signals[r] = map[int64]*signalState{}
-		s.traces.Ranks[r].Meta["model"] = cfg.Arch.Name
-		s.traces.Ranks[r].Meta["parallelism"] = fmt.Sprintf("%dx%dx%d", cfg.Map.TP, cfg.Map.PP, cfg.Map.DP)
+		if s.traces != nil {
+			s.traces.Ranks[r].Meta["model"] = cfg.Arch.Name
+			s.traces.Ranks[r].Meta["parallelism"] = fmt.Sprintf("%dx%dx%d", cfg.Map.TP, cfg.Map.PP, cfg.Map.DP)
+		}
 	}
 
 	s.streams = make([]*streamState, world*model.NumStreamKinds)
@@ -317,15 +388,16 @@ func Run(cfg parallel.Config, simCfg SimConfig) (*trace.Multi, error) {
 		}
 	}
 
+	totalTasks := 0
 	s.threads = make([]*threadState, world*2)
 	for r := 0; r < world; r++ {
 		prog, err := parallel.BuildProgram(cfg, r)
 		if err != nil {
 			return nil, err
 		}
-		// Preallocate the trace and stream queues: repeated growth of the
-		// large event structs dominates runtime otherwise.
-		var nEvents int
+		// Preallocate the trace/graph and stream queues: repeated growth of
+		// the large event structs dominates runtime otherwise.
+		var nEvents, nTasks int
 		var perStream [model.NumStreamKinds]int
 		for tid := 0; tid < 2; tid++ {
 			for i := range prog.Threads[tid] {
@@ -333,24 +405,32 @@ func Run(cfg parallel.Config, simCfg SimConfig) (*trace.Multi, error) {
 				switch in.Kind {
 				case parallel.ILaunch:
 					nEvents += 3
+					nTasks += 2 // launcher op (folded launch) + kernel
 					perStream[in.Op.Stream]++
 				case parallel.IEventRecord, parallel.IStreamWaitEvent:
 					nEvents++
+					nTasks++
 					perStream[in.Stream]++
 				case parallel.IStreamSync:
 					nEvents++
+					nTasks++
 					perStream[in.Stream]++
 				case parallel.IDeviceSync:
 					nEvents++
+					nTasks++
 					for k := range perStream {
 						perStream[k]++
 					}
 				case parallel.ICPUWork:
 					nEvents++
+					nTasks++
 				}
 			}
 		}
-		s.traces.Ranks[r].Events = make([]trace.Event, 0, nEvents+1)
+		totalTasks += nTasks
+		if s.traces != nil {
+			s.traces.Ranks[r].Events = make([]trace.Event, 0, nEvents+1)
+		}
 		for k := 0; k < model.NumStreamKinds; k++ {
 			st := s.streams[s.streamIdx(r, model.StreamKind(k))]
 			st.entries = make([]entry, 0, perStream[k])
@@ -362,8 +442,15 @@ func Run(cfg parallel.Config, simCfg SimConfig) (*trace.Multi, error) {
 			s.pushThread(s.threadIdx(r, tid))
 		}
 	}
+	if s.gb != nil {
+		s.gb.grow(totalTasks)
+	}
+	return s, nil
+}
 
-	// Fixpoint pump: run threads and streams until nothing can advance.
+// simulate pumps the fixpoint loop until nothing can advance and checks for
+// deadlock.
+func (s *sim) simulate() error {
 	for len(s.work) > 0 {
 		item := s.work[len(s.work)-1]
 		s.work = s.work[:len(s.work)-1]
@@ -377,29 +464,13 @@ func Run(cfg parallel.Config, simCfg SimConfig) (*trace.Multi, error) {
 			s.advanceStream(item / 2)
 		}
 	}
-
-	// Deadlock / completion check.
 	for _, th := range s.threads {
 		if th.pc < len(th.instrs) {
-			return nil, fmt.Errorf("cluster: deadlock: rank %d thread %d stuck at instruction %d/%d (kind %d)",
+			return fmt.Errorf("cluster: deadlock: rank %d thread %d stuck at instruction %d/%d (kind %d)",
 				th.rank, th.tid, th.pc, len(th.instrs), th.instrs[th.pc].Kind)
 		}
 	}
-
-	// Close out per-rank iteration annotations and sort.
-	for r := 0; r < world; r++ {
-		tr := s.traces.Ranks[r]
-		start, end, ok := tr.Span()
-		if ok {
-			tr.Add(trace.Event{
-				Name: "ProfilerStep#1", Cat: trace.CatUserAnnotation,
-				Ts: start, Dur: end - start, PID: r, TID: 1,
-				Stream: -1, PeerRank: -1, Layer: -1, Microbatch: -1,
-			})
-		}
-		tr.Sort()
-	}
-	return s.traces, nil
+	return nil
 }
 
 // cpuDur applies CPU jitter and rank skew to a nominal span.
@@ -417,17 +488,27 @@ func (s *sim) runThread(th *threadState) {
 	if th.blocked != blockNone {
 		return
 	}
-	tr := s.traces.Ranks[th.rank]
+	var tr *trace.Trace
+	if s.traces != nil {
+		tr = s.traces.Ranks[th.rank]
+	}
 	for th.pc < len(th.instrs) {
 		in := &th.instrs[th.pc]
 		switch in.Kind {
 		case parallel.ICPUWork:
 			d := s.cpuDur(th.rank, in.CPUDur)
-			tr.Add(trace.Event{
-				Name: in.Name, Cat: trace.CatCPUOp,
-				Ts: th.t, Dur: d, PID: th.rank, TID: th.tid + 1,
-				Stream: -1, PeerRank: -1, Layer: -1, Microbatch: in.Microbatch,
-			})
+			if s.gb != nil {
+				s.gb.cpu(s.threadIdx(th.rank, th.tid), th.rank, th.tid, execgraph.Task{
+					Name: in.Name, Start: th.t, Dur: d,
+					Layer: -1, Microbatch: int32(in.Microbatch),
+				})
+			} else {
+				tr.Add(trace.Event{
+					Name: in.Name, Cat: trace.CatCPUOp,
+					Ts: th.t, Dur: d, PID: th.rank, TID: th.tid + 1,
+					Stream: -1, PeerRank: -1, Layer: -1, Microbatch: in.Microbatch,
+				})
+			}
 			th.t += d
 
 		case parallel.ILaunch:
@@ -441,29 +522,47 @@ func (s *sim) runThread(th *threadState) {
 		case parallel.IEventRecord:
 			d := s.cpuDur(th.rank, s.cfg.RecordDur)
 			sIdx := s.streamIdx(th.rank, in.Stream)
-			tr.Add(trace.Event{
-				Name: "cudaEventRecord", Cat: trace.CatCUDARuntime,
-				Ts: th.t, Dur: d, PID: th.rank, TID: th.tid + 1,
-				Runtime: trace.RuntimeEventRecord, Stream: StreamIDs[in.Stream],
-				CUDAEvent: in.Event, PeerRank: -1, Layer: -1, Microbatch: in.Microbatch,
-			})
+			if s.gb != nil {
+				s.gb.cpu(s.threadIdx(th.rank, th.tid), th.rank, th.tid, execgraph.Task{
+					Name: "cudaEventRecord", Start: th.t, Dur: d,
+					Runtime: trace.RuntimeEventRecord, CUDAEvent: in.Event,
+					SyncStreamID: int32(StreamIDs[in.Stream]),
+					Layer:        -1, Microbatch: int32(in.Microbatch),
+				})
+			} else {
+				tr.Add(trace.Event{
+					Name: "cudaEventRecord", Cat: trace.CatCUDARuntime,
+					Ts: th.t, Dur: d, PID: th.rank, TID: th.tid + 1,
+					Runtime: trace.RuntimeEventRecord, Stream: StreamIDs[in.Stream],
+					CUDAEvent: in.Event, PeerRank: -1, Layer: -1, Microbatch: in.Microbatch,
+				})
+			}
 			th.t += d
 			st := s.streams[sIdx]
-			st.entries = append(st.entries, entry{kind: eRecord, event: in.Event, enqueueT: th.t, mb: in.Microbatch})
+			st.entries = append(st.entries, entry{kind: eRecord, event: in.Event, enqueueT: th.t, mb: in.Microbatch, launchTask: -1})
 			s.pushStream(sIdx)
 
 		case parallel.IStreamWaitEvent:
 			d := s.cpuDur(th.rank, s.cfg.WaitEventDur)
 			sIdx := s.streamIdx(th.rank, in.Stream)
-			tr.Add(trace.Event{
-				Name: "cudaStreamWaitEvent", Cat: trace.CatCUDARuntime,
-				Ts: th.t, Dur: d, PID: th.rank, TID: th.tid + 1,
-				Runtime: trace.RuntimeStreamWaitEvent, Stream: StreamIDs[in.Stream],
-				CUDAEvent: in.Event, PeerRank: -1, Layer: -1, Microbatch: in.Microbatch,
-			})
+			if s.gb != nil {
+				s.gb.cpu(s.threadIdx(th.rank, th.tid), th.rank, th.tid, execgraph.Task{
+					Name: "cudaStreamWaitEvent", Start: th.t, Dur: d,
+					Runtime: trace.RuntimeStreamWaitEvent, CUDAEvent: in.Event,
+					SyncStreamID: int32(StreamIDs[in.Stream]),
+					Layer:        -1, Microbatch: int32(in.Microbatch),
+				})
+			} else {
+				tr.Add(trace.Event{
+					Name: "cudaStreamWaitEvent", Cat: trace.CatCUDARuntime,
+					Ts: th.t, Dur: d, PID: th.rank, TID: th.tid + 1,
+					Runtime: trace.RuntimeStreamWaitEvent, Stream: StreamIDs[in.Stream],
+					CUDAEvent: in.Event, PeerRank: -1, Layer: -1, Microbatch: in.Microbatch,
+				})
+			}
 			th.t += d
 			st := s.streams[sIdx]
-			st.entries = append(st.entries, entry{kind: eWaitEvent, event: in.Event, enqueueT: th.t, mb: in.Microbatch})
+			st.entries = append(st.entries, entry{kind: eWaitEvent, event: in.Event, enqueueT: th.t, mb: in.Microbatch, launchTask: -1})
 			s.pushStream(sIdx)
 
 		case parallel.IStreamSync:
@@ -476,7 +575,7 @@ func (s *sim) runThread(th *threadState) {
 			th.syncName = "cudaStreamSynchronize"
 			th.syncStream = StreamIDs[in.Stream]
 			th.syncMB = in.Microbatch
-			st.entries = append(st.entries, entry{kind: eMarker, enqueueT: th.t, markerThread: s.threadIdx(th.rank, th.tid), mb: in.Microbatch})
+			st.entries = append(st.entries, entry{kind: eMarker, enqueueT: th.t, markerThread: s.threadIdx(th.rank, th.tid), mb: in.Microbatch, launchTask: -1})
 			s.pushStream(sIdx)
 			th.pc++
 			return
@@ -493,7 +592,7 @@ func (s *sim) runThread(th *threadState) {
 				sIdx := s.streamIdx(th.rank, model.StreamKind(k))
 				st := s.streams[sIdx]
 				th.pendingMarkers++
-				st.entries = append(st.entries, entry{kind: eMarker, enqueueT: th.t, markerThread: s.threadIdx(th.rank, th.tid), mb: in.Microbatch})
+				st.entries = append(st.entries, entry{kind: eMarker, enqueueT: th.t, markerThread: s.threadIdx(th.rank, th.tid), mb: in.Microbatch, launchTask: -1})
 				s.pushStream(sIdx)
 			}
 			th.pc++
@@ -503,12 +602,18 @@ func (s *sim) runThread(th *threadState) {
 			sig := s.signal(th.rank, in.Signal)
 			sig.set = true
 			sig.time = th.t
+			if s.gb != nil {
+				sig.lastTask = s.gb.lastCPU[s.threadIdx(th.rank, th.tid)]
+			}
 			for _, w := range sig.waiters {
 				wt := s.threads[w]
 				if wt.blocked == blockSignal && wt.waitSignal == in.Signal {
 					wt.blocked = blockNone
 					if sig.time > wt.t {
 						wt.t = sig.time
+					}
+					if s.gb != nil {
+						s.gb.threadDep(w, sig.lastTask)
 					}
 					s.pushThread(w)
 				}
@@ -521,6 +626,9 @@ func (s *sim) runThread(th *threadState) {
 			if sig.set {
 				if sig.time > th.t {
 					th.t = sig.time
+				}
+				if s.gb != nil {
+					s.gb.threadDep(s.threadIdx(th.rank, th.tid), sig.lastTask)
 				}
 			} else {
 				sig.waiters = append(sig.waiters, s.threadIdx(th.rank, th.tid))
@@ -537,7 +645,7 @@ func (s *sim) runThread(th *threadState) {
 func (s *sim) signal(rank int, id int64) *signalState {
 	sig := s.signals[rank][id]
 	if sig == nil {
-		sig = &signalState{}
+		sig = &signalState{lastTask: -1}
 		s.signals[rank][id] = sig
 	}
 	return sig
@@ -559,31 +667,43 @@ func (s *sim) execLaunch(th *threadState, in *parallel.Instr, tr *trace.Trace) {
 	launchEnd := launchStart + launch
 	opEnd := launchEnd + epilogue
 
-	tr.Add(trace.Event{
-		Name: op.Name, Cat: trace.CatCPUOp,
-		Ts: opStart, Dur: opEnd - opStart, PID: th.rank, TID: th.tid + 1,
-		Stream: -1, PeerRank: -1, Layer: op.Layer, Microbatch: in.Microbatch, Pass: op.Pass,
-	})
-	tr.Add(trace.Event{
-		Name: "cudaLaunchKernel", Cat: trace.CatCUDARuntime,
-		Ts: launchStart, Dur: launchEnd - launchStart, PID: th.rank, TID: th.tid + 1,
-		Runtime: trace.RuntimeLaunchKernel, Correlation: corr, Stream: StreamIDs[op.Stream],
-		PeerRank: -1, Layer: op.Layer, Microbatch: in.Microbatch, Pass: op.Pass,
-	})
+	launchTask := int32(-1)
+	if s.gb != nil {
+		// One CPU task for the whole operator span; the nested
+		// cudaLaunchKernel folds into it, exactly as trace-side graph
+		// construction does.
+		launchTask = s.gb.cpu(s.threadIdx(th.rank, th.tid), th.rank, th.tid, execgraph.Task{
+			Name: op.Name, Start: opStart, Dur: opEnd - opStart,
+			Layer: int32(op.Layer), Microbatch: int32(in.Microbatch), Pass: op.Pass,
+		})
+	} else {
+		tr.Add(trace.Event{
+			Name: op.Name, Cat: trace.CatCPUOp,
+			Ts: opStart, Dur: opEnd - opStart, PID: th.rank, TID: th.tid + 1,
+			Stream: -1, PeerRank: -1, Layer: op.Layer, Microbatch: in.Microbatch, Pass: op.Pass,
+		})
+		tr.Add(trace.Event{
+			Name: "cudaLaunchKernel", Cat: trace.CatCUDARuntime,
+			Ts: launchStart, Dur: launchEnd - launchStart, PID: th.rank, TID: th.tid + 1,
+			Runtime: trace.RuntimeLaunchKernel, Correlation: corr, Stream: StreamIDs[op.Stream],
+			PeerRank: -1, Layer: op.Layer, Microbatch: in.Microbatch, Pass: op.Pass,
+		})
+	}
 
 	s.outstanding[th.rank]++
 	sIdx := s.streamIdx(th.rank, op.Stream)
 	st := s.streams[sIdx]
 	st.entries = append(st.entries, entry{
-		kind:      eKernel,
-		op:        op,
-		corr:      corr,
-		enqueueT:  launchEnd + s.cfg.LaunchLatency,
-		mb:        in.Microbatch,
-		commID:    in.CommID,
-		commSeq:   in.CommSeq,
-		commRanks: in.CommRanks,
-		peerRank:  in.PeerRank,
+		kind:       eKernel,
+		op:         op,
+		corr:       corr,
+		enqueueT:   launchEnd + s.cfg.LaunchLatency,
+		mb:         in.Microbatch,
+		commID:     in.CommID,
+		commSeq:    in.CommSeq,
+		commRanks:  in.CommRanks,
+		peerRank:   in.PeerRank,
+		launchTask: launchTask,
 	})
 	s.pushStream(sIdx)
 
@@ -608,6 +728,11 @@ func (s *sim) advanceStream(idx int) {
 			ev := s.event(st.rank, e.event)
 			ev.resolved = true
 			ev.time = t
+			if s.gb != nil {
+				// Queue order means every kernel enqueued before this record
+				// has resolved: the stream's last kernel is the snapshot.
+				ev.snap = s.gb.lastKern[idx]
+			}
 			e.resolved = true
 			for _, w := range ev.waiters {
 				s.pushStream(w)
@@ -625,6 +750,11 @@ func (s *sim) advanceStream(idx int) {
 			}
 			if ev.time > st.frontier {
 				st.frontier = ev.time
+			}
+			if s.gb != nil && ev.snap >= 0 {
+				// The next kernel on this stream depends on the snapshot
+				// kernel: the cudaEventRecord → cudaStreamWaitEvent bridge.
+				s.gb.waitEdge(idx, ev.snap)
 			}
 			e.resolved = true
 
@@ -662,7 +792,7 @@ func (s *sim) advanceStream(idx int) {
 func (s *sim) event(rank int, id int64) *eventState {
 	ev := s.events[rank][id]
 	if ev == nil {
-		ev = &eventState{}
+		ev = &eventState{snap: -1}
 		s.events[rank][id] = ev
 	}
 	return ev
@@ -688,12 +818,25 @@ func (s *sim) markerDone(threadIdx int, t trace.Time) {
 	if th.syncStream < 0 {
 		kind = trace.RuntimeDeviceSynchronize
 	}
-	s.traces.Ranks[th.rank].Add(trace.Event{
-		Name: th.syncName, Cat: trace.CatCUDARuntime,
-		Ts: th.syncStart, Dur: resume - th.syncStart, PID: th.rank, TID: th.tid + 1,
-		Runtime: kind, Stream: th.syncStream,
-		PeerRank: -1, Layer: -1, Microbatch: th.syncMB,
-	})
+	if s.gb != nil {
+		t := execgraph.Task{
+			Name: th.syncName, Start: th.syncStart, Dur: resume - th.syncStart,
+			Runtime: kind, SyncStreamID: int32(th.syncStream),
+			Layer: -1, Microbatch: int32(th.syncMB),
+			Sync: execgraph.SyncStream,
+		}
+		if th.syncStream < 0 {
+			t.Sync = execgraph.SyncDevice
+		}
+		s.gb.cpu(threadIdx, th.rank, th.tid, t)
+	} else {
+		s.traces.Ranks[th.rank].Add(trace.Event{
+			Name: th.syncName, Cat: trace.CatCUDARuntime,
+			Ts: th.syncStart, Dur: resume - th.syncStart, PID: th.rank, TID: th.tid + 1,
+			Runtime: kind, Stream: th.syncStream,
+			PeerRank: -1, Layer: -1, Microbatch: th.syncMB,
+		})
+	}
 	th.t = resume
 	th.blocked = blockNone
 	s.pushThread(threadIdx)
@@ -848,8 +991,13 @@ func kernelName(op model.Op) string {
 	return op.Name
 }
 
-// emitKernel appends the resolved kernel event to its rank's trace.
+// emitKernel appends the resolved kernel event to its rank's trace (or, in
+// graph-synthesis mode, its GPU task to the graph).
 func (s *sim) emitKernel(rank int, kind model.StreamKind, e *entry) {
+	if s.gb != nil {
+		s.gb.kernel(s.streamIdx(rank, kind), rank, kind, e)
+		return
+	}
 	ev := trace.Event{
 		Name: kernelName(e.op), Cat: trace.CatKernel,
 		Ts: e.start, Dur: e.end - e.start, PID: rank, TID: StreamIDs[kind],

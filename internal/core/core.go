@@ -22,6 +22,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 
 	"lumos/internal/analysis"
@@ -36,8 +37,7 @@ import (
 )
 
 // Options carries a toolkit's resolved configuration. Construct toolkits
-// with New and functional options; Options remains exported for the
-// deprecated NewFromOptions shim and for introspection.
+// with New and functional options.
 type Options struct {
 	// Cluster is the fabric model used for profiling and prediction.
 	// The zero value selects an H100 cluster sized on demand.
@@ -52,6 +52,9 @@ type Options struct {
 	// Seed is the profiling seed Evaluate uses when it collects the base
 	// profile itself.
 	Seed uint64
+	// NoScenarioCache disables sweep-level memoization of fingerprintable
+	// scenario results (see WithScenarioCache). The zero value caches.
+	NoScenarioCache bool
 }
 
 // Option configures a Toolkit.
@@ -83,6 +86,15 @@ func WithSeed(seed uint64) Option {
 	return func(o *Options) { o.Seed = seed }
 }
 
+// WithScenarioCache enables or disables sweep-level memoization. When
+// enabled (the default), scenarios with a stable fingerprint — the built-in
+// deploy, architecture, class-scale and fusion scenarios — are cached per
+// campaign state, so duplicate grid points across Evaluate calls on the
+// same BaseState return the cached ScenarioResult instead of re-predicting.
+func WithScenarioCache(enabled bool) Option {
+	return func(o *Options) { o.NoScenarioCache = !enabled }
+}
+
 // Toolkit is a configured Lumos instance. It is safe for concurrent use.
 type Toolkit struct {
 	opts Options
@@ -92,6 +104,10 @@ type Toolkit struct {
 	// one calibration across all scenarios.
 	profiles      atomic.Int64
 	libraryBuilds atomic.Int64
+
+	// simPool recycles replay simulators (with their preallocated per-task
+	// state) across sweep workers and what-if calls.
+	simPool sync.Pool
 }
 
 // New returns a toolkit configured by the given options.
@@ -103,16 +119,16 @@ func New(opts ...Option) *Toolkit {
 	return &Toolkit{opts: o}
 }
 
-// NewFromOptions returns a toolkit from a literal Options value.
-//
-// Deprecated: use New with functional options (WithCluster,
-// WithGraphOptions, WithReplayOptions, WithConcurrency, WithSeed).
-func NewFromOptions(o Options) *Toolkit {
-	if o.Seed == 0 {
-		o.Seed = 42
+// acquireSim takes a pooled simulator (allocating on first use).
+func (tk *Toolkit) acquireSim() *replay.Simulator {
+	if s, ok := tk.simPool.Get().(*replay.Simulator); ok {
+		return s
 	}
-	return &Toolkit{opts: o}
+	return replay.NewSimulator(tk.replayOpts())
 }
+
+// releaseSim returns a simulator to the pool.
+func (tk *Toolkit) releaseSim(s *replay.Simulator) { tk.simPool.Put(s) }
 
 // Counters reports how many ground-truth profiles and kernel-library
 // calibrations this toolkit has performed.
@@ -272,6 +288,48 @@ func (tk *Toolkit) Predict(ctx context.Context, req manip.Request, profiled *tra
 	}
 	tk.libraryBuilds.Add(1)
 	return manip.Predict(req, profiled, tk.clusterFor(world))
+}
+
+// PredictGraph is Predict via direct graph synthesis: the target's
+// execution graph is generated without materializing a trace. This is the
+// path campaigns use; it predicts identically to Predict.
+func (tk *Toolkit) PredictGraph(ctx context.Context, req manip.Request, profiled *trace.Multi) (*manip.GraphResult, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	world := req.Target.Map.WorldSize()
+	if base := req.Base.Map.WorldSize(); base > world {
+		world = base
+	}
+	tk.libraryBuilds.Add(1)
+	return manip.PredictGraph(req, profiled, tk.clusterFor(world))
+}
+
+// WhatIfScale estimates the makespan if kernels matched by the predicate
+// ran at the given duration factor (Section 5's what-if analysis), using a
+// copy-on-write retiming of the graph on a pooled simulator.
+func (tk *Toolkit) WhatIfScale(ctx context.Context, g *execgraph.Graph, match func(*execgraph.Task) bool, factor float64) (trace.Dur, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	sim := tk.acquireSim()
+	defer tk.releaseSim(sim)
+	return analysis.WhatIfScaleSim(sim, g, match, factor)
+}
+
+// WhatIfFusion estimates the benefit of fusing consecutive eligible
+// kernels (Section 3.4's motivating example) on a pooled simulator.
+func (tk *Toolkit) WhatIfFusion(ctx context.Context, g *execgraph.Graph, opts analysis.FusionOpts) (analysis.FusionReport, error) {
+	if err := ctx.Err(); err != nil {
+		return analysis.FusionReport{}, err
+	}
+	sim := tk.acquireSim()
+	defer tk.releaseSim(sim)
+	base, err := sim.Run(g)
+	if err != nil {
+		return analysis.FusionReport{}, err
+	}
+	return analysis.WhatIfFusionSim(sim, g, opts, base.Makespan)
 }
 
 // SaveTraces writes per-rank Kineto-style JSON files (rank_<N>.json) into

@@ -113,13 +113,12 @@ func TestContextCancellationShortCircuits(t *testing.T) {
 	}
 }
 
-func TestNewFromOptionsShim(t *testing.T) {
-	tk := NewFromOptions(Options{Concurrency: 3})
-	if got := tk.concurrency(); got != 3 {
-		t.Fatalf("concurrency = %d, want 3", got)
+func TestWithScenarioCacheOption(t *testing.T) {
+	if tk := New(); tk.opts.NoScenarioCache {
+		t.Fatal("scenario cache must default on")
 	}
-	if tk.opts.Seed == 0 {
-		t.Fatal("shim must default the sweep seed")
+	if tk := New(WithScenarioCache(false)); !tk.opts.NoScenarioCache {
+		t.Fatal("WithScenarioCache(false) must disable the cache")
 	}
 }
 

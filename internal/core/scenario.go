@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"lumos/internal/analysis"
 	"lumos/internal/execgraph"
@@ -22,6 +23,7 @@ import (
 	"lumos/internal/manip"
 	"lumos/internal/model"
 	"lumos/internal/parallel"
+	"lumos/internal/replay"
 	"lumos/internal/topology"
 	"lumos/internal/trace"
 )
@@ -50,6 +52,47 @@ type BaseState struct {
 	Fitted *kernelmodel.Fitted
 	// Cluster is the fabric model calibration was performed against.
 	Cluster topology.Cluster
+
+	// tk owns the simulator pool and cache policy; nil for a hand-built
+	// BaseState, in which case scenarios fall back to fresh simulators.
+	tk *Toolkit
+
+	// memo caches results of fingerprintable scenarios for the lifetime of
+	// this campaign state, so duplicate grid points across Evaluate calls
+	// are free.
+	memo     sync.Map // string → ScenarioResult
+	memoHits atomic.Int64
+	memoSize atomic.Int64
+}
+
+// MemoStats reports sweep-level memoization activity against this campaign
+// state: cache hits served and entries stored.
+func (b *BaseState) MemoStats() (hits, entries int64) {
+	return b.memoHits.Load(), b.memoSize.Load()
+}
+
+// acquireSim returns a pooled simulator (or a fresh one for a hand-built
+// BaseState); release it with releaseSim.
+func (b *BaseState) acquireSim() *replay.Simulator {
+	if b.tk != nil {
+		return b.tk.acquireSim()
+	}
+	return replay.NewSimulator(replay.DefaultOptions())
+}
+
+func (b *BaseState) releaseSim(s *replay.Simulator) {
+	if b.tk != nil {
+		b.tk.releaseSim(s)
+	}
+}
+
+// Fingerprinter is an optional Scenario extension: scenarios whose outcome
+// is a pure function of the campaign state and a stable key are memoized by
+// the sweep engine. Fingerprint returns ok=false when the scenario cannot
+// be keyed (e.g. it closes over an arbitrary predicate), opting out of
+// caching.
+type Fingerprinter interface {
+	Fingerprint(base *BaseState) (key string, ok bool)
 }
 
 // ScenarioResult is the structured outcome of one evaluated scenario.
@@ -108,6 +151,16 @@ type deployScenario struct {
 
 func (s *deployScenario) Name() string { return s.name }
 
+// Fingerprint keys a deploy scenario by its kind and derived target
+// deployment: two grid points that resolve to the same target are the same
+// prediction. The kind is part of the key so scenarios of different kinds
+// that share a target (e.g. an arch variant spelled as a full deployment)
+// never serve each other's results — cached hits must be indistinguishable
+// from fresh ones under any worker count.
+func (s *deployScenario) Fingerprint(b *BaseState) (string, bool) {
+	return fmt.Sprintf("%s|%+v", s.kind, s.transform(b.Config)), true
+}
+
 func (s *deployScenario) Run(_ context.Context, b *BaseState) (ScenarioResult, error) {
 	target := s.transform(b.Config)
 	res := ScenarioResult{
@@ -121,13 +174,15 @@ func (s *deployScenario) Run(_ context.Context, b *BaseState) (ScenarioResult, e
 		res.Err = err.Error()
 		return res, nil
 	}
-	out, err := manip.PredictWith(req, b.Library, b.Fitted, b.Cluster)
+	// Direct graph synthesis: the target's execution graph is generated
+	// straight from the deployment, with no trace materialized or re-parsed.
+	out, err := manip.PredictGraphWith(req, b.Library, b.Fitted, b.Cluster)
 	if err != nil {
 		res.Err = err.Error()
 		return res, nil
 	}
 	res.Iteration = out.Iteration
-	res.Breakdown = analysis.MultiBreakdown(out.Trace)
+	res.Breakdown = analysis.GraphBreakdown(out.Graph)
 	res.LibraryHits = out.LibraryHits
 	res.LibraryMisses = out.LibraryMisses
 	return res, nil
@@ -208,9 +263,16 @@ type kernelScaleScenario struct {
 	name   string
 	match  func(*execgraph.Task) bool
 	factor float64
+	// fp is the memoization key; empty for arbitrary predicates, which are
+	// not fingerprintable.
+	fp string
 }
 
 func (s *kernelScaleScenario) Name() string { return s.name }
+
+func (s *kernelScaleScenario) Fingerprint(*BaseState) (string, bool) {
+	return s.fp, s.fp != ""
+}
 
 func (s *kernelScaleScenario) Run(_ context.Context, b *BaseState) (ScenarioResult, error) {
 	res := ScenarioResult{
@@ -219,7 +281,9 @@ func (s *kernelScaleScenario) Run(_ context.Context, b *BaseState) (ScenarioResu
 		Target: b.Config,
 		World:  b.Config.Map.WorldSize(),
 	}
-	iter, err := analysis.WhatIfScale(b.Graph, s.match, s.factor)
+	sim := b.acquireSim()
+	iter, err := analysis.WhatIfScaleSim(sim, b.Graph, s.match, s.factor)
+	b.releaseSim(sim)
 	if err != nil {
 		res.Err = err.Error()
 		return res, nil
@@ -241,6 +305,7 @@ func ClassScaleScenario(class trace.KernelClass, factor float64) Scenario {
 		name:   fmt.Sprintf("%s x%.2f", class, factor),
 		match:  func(t *execgraph.Task) bool { return t.Class == class },
 		factor: factor,
+		fp:     fmt.Sprintf("classscale|%d|%g", class, factor),
 	}
 }
 
@@ -252,6 +317,10 @@ type fusionScenario struct {
 
 func (s *fusionScenario) Name() string { return s.name }
 
+func (s *fusionScenario) Fingerprint(*BaseState) (string, bool) {
+	return fmt.Sprintf("fusion|%+v", s.opts), true
+}
+
 func (s *fusionScenario) Run(_ context.Context, b *BaseState) (ScenarioResult, error) {
 	res := ScenarioResult{
 		Name:   s.name,
@@ -259,7 +328,11 @@ func (s *fusionScenario) Run(_ context.Context, b *BaseState) (ScenarioResult, e
 		Target: b.Config,
 		World:  b.Config.Map.WorldSize(),
 	}
-	rep, err := analysis.WhatIfFusion(b.Graph, s.opts)
+	// The unfused baseline is the campaign's replayed base point; only the
+	// fused counterfactual needs a simulation here.
+	sim := b.acquireSim()
+	rep, err := analysis.WhatIfFusionSim(sim, b.Graph, s.opts, b.Iteration)
+	b.releaseSim(sim)
 	if err != nil {
 		res.Err = err.Error()
 		return res, nil
@@ -280,6 +353,8 @@ func FusionScenario() Scenario {
 type baselineScenario struct{}
 
 func (baselineScenario) Name() string { return "baseline" }
+
+func (baselineScenario) Fingerprint(*BaseState) (string, bool) { return "baseline", true }
 
 func (baselineScenario) Run(_ context.Context, b *BaseState) (ScenarioResult, error) {
 	return ScenarioResult{
@@ -367,6 +442,7 @@ func (tk *Toolkit) PrepareTraces(ctx context.Context, cfg parallel.Config, m *tr
 		Library:   lib,
 		Fitted:    fitted,
 		Cluster:   c,
+		tk:        tk,
 	}, nil
 }
 
@@ -406,6 +482,7 @@ func (tk *Toolkit) EvaluateState(ctx context.Context, base *BaseState, scenarios
 		workers = 1
 	}
 
+	useCache := !tk.opts.NoScenarioCache
 	idx := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -413,7 +490,7 @@ func (tk *Toolkit) EvaluateState(ctx context.Context, base *BaseState, scenarios
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				results[i] = runScenario(ctx, scenarios[i], base)
+				results[i] = runScenario(ctx, scenarios[i], base, useCache)
 			}
 		}()
 	}
@@ -459,16 +536,43 @@ dispatch:
 
 // runScenario evaluates one scenario, converting panics-free hard errors
 // into infeasible results so a single bad point cannot sink the campaign.
-func runScenario(ctx context.Context, sc Scenario, base *BaseState) ScenarioResult {
+// Fingerprintable scenarios are memoized on the campaign state: duplicate
+// grid points — within one Evaluate call or across calls sharing the same
+// BaseState — return the cached result without re-predicting.
+func runScenario(ctx context.Context, sc Scenario, base *BaseState, useCache bool) ScenarioResult {
 	if err := ctx.Err(); err != nil {
 		return ScenarioResult{Name: sc.Name(), Err: err.Error()}
 	}
+
+	var key string
+	if useCache {
+		if fp, ok := sc.(Fingerprinter); ok {
+			if k, ok := fp.Fingerprint(base); ok {
+				key = k
+				if cached, ok := base.memo.Load(key); ok {
+					base.memoHits.Add(1)
+					res := cached.(ScenarioResult)
+					// The cached prediction may have been produced under a
+					// different display name (e.g. two grid spellings of the
+					// same target); keep this scenario's.
+					res.Name = sc.Name()
+					return res
+				}
+			}
+		}
+	}
+
 	res, err := sc.Run(ctx, base)
 	if err != nil {
 		return ScenarioResult{Name: sc.Name(), Err: err.Error()}
 	}
 	if res.Name == "" {
 		res.Name = sc.Name()
+	}
+	if key != "" && res.Feasible() {
+		if _, loaded := base.memo.LoadOrStore(key, res); !loaded {
+			base.memoSize.Add(1)
+		}
 	}
 	return res
 }

@@ -80,7 +80,7 @@ func Build(m *trace.Multi, opts BuildOptions) (*Graph, error) {
 		}
 	}
 	if opts.CrossRank {
-		finalizeGroups(g)
+		g.FinalizeGroups()
 	} else {
 		g.Groups = map[GroupKey][]int32{}
 	}
@@ -386,27 +386,6 @@ func buildInterThread(g *Graph, cpuByThread [][]cpuTaskRef, threshold trace.Dur)
 			if best >= 0 {
 				g.AddEdge(best, t.id)
 			}
-		}
-	}
-}
-
-// finalizeGroups computes each collective group's intrinsic duration (the
-// minimum recorded member duration — the last-arriving rank's kernel time,
-// free of waiting) and drops degenerate single-member groups.
-func finalizeGroups(g *Graph) {
-	for key, members := range g.Groups {
-		if len(members) < 2 {
-			delete(g.Groups, key)
-			continue
-		}
-		minDur := g.Tasks[members[0]].Dur
-		for _, id := range members[1:] {
-			if d := g.Tasks[id].Dur; d < minDur {
-				minDur = d
-			}
-		}
-		for _, id := range members {
-			g.Tasks[id].GroupDur = minDur
 		}
 	}
 }

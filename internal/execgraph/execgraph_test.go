@@ -1,9 +1,10 @@
-package execgraph
+package execgraph_test
 
 import (
 	"testing"
 
 	"lumos/internal/cluster"
+	"lumos/internal/execgraph"
 	"lumos/internal/model"
 	"lumos/internal/parallel"
 	"lumos/internal/topology"
@@ -26,9 +27,9 @@ func simTraces(t *testing.T, tp, pp, dp, mb int) *trace.Multi {
 	return out
 }
 
-func build(t *testing.T, m *trace.Multi, opts BuildOptions) *Graph {
+func build(t *testing.T, m *trace.Multi, opts execgraph.BuildOptions) *execgraph.Graph {
 	t.Helper()
-	g, err := Build(m, opts)
+	g, err := execgraph.Build(m, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -37,7 +38,7 @@ func build(t *testing.T, m *trace.Multi, opts BuildOptions) *Graph {
 
 func TestBuildValidGraph(t *testing.T) {
 	m := simTraces(t, 2, 2, 2, 4)
-	g := build(t, m, DefaultOptions())
+	g := build(t, m, execgraph.DefaultOptions())
 	if err := g.Validate(); err != nil {
 		t.Fatal(err)
 	}
@@ -51,7 +52,7 @@ func TestEdgesRespectRecordedTime(t *testing.T) {
 	// Every fixed edge must satisfy pred.End() <= succ.Start() in the
 	// recorded schedule — the property that guarantees acyclicity.
 	m := simTraces(t, 2, 2, 1, 4)
-	g := build(t, m, DefaultOptions())
+	g := build(t, m, execgraph.DefaultOptions())
 	for i := range g.Tasks {
 		for _, o := range g.Tasks[i].Out {
 			if g.Tasks[i].End() > g.Tasks[o].Start {
@@ -64,17 +65,17 @@ func TestEdgesRespectRecordedTime(t *testing.T) {
 
 func TestKernelsHaveLaunchTasks(t *testing.T) {
 	m := simTraces(t, 2, 1, 1, 4)
-	g := build(t, m, DefaultOptions())
+	g := build(t, m, execgraph.DefaultOptions())
 	for i := range g.Tasks {
 		tk := &g.Tasks[i]
-		if tk.Kind != TaskGPU {
+		if tk.Kind != execgraph.TaskGPU {
 			continue
 		}
 		if tk.LaunchTask < 0 {
 			t.Fatalf("kernel %q has no launch task", tk.Name)
 		}
 		lt := &g.Tasks[tk.LaunchTask]
-		if lt.Kind != TaskCPU {
+		if lt.Kind != execgraph.TaskCPU {
 			t.Fatalf("kernel %q launched by non-CPU task %q", tk.Name, lt.Name)
 		}
 	}
@@ -83,9 +84,9 @@ func TestKernelsHaveLaunchTasks(t *testing.T) {
 func TestLaunchFoldedIntoOperators(t *testing.T) {
 	// cudaLaunchKernel events nested in operators must not become tasks.
 	m := simTraces(t, 2, 1, 1, 4)
-	g := build(t, m, DefaultOptions())
+	g := build(t, m, execgraph.DefaultOptions())
 	for i := range g.Tasks {
-		if g.Tasks[i].Kind == TaskCPU && g.Tasks[i].Name == "cudaLaunchKernel" {
+		if g.Tasks[i].Kind == execgraph.TaskCPU && g.Tasks[i].Name == "cudaLaunchKernel" {
 			t.Fatal("found an unfolded cudaLaunchKernel task")
 		}
 	}
@@ -93,13 +94,13 @@ func TestLaunchFoldedIntoOperators(t *testing.T) {
 
 func TestSyncTasksMarked(t *testing.T) {
 	m := simTraces(t, 2, 2, 1, 4)
-	g := build(t, m, DefaultOptions())
+	g := build(t, m, execgraph.DefaultOptions())
 	device, stream := 0, 0
 	for i := range g.Tasks {
 		switch g.Tasks[i].Sync {
-		case SyncDevice:
+		case execgraph.SyncDevice:
 			device++
-		case SyncStream:
+		case execgraph.SyncStream:
 			stream++
 			if g.Tasks[i].SyncStreamID < 0 {
 				t.Fatal("stream sync without target stream")
@@ -114,12 +115,12 @@ func TestSyncTasksMarked(t *testing.T) {
 
 func TestInterStreamModes(t *testing.T) {
 	m := simTraces(t, 2, 2, 2, 4)
-	full := build(t, m, DefaultOptions())
-	partialOpts := DefaultOptions()
-	partialOpts.InterStream = InterStreamComputeToComm
+	full := build(t, m, execgraph.DefaultOptions())
+	partialOpts := execgraph.DefaultOptions()
+	partialOpts.InterStream = execgraph.InterStreamComputeToComm
 	partial := build(t, m, partialOpts)
-	noneOpts := DefaultOptions()
-	noneOpts.InterStream = InterStreamNone
+	noneOpts := execgraph.DefaultOptions()
+	noneOpts.InterStream = execgraph.InterStreamNone
 	none := build(t, m, noneOpts)
 
 	fe, pe, ne := full.Stats().Edges, partial.Stats().Edges, none.Stats().Edges
@@ -130,12 +131,12 @@ func TestInterStreamModes(t *testing.T) {
 	// on another stream.
 	for i := range partial.Tasks {
 		src := &partial.Tasks[i]
-		if src.Kind != TaskGPU {
+		if src.Kind != execgraph.TaskGPU {
 			continue
 		}
 		for _, o := range src.Out {
 			dst := &partial.Tasks[o]
-			if dst.Kind != TaskGPU || dst.Proc == src.Proc {
+			if dst.Kind != execgraph.TaskGPU || dst.Proc == src.Proc {
 				continue
 			}
 			if !dst.IsComm() {
@@ -147,7 +148,7 @@ func TestInterStreamModes(t *testing.T) {
 
 func TestCrossRankGroups(t *testing.T) {
 	m := simTraces(t, 2, 2, 2, 4)
-	g := build(t, m, DefaultOptions())
+	g := build(t, m, execgraph.DefaultOptions())
 	for key, members := range g.Groups {
 		if len(members) < 2 {
 			t.Fatalf("group %v with %d members survived finalize", key, len(members))
@@ -169,7 +170,7 @@ func TestCrossRankGroups(t *testing.T) {
 			}
 		}
 	}
-	offOpts := DefaultOptions()
+	offOpts := execgraph.DefaultOptions()
 	offOpts.CrossRank = false
 	off := build(t, m, offOpts)
 	if len(off.Groups) != 0 {
@@ -181,7 +182,7 @@ func TestInterThreadDepsRecoverHandoffs(t *testing.T) {
 	// The autograd thread's first task must depend on some main-thread task:
 	// that is the backward handoff the gap heuristic exists to find.
 	m := simTraces(t, 2, 1, 1, 4)
-	g := build(t, m, DefaultOptions())
+	g := build(t, m, execgraph.DefaultOptions())
 
 	// Find each rank's autograd-thread first task and check it has an
 	// in-edge from a task on another thread.
@@ -204,7 +205,7 @@ func TestInterThreadDepsRecoverHandoffs(t *testing.T) {
 		}
 		hasCross := false
 		for i := range g.Tasks {
-			if g.Tasks[i].Proc == agProc || g.Tasks[i].Kind != TaskCPU {
+			if g.Tasks[i].Proc == agProc || g.Tasks[i].Kind != execgraph.TaskCPU {
 				continue
 			}
 			for _, o := range g.Tasks[i].Out {
@@ -220,9 +221,9 @@ func TestInterThreadDepsRecoverHandoffs(t *testing.T) {
 }
 
 func TestAddEdgeAndCycleDetection(t *testing.T) {
-	g := NewGraph(1)
-	a := g.addTask(Task{Kind: TaskCPU, Name: "a"})
-	b := g.addTask(Task{Kind: TaskCPU, Name: "b"})
+	g := execgraph.NewGraph(1)
+	a := g.AddTask(execgraph.Task{Kind: execgraph.TaskCPU, Name: "a"})
+	b := g.AddTask(execgraph.Task{Kind: execgraph.TaskCPU, Name: "b"})
 	g.AddEdge(a, b)
 	if err := g.CheckAcyclic(); err != nil {
 		t.Fatal(err)
@@ -232,8 +233,8 @@ func TestAddEdgeAndCycleDetection(t *testing.T) {
 		t.Fatal("cycle must be detected")
 	}
 	// Self edges are ignored.
-	g2 := NewGraph(1)
-	c := g2.addTask(Task{Kind: TaskCPU, Name: "c"})
+	g2 := execgraph.NewGraph(1)
+	c := g2.AddTask(execgraph.Task{Kind: execgraph.TaskCPU, Name: "c"})
 	g2.AddEdge(c, c)
 	if len(g2.Tasks[c].Out) != 0 {
 		t.Fatal("self edge must be dropped")
@@ -241,15 +242,15 @@ func TestAddEdgeAndCycleDetection(t *testing.T) {
 }
 
 func TestValidateCatchesCorruption(t *testing.T) {
-	g := NewGraph(1)
-	a := g.addTask(Task{Kind: TaskCPU})
+	g := execgraph.NewGraph(1)
+	a := g.AddTask(execgraph.Task{Kind: execgraph.TaskCPU})
 	g.Tasks[a].Out = append(g.Tasks[a].Out, 99)
 	if err := g.Validate(); err == nil {
 		t.Fatal("out-of-range edge must be caught")
 	}
-	g2 := NewGraph(1)
-	x := g2.addTask(Task{Kind: TaskCPU})
-	y := g2.addTask(Task{Kind: TaskCPU})
+	g2 := execgraph.NewGraph(1)
+	x := g2.AddTask(execgraph.Task{Kind: execgraph.TaskCPU})
+	y := g2.AddTask(execgraph.Task{Kind: execgraph.TaskCPU})
 	g2.AddEdge(x, y)
 	g2.Tasks[y].NFixedIn = 5
 	if err := g2.Validate(); err == nil {

@@ -161,6 +161,80 @@ func (g *Graph) addTask(t Task) int32 {
 	return t.ID
 }
 
+// AddTask appends a task, assigns its ID, and returns it. It is the
+// construction primitive for direct graph synthesis (generators that emit a
+// graph without going through a trace).
+func (g *Graph) AddTask(t Task) int32 { return g.addTask(t) }
+
+// EnsureProc returns the processor index for (rank, gpu, tid), creating the
+// processor if it does not exist yet.
+func (g *Graph) EnsureProc(rank int, gpu bool, tid int) int32 { return g.proc(rank, gpu, tid) }
+
+// Grow preallocates capacity for n additional tasks.
+func (g *Graph) Grow(n int) {
+	if cap(g.Tasks)-len(g.Tasks) >= n {
+		return
+	}
+	tasks := make([]Task, len(g.Tasks), len(g.Tasks)+n)
+	copy(tasks, g.Tasks)
+	g.Tasks = tasks
+}
+
+// FinalizeGroups computes each collective group's intrinsic duration (the
+// minimum member duration — the last-arriving rank's kernel time, free of
+// waiting) and drops degenerate single-member groups. Builders must call it
+// once after all tasks are added.
+func (g *Graph) FinalizeGroups() {
+	for key, members := range g.Groups {
+		if len(members) < 2 {
+			delete(g.Groups, key)
+			continue
+		}
+		minDur := g.Tasks[members[0]].Dur
+		for _, id := range members[1:] {
+			if d := g.Tasks[id].Dur; d < minDur {
+				minDur = d
+			}
+		}
+		for _, id := range members {
+			g.Tasks[id].GroupDur = minDur
+		}
+	}
+}
+
+// Duration returns the iteration time the graph's recorded timestamps
+// describe: the maximum per-rank extent (the slowest rank bounds the step),
+// matching trace.Multi.Duration for the equivalent trace. Single pass over
+// the tasks, one scratch allocation.
+func (g *Graph) Duration() trace.Dur {
+	type span struct {
+		start, end trace.Time
+		seen       bool
+	}
+	spans := make([]span, g.NumRanks)
+	for i := range g.Tasks {
+		t := &g.Tasks[i]
+		s := &spans[t.Rank]
+		if !s.seen {
+			s.start, s.end, s.seen = t.Start, t.End(), true
+			continue
+		}
+		if t.Start < s.start {
+			s.start = t.Start
+		}
+		if e := t.End(); e > s.end {
+			s.end = e
+		}
+	}
+	var d trace.Dur
+	for r := range spans {
+		if spans[r].seen && spans[r].end-spans[r].start > d {
+			d = spans[r].end - spans[r].start
+		}
+	}
+	return d
+}
+
 // AddEdge inserts a fixed dependency from → to.
 func (g *Graph) AddEdge(from, to int32) {
 	if from == to {

@@ -20,6 +20,7 @@ import (
 	"sort"
 
 	"lumos/internal/cluster"
+	"lumos/internal/execgraph"
 	"lumos/internal/kernelmodel"
 	"lumos/internal/parallel"
 	"lumos/internal/topology"
@@ -255,6 +256,58 @@ func PredictWith(req Request, lib *Library, fitted *kernelmodel.Fitted, c topolo
 	return &Result{
 		Trace:         out,
 		Iteration:     out.Duration(),
+		LibraryHits:   pred.Hits,
+		LibraryMisses: pred.Misses,
+	}, nil
+}
+
+// GraphResult carries a trace-free prediction: the synthesized execution
+// graph for the target configuration with predicted timestamps.
+type GraphResult struct {
+	// Graph is the generated execution graph, timestamps included.
+	Graph *execgraph.Graph
+	// Iteration is the predicted per-iteration time.
+	Iteration trace.Dur
+	// LibraryHits/LibraryMisses report how many kernels reused measured
+	// durations vs were priced by the fitted model.
+	LibraryHits, LibraryMisses int
+}
+
+// PredictGraph is Predict via direct graph synthesis: the generator emits
+// the target's execution graph directly instead of materializing a trace
+// and re-parsing it. The predicted iteration time is identical to the trace
+// path's (the generator draws at the same points in both modes).
+func PredictGraph(req Request, profiled *trace.Multi, c topology.Cluster) (*GraphResult, error) {
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+	lib := BuildLibrary(profiled, c)
+	oracle := kernelmodel.NewOracle(c)
+	fitted, err := kernelmodel.Fit([]*trace.Multi{profiled}, c, oracle)
+	if err != nil {
+		return nil, fmt.Errorf("manip: fitting kernel model: %w", err)
+	}
+	return PredictGraphWith(req, lib, fitted, c)
+}
+
+// PredictGraphWith is PredictGraph with externally supplied calibration —
+// the sweep hot path: one library and fitted model, many targets, no trace
+// round trip.
+func PredictGraphWith(req Request, lib *Library, fitted *kernelmodel.Fitted, c topology.Cluster) (*GraphResult, error) {
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+	pred := &Predictor{Lib: lib, Fitted: fitted}
+
+	world := req.Target.Map.WorldSize()
+	simCfg := deterministicSim(c, world, pred)
+	g, err := cluster.Synthesize(req.Target, simCfg)
+	if err != nil {
+		return nil, fmt.Errorf("manip: synthesizing target execution graph: %w", err)
+	}
+	return &GraphResult{
+		Graph:         g,
+		Iteration:     g.Duration(),
 		LibraryHits:   pred.Hits,
 		LibraryMisses: pred.Misses,
 	}, nil

@@ -1,0 +1,114 @@
+package manip
+
+import (
+	"testing"
+
+	"lumos/internal/analysis"
+	"lumos/internal/execgraph"
+	"lumos/internal/model"
+	"lumos/internal/replay"
+	"lumos/internal/topology"
+	"lumos/internal/trace"
+)
+
+// TestDirectSynthesisMatchesTraceRoundTrip is the equivalence acceptance
+// test for the compile-once pipeline: for every fig7/fig8-style deployment
+// manipulation, generating the target execution graph directly
+// (PredictGraphWith) must produce the exact same predicted iteration time,
+// execution breakdown and library hit/miss counts as materializing a
+// synthetic trace and measuring it (PredictWith). The two paths share one
+// generator core, so this holds to the nanosecond.
+func TestDirectSynthesisMatchesTraceRoundTrip(t *testing.T) {
+	cfg, profiled := base(t)
+	topo := topology.H100Cluster(32) // large enough for every target below
+	lib := BuildLibrary(profiled, topo)
+	fitted := mustFit(t, profiled, topo)
+
+	v1 := cfg
+	v1.Arch = model.GPT3_V1()
+	v3 := cfg
+	v3.Arch = model.GPT3_V3()
+
+	cases := []struct {
+		name string
+		req  Request
+	}{
+		{"identity", Request{Base: cfg, Target: cfg}},
+		{"fig7a-scale-dp", ScaleDP(cfg, 4)},
+		{"fig7b-scale-pp", ScalePP(cfg, 4)},
+		{"fig7c-scale-dp-pp", Scale3D(cfg, 4, 4)},
+		{"fig8-arch-v1", ChangeArch(cfg, v1)},
+		{"fig8-arch-v3", ChangeArch(cfg, v3)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			viaTrace, err := PredictWith(tc.req, lib, fitted, topo)
+			if err != nil {
+				t.Fatal(err)
+			}
+			viaGraph, err := PredictGraphWith(tc.req, lib, fitted, topo)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if viaGraph.Iteration != viaTrace.Iteration {
+				t.Fatalf("iteration: synthesis %d != trace round trip %d",
+					viaGraph.Iteration, viaTrace.Iteration)
+			}
+			if viaGraph.LibraryHits != viaTrace.LibraryHits ||
+				viaGraph.LibraryMisses != viaTrace.LibraryMisses {
+				t.Fatalf("calibration use diverged: synthesis %d/%d, trace %d/%d",
+					viaGraph.LibraryHits, viaGraph.LibraryMisses,
+					viaTrace.LibraryHits, viaTrace.LibraryMisses)
+			}
+			if bg, bt := analysis.GraphBreakdown(viaGraph.Graph), analysis.MultiBreakdown(viaTrace.Trace); bg != bt {
+				t.Fatalf("breakdown: synthesis %+v != trace %+v", bg, bt)
+			}
+			if err := viaGraph.Graph.Validate(); err != nil {
+				t.Fatalf("synthesized graph invalid: %v", err)
+			}
+		})
+	}
+}
+
+// TestSynthesizedGraphReplays verifies the synthesized graph is a working
+// simulation input, not just a timestamp container: replaying it with its
+// own durations must land within 1% of its recorded makespan (the paper's
+// self-replay sanity check, applied to the trace-free path), and a what-if
+// retiming on it must replay cleanly.
+func TestSynthesizedGraphReplays(t *testing.T) {
+	cfg, profiled := base(t)
+	topo := topology.H100Cluster(cfg.Map.WorldSize())
+	res, err := PredictGraph(Request{Base: cfg, Target: cfg}, profiled, topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := res.Graph
+	rep, err := replay.Run(g, replay.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := float64(rep.Makespan-res.Iteration) / float64(res.Iteration)
+	if rel < -0.01 || rel > 0.01 {
+		t.Fatalf("self-replay of synthesized graph off by %.2f%% (%d vs %d)",
+			100*rel, rep.Makespan, res.Iteration)
+	}
+	// Dependencies must hold in the replayed schedule.
+	for i := range g.Tasks {
+		for _, o := range g.Tasks[i].Out {
+			if rep.End[i] > rep.Start[o] {
+				t.Fatalf("edge %d→%d violated in replay of synthesized graph", i, o)
+			}
+		}
+	}
+	// A retiming what-if composes with the synthesized graph: halving GEMM
+	// time must strictly shorten the replayed iteration.
+	faster, err := analysis.WhatIfScale(g, func(tk *execgraph.Task) bool {
+		return tk.Class == trace.KCGEMM
+	}, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if faster >= rep.Makespan {
+		t.Fatalf("2x GEMMs on synthesized graph not faster: %d vs %d", faster, rep.Makespan)
+	}
+}

@@ -4,6 +4,13 @@
 // initialization and runtime dependencies resolved during execution
 // (synchronization calls and cross-rank collective rendezvous), and produces
 // an output trace with the replayed timestamps of every task.
+//
+// The simulator is built for the sweep workload: a Simulator preallocates
+// all per-task and per-processor state, binds to a graph once, and resets
+// cheaply between runs, so a campaign replaying hundreds of what-if
+// retimings of the same graph pays the allocation cost once. Duration
+// overrides come in through execgraph.Retimed views, which retime without
+// cloning the task array.
 package replay
 
 import (
@@ -30,15 +37,33 @@ func DefaultOptions() Options {
 	return Options{SyncMinDur: 1500, CoupleCollectives: true}
 }
 
+// DeadlockError reports a simulation that could not execute every task:
+// the dependency structure left tasks permanently blocked (an invalid or
+// cyclic-at-runtime graph).
+type DeadlockError struct {
+	// Executed and Total count simulated vs expected tasks.
+	Executed, Total int
+	// Stuck samples up to eight unfinished task IDs for diagnosis.
+	Stuck []int32
+}
+
+func (e *DeadlockError) Error() string {
+	return fmt.Sprintf("replay: deadlock: simulated %d of %d tasks (stuck tasks include %v)",
+		e.Executed, e.Total, e.Stuck)
+}
+
 // Result is a completed simulation.
 type Result struct {
-	// Start and End hold replayed times indexed by task ID.
+	// Start and End hold replayed times indexed by task ID. For results
+	// produced by a Simulator they alias the simulator's internal buffers
+	// and are valid until its next Run; package-level Run returns
+	// independently owned slices.
 	Start, End []trace.Time
 	// Makespan is the global simulated iteration time (max end − min start).
 	Makespan trace.Dur
 	// RankSpan holds each rank's simulated [start, end).
 	RankSpan []struct{ Start, End trace.Time }
-	// Executed counts simulated tasks (should equal len(g.Tasks)).
+	// Executed counts simulated tasks (equals the task count on success).
 	Executed int
 }
 
@@ -68,102 +93,178 @@ func (h *readyHeap) Pop() any {
 	return it
 }
 
-// collGroup tracks a collective rendezvous during simulation.
-type collGroup struct {
-	expected int
-	arrived  []int32
-	ready    []trace.Time
-}
-
-// sim is the running state.
-type sim struct {
-	g    *execgraph.Graph
+// Simulator is a reusable Algorithm 1 instance. Binding to a graph derives
+// shape state (initial dependency counts, per-stream kernel queues,
+// collective group membership) once; each Run resets only the per-run
+// state. A Simulator is not safe for concurrent use — pool simulators, one
+// per worker, to run sweeps in parallel.
+type Simulator struct {
 	opts Options
 
-	deps     []int32 // remaining unresolved dependencies per task
-	earliest []trace.Time
-	start    []trace.Time
-	end      []trace.Time
-	done     []bool
+	// Shape state, derived per bound graph.
+	g            *execgraph.Graph
+	depsInit     []int32
+	procKernels  [][]int32
+	rankGPUProcs [][]int32
+	groupIdxOf   map[int32]int32 // comm task → group index
+	groupExpect  []int32
+	nGroups      int
 
-	procTime []trace.Time // per-processor frontier
+	// Per-run state.
+	view       *execgraph.Retimed
+	deps       []int32
+	earliest   []trace.Time
+	start, end []trace.Time
+	done       []bool
+	procTime   []trace.Time
+	procCursor []int
+	ready      readyHeap
 
-	ready readyHeap
-
-	// procKernels lists each GPU processor's kernels in queue order;
-	// procCursor points at the first unfinished one.
-	procKernels [][]int32
-	procCursor  []int
-
-	// syncWaiters maps a task to sync tasks waiting on its completion.
 	syncWaiters map[int32][]int32
 	syncMaxEnd  map[int32]trace.Time
 
-	groups  map[execgraph.GroupKey]*collGroup
-	groupOf map[int32]execgraph.GroupKey
-
-	// rankGPUProcs lists each rank's GPU processor indices.
-	rankGPUProcs [][]int32
+	groupArrived [][]int32
+	groupReady   [][]trace.Time
 
 	executed int
 }
 
-// Run simulates the graph and returns replayed task times.
-func Run(g *execgraph.Graph, opts Options) (*Result, error) {
-	n := len(g.Tasks)
-	s := &sim{
-		g:           g,
+// NewSimulator returns a simulator with the given options and no bound
+// graph; the first Run binds it.
+func NewSimulator(opts Options) *Simulator {
+	return &Simulator{
 		opts:        opts,
-		deps:        make([]int32, n),
-		earliest:    make([]trace.Time, n),
-		start:       make([]trace.Time, n),
-		end:         make([]trace.Time, n),
-		done:        make([]bool, n),
-		procTime:    make([]trace.Time, len(g.Procs)),
-		procKernels: make([][]int32, len(g.Procs)),
-		procCursor:  make([]int, len(g.Procs)),
 		syncWaiters: map[int32][]int32{},
 		syncMaxEnd:  map[int32]trace.Time{},
-		groups:      map[execgraph.GroupKey]*collGroup{},
-		groupOf:     map[int32]execgraph.GroupKey{},
+		groupIdxOf:  map[int32]int32{},
 	}
+}
 
+// Run simulates the graph with its recorded durations. The returned
+// Result's Start/End slices alias simulator-owned buffers valid until the
+// next Run on this simulator.
+func (s *Simulator) Run(g *execgraph.Graph) (*Result, error) { return s.run(g, nil) }
+
+// RunRetimed simulates a graph through a duration-override view.
+func (s *Simulator) RunRetimed(v *execgraph.Retimed) (*Result, error) { return s.run(v.Graph, v) }
+
+// Run simulates the graph and returns replayed task times. It is the
+// one-shot entry point: a fresh Simulator per call, so the Result owns its
+// buffers.
+func Run(g *execgraph.Graph, opts Options) (*Result, error) {
+	return NewSimulator(opts).Run(g)
+}
+
+// bind derives graph-shape state, reusing buffer capacity where possible.
+func (s *Simulator) bind(g *execgraph.Graph) {
+	n := len(g.Tasks)
+	s.g = g
+
+	s.depsInit = resize(s.depsInit, n)
+	s.deps = resize(s.deps, n)
+	s.earliest = resize(s.earliest, n)
+	s.start = resize(s.start, n)
+	s.end = resize(s.end, n)
+	s.done = resize(s.done, n)
+	s.procTime = resize(s.procTime, len(g.Procs))
+	s.procCursor = resize(s.procCursor, len(g.Procs))
+
+	s.procKernels = resize(s.procKernels, len(g.Procs))
+	for p := range s.procKernels {
+		s.procKernels[p] = s.procKernels[p][:0]
+	}
+	s.rankGPUProcs = resize(s.rankGPUProcs, g.NumRanks)
+	for r := range s.rankGPUProcs {
+		s.rankGPUProcs[r] = s.rankGPUProcs[r][:0]
+	}
 	for i := range g.Tasks {
 		t := &g.Tasks[i]
-		s.deps[i] = t.NFixedIn
+		s.depsInit[i] = t.NFixedIn
 		if t.Kind == execgraph.TaskGPU {
 			s.procKernels[t.Proc] = append(s.procKernels[t.Proc], int32(i))
 		}
 	}
-	s.rankGPUProcs = make([][]int32, g.NumRanks)
 	for p := range g.Procs {
 		if g.Procs[p].IsGPU {
 			r := g.Procs[p].Rank
 			s.rankGPUProcs[r] = append(s.rankGPUProcs[r], int32(p))
 		}
 	}
-	if opts.CoupleCollectives {
-		for key, members := range g.Groups {
-			cg := &collGroup{expected: len(members)}
-			s.groups[key] = cg
+
+	clear(s.groupIdxOf)
+	s.nGroups = 0
+	if s.opts.CoupleCollectives {
+		s.groupExpect = s.groupExpect[:0]
+		for _, members := range g.Groups {
+			idx := int32(s.nGroups)
+			s.nGroups++
+			s.groupExpect = append(s.groupExpect, int32(len(members)))
 			for _, id := range members {
-				s.groupOf[id] = key
+				s.groupIdxOf[id] = idx
 			}
 		}
 	}
+	s.groupArrived = resize(s.groupArrived, s.nGroups)
+	s.groupReady = resize(s.groupReady, s.nGroups)
+}
+
+// resize returns a slice of length n, reusing s's capacity.
+func resize[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
+}
+
+// reset clears per-run state.
+func (s *Simulator) reset() {
+	copy(s.deps, s.depsInit)
+	clear(s.earliest)
+	clear(s.done)
+	clear(s.procTime)
+	clear(s.procCursor)
+	s.ready = s.ready[:0]
+	clear(s.syncWaiters)
+	clear(s.syncMaxEnd)
+	for i := 0; i < s.nGroups; i++ {
+		s.groupArrived[i] = s.groupArrived[i][:0]
+		s.groupReady[i] = s.groupReady[i][:0]
+	}
+	s.executed = 0
+}
+
+func (s *Simulator) run(g *execgraph.Graph, v *execgraph.Retimed) (*Result, error) {
+	// Shape state is keyed on graph identity; re-derive it if the graph
+	// grew since it was bound (builders may append tasks between runs).
+	// Mutating the edges of an already-bound graph is not supported.
+	if s.g != g || len(s.depsInit) != len(g.Tasks) {
+		s.bind(g)
+	}
+	s.view = v
+	s.reset()
+
+	n := len(g.Tasks)
 	for i := range g.Tasks {
 		if s.deps[i] == 0 {
 			heap.Push(&s.ready, readyItem{int32(i), g.Tasks[i].Start})
 		}
 	}
-
 	for s.ready.Len() > 0 {
 		it := heap.Pop(&s.ready).(readyItem)
 		s.execute(it.task)
 	}
 
 	if s.executed != n {
-		return nil, fmt.Errorf("replay: simulated %d of %d tasks (dependency deadlock; graph invalid)", s.executed, n)
+		e := &DeadlockError{Executed: s.executed, Total: n}
+		for i := range s.done {
+			if !s.done[i] {
+				e.Stuck = append(e.Stuck, int32(i))
+				if len(e.Stuck) == 8 {
+					break
+				}
+			}
+		}
+		return nil, e
 	}
 
 	res := &Result{Start: s.start, End: s.end, Executed: s.executed}
@@ -193,8 +294,24 @@ func Run(g *execgraph.Graph, opts Options) (*Result, error) {
 	return res, nil
 }
 
+// dur returns a task's effective duration through the active view.
+func (s *Simulator) dur(id int32) trace.Dur {
+	if s.view != nil {
+		return s.view.Dur(id)
+	}
+	return s.g.Tasks[id].Dur
+}
+
+// groupDur returns a task's effective intrinsic collective duration.
+func (s *Simulator) groupDur(id int32) trace.Dur {
+	if s.view != nil {
+		return s.view.GroupDur(id)
+	}
+	return s.g.Tasks[id].GroupDur
+}
+
 // execute runs one ready task, applying runtime-dependency semantics.
-func (s *sim) execute(id int32) {
+func (s *Simulator) execute(id int32) {
 	t := &s.g.Tasks[id]
 
 	// Runtime dependencies of synchronization tasks: all kernels enqueued
@@ -213,8 +330,8 @@ func (s *sim) execute(id int32) {
 
 	// Collective rendezvous.
 	if s.opts.CoupleCollectives {
-		if key, ok := s.groupOf[id]; ok {
-			s.arrive(id, key)
+		if gi, ok := s.groupIdxOf[id]; ok {
+			s.arrive(id, gi)
 			return
 		}
 	}
@@ -223,13 +340,13 @@ func (s *sim) execute(id int32) {
 	if p := s.procTime[t.Proc]; p > start {
 		start = p
 	}
-	s.finish(id, start, start+t.Dur)
+	s.finish(id, start, start+s.dur(id))
 }
 
 // foldStreamFrontiers accounts for already-simulated kernels on the awaited
 // stream(s): their completion times are the stream frontiers, which lower-
 // bound the sync's end.
-func (s *sim) foldStreamFrontiers(id int32, t *execgraph.Task) {
+func (s *Simulator) foldStreamFrontiers(id int32, t *execgraph.Task) {
 	for _, p := range s.rankGPUProcs[t.Rank] {
 		proc := &s.g.Procs[p]
 		if t.Sync == execgraph.SyncStream && proc.TID != int(t.SyncStreamID) {
@@ -244,7 +361,7 @@ func (s *sim) foldStreamFrontiers(id int32, t *execgraph.Task) {
 // gatherSyncDeps registers the sync task as a waiter on every unfinished
 // enqueued kernel of its target stream(s); it returns the number of
 // registrations.
-func (s *sim) gatherSyncDeps(id int32, t *execgraph.Task) int32 {
+func (s *Simulator) gatherSyncDeps(id int32, t *execgraph.Task) int32 {
 	var pending int32
 	register := func(proc int32) {
 		kerns := s.procKernels[proc]
@@ -275,7 +392,7 @@ func (s *sim) gatherSyncDeps(id int32, t *execgraph.Task) int32 {
 
 // finishSync completes a synchronization task once its awaited kernels are
 // done: it blocks from its start until the latest of them finished.
-func (s *sim) finishSync(id int32, t *execgraph.Task) {
+func (s *Simulator) finishSync(id int32, t *execgraph.Task) {
 	start := s.earliest[id]
 	if p := s.procTime[t.Proc]; p > start {
 		start = p
@@ -290,41 +407,40 @@ func (s *sim) finishSync(id int32, t *execgraph.Task) {
 
 // arrive registers a collective member; the group resolves when all
 // participants have arrived, finishing together at max(ready)+GroupDur.
-func (s *sim) arrive(id int32, key execgraph.GroupKey) {
+func (s *Simulator) arrive(id int32, gi int32) {
 	t := &s.g.Tasks[id]
 	ready := s.earliest[id]
 	if p := s.procTime[t.Proc]; p > ready {
 		ready = p
 	}
-	cg := s.groups[key]
-	cg.arrived = append(cg.arrived, id)
-	cg.ready = append(cg.ready, ready)
+	s.groupArrived[gi] = append(s.groupArrived[gi], id)
+	s.groupReady[gi] = append(s.groupReady[gi], ready)
 	// Block the stream until the collective resolves so later kernels in
 	// the queue cannot jump ahead (they depend on this task anyway via the
 	// intra-stream chain; this keeps procTime consistent).
-	if len(cg.arrived) < cg.expected {
+	if int32(len(s.groupArrived[gi])) < s.groupExpect[gi] {
 		return
 	}
+	arrived, readyT := s.groupArrived[gi], s.groupReady[gi]
 	var maxReady trace.Time
-	for _, r := range cg.ready {
+	for _, r := range readyT {
 		if r > maxReady {
 			maxReady = r
 		}
 	}
-	dur := s.g.Tasks[cg.arrived[0]].GroupDur
+	dur := s.groupDur(arrived[0])
 	if dur <= 0 {
-		dur = s.g.Tasks[cg.arrived[0]].Dur
+		dur = s.dur(arrived[0])
 	}
 	end := maxReady + dur
-	for i, member := range cg.arrived {
-		s.finish(member, cg.ready[i], end)
+	for i, member := range arrived {
+		s.finish(member, readyT[i], end)
 	}
-	delete(s.groups, key)
 }
 
 // finish completes a task: records times, advances its processor, unblocks
 // dependents, sync waiters, and GPU queue cursors.
-func (s *sim) finish(id int32, start, end trace.Time) {
+func (s *Simulator) finish(id int32, start, end trace.Time) {
 	t := &s.g.Tasks[id]
 	s.start[id] = start
 	s.end[id] = end

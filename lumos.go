@@ -74,6 +74,11 @@ func WithConcurrency(n int) Option { return core.WithConcurrency(n) }
 // WithSeed sets the profiling seed Evaluate uses for the base profile.
 func WithSeed(seed uint64) Option { return core.WithSeed(seed) }
 
+// WithScenarioCache enables or disables sweep-level memoization of
+// fingerprintable scenario results (default on): duplicate grid points
+// across Evaluate calls on one campaign state return cached results.
+func WithScenarioCache(enabled bool) Option { return core.WithScenarioCache(enabled) }
+
 // Workload and deployment types.
 type (
 	// Arch is a transformer architecture description.
@@ -100,8 +105,11 @@ type (
 	// Request describes a graph manipulation (new parallelism or
 	// architecture).
 	Request = manip.Request
-	// PredictResult is a manipulation prediction.
+	// PredictResult is a manipulation prediction in trace form.
 	PredictResult = manip.Result
+	// PredictGraphResult is a trace-free manipulation prediction: the
+	// synthesized execution graph with predicted timestamps.
+	PredictGraphResult = manip.GraphResult
 )
 
 // Kernel classes, re-exported for scenario predicates.
@@ -151,6 +159,10 @@ func RankBreakdown(t *Trace) Breakdown { return analysis.RankBreakdown(t) }
 // MultiBreakdown averages per-rank breakdowns.
 func MultiBreakdown(m *Multi) Breakdown { return analysis.MultiBreakdown(m) }
 
+// GraphBreakdown is MultiBreakdown computed directly from an execution
+// graph's timestamps (e.g. a synthesized prediction), with no trace.
+func GraphBreakdown(g *Graph) Breakdown { return analysis.GraphBreakdown(g) }
+
 // SMUtilization returns per-window GPU busy fractions (Figure 6).
 func SMUtilization(t *Trace, windowNs int64) []float64 {
 	return analysis.SMUtilization(t, windowNs)
@@ -170,56 +182,17 @@ type FusionReport = analysis.FusionReport
 // annotations) into per-iteration trace sets.
 func SplitIterations(m *Multi) []*Multi { return trace.SplitIterationsMulti(m) }
 
-// --- Deprecated shims -------------------------------------------------------
-//
-// The pre-campaign API built manipulation Requests and ran what-if analyses
-// as disjoint free functions, one prediction per call with no shared
-// calibration. They remain as thin shims; new code should express the same
-// intents as Scenarios and evaluate them with Toolkit.Evaluate.
+// Retimed is a copy-on-write duration view over a Graph: what-ifs retime
+// kernels without cloning the task array, and overrides compose (scale a
+// class, then apply fusion, then replay once). Toolkit what-if methods and
+// scenarios use it internally; it is exported for custom analyses.
+type Retimed = execgraph.Retimed
 
-// Options configures a Toolkit as a literal struct.
-//
-// Deprecated: use New with functional options.
-type Options = core.Options
+// NewRetimed returns a retiming view over g with no overrides.
+func NewRetimed(g *Graph) *Retimed { return execgraph.NewRetimed(g) }
 
-// NewFromOptions returns a toolkit from a literal Options value.
-//
-// Deprecated: use New with functional options.
-func NewFromOptions(o Options) *Toolkit { return core.NewFromOptions(o) }
+// FusionOpts tunes the operator-fusion what-if.
+type FusionOpts = analysis.FusionOpts
 
-// ScaleDP returns a Request scaling only data parallelism.
-//
-// Deprecated: use ScaleDPScenario with Toolkit.Evaluate.
-func ScaleDP(base Config, dp int) Request { return manip.ScaleDP(base, dp) }
-
-// ScalePP returns a Request scaling pipeline parallelism.
-//
-// Deprecated: use ScalePPScenario with Toolkit.Evaluate.
-func ScalePP(base Config, pp int) Request { return manip.ScalePP(base, pp) }
-
-// Scale3D returns a Request changing PP and DP simultaneously.
-//
-// Deprecated: use Scale3DScenario with Toolkit.Evaluate.
-func Scale3D(base Config, pp, dp int) Request { return manip.Scale3D(base, pp, dp) }
-
-// ChangeArch returns a Request replacing the architecture.
-//
-// Deprecated: use ArchScenario with Toolkit.Evaluate.
-func ChangeArch(base Config, target Config) Request { return manip.ChangeArch(base, target) }
-
-// WhatIfScale estimates the makespan if kernels matched by the predicate ran
-// at the given duration factor.
-//
-// Deprecated: use KernelScaleScenario or ClassScaleScenario with
-// Toolkit.Evaluate.
-func WhatIfScale(g *Graph, match func(*Task) bool, factor float64) (int64, error) {
-	return analysis.WhatIfScale(g, match, factor)
-}
-
-// WhatIfFusion estimates the benefit of fusing consecutive elementwise/
-// norm/softmax kernels.
-//
-// Deprecated: use FusionScenario with Toolkit.Evaluate.
-func WhatIfFusion(g *Graph) (FusionReport, error) {
-	return analysis.WhatIfFusion(g, analysis.DefaultFusionOpts())
-}
+// DefaultFusionOpts matches a fused elementwise/norm epilogue pattern.
+func DefaultFusionOpts() FusionOpts { return analysis.DefaultFusionOpts() }

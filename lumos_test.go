@@ -62,8 +62,10 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 		t.Fatal("dPRO replay should be optimistic (shorter)")
 	}
 
-	// Manipulation through the deprecated single-shot path.
-	pred, err := tk.Predict(ctx, ScaleDP(cfg, 4), traces)
+	// Manipulation through the single-shot trace path.
+	scaled := cfg
+	scaled.Map.DP = 4
+	pred, err := tk.Predict(ctx, Request{Base: cfg, Target: scaled}, traces)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,12 +73,21 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 		t.Fatalf("scaled world = %d", pred.Trace.NumRanks())
 	}
 
-	// What-if through the deprecated free function.
+	// The trace-free direct-synthesis path must predict identically.
+	gpred, err := tk.PredictGraph(ctx, Request{Base: cfg, Target: scaled}, traces)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gpred.Iteration != pred.Iteration {
+		t.Fatalf("direct synthesis predicted %d, trace round trip %d", gpred.Iteration, pred.Iteration)
+	}
+
+	// Graph-level what-if through the toolkit.
 	g, err := tk.BuildGraph(ctx, traces)
 	if err != nil {
 		t.Fatal(err)
 	}
-	free, err := WhatIfScale(g, func(tk *Task) bool { return tk.Class == KCComm }, 0)
+	free, err := tk.WhatIfScale(ctx, g, func(tk *Task) bool { return tk.Class == KCComm }, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -143,6 +143,126 @@ func TestEvaluateDeterminism(t *testing.T) {
 	}
 }
 
+// TestPooledSimulatorDeterminism stresses the simulator pool: a campaign of
+// many what-if retimings (which all replay the shared base graph on pooled,
+// state-reusing simulators) must produce identical ranked results serially
+// and on an 8-wide worker pool.
+func TestPooledSimulatorDeterminism(t *testing.T) {
+	ctx := context.Background()
+	base := sweepBase(t)
+
+	scenarios := []Scenario{
+		BaselineScenario(),
+		FusionScenario(),
+	}
+	for _, class := range []KernelClass{KCGEMM, KCAttention, KCElementwise, KCNorm, KCComm} {
+		scenarios = append(scenarios,
+			ClassScaleScenario(class, 0.5),
+			ClassScaleScenario(class, 0.9),
+		)
+	}
+
+	run := func(workers int) *SweepResult {
+		t.Helper()
+		tk := New(WithConcurrency(workers), WithSeed(42))
+		sweep, err := tk.Evaluate(ctx, base, scenarios...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sweep
+	}
+	serial := run(1)
+	wide := run(8)
+	if !reflect.DeepEqual(serial.Results, wide.Results) {
+		t.Fatal("pooled-simulator sweep results depend on worker count")
+	}
+}
+
+// TestScenarioMemoization verifies sweep-level fingerprinting: duplicate
+// grid points — within one EvaluateState call and across calls on the same
+// campaign state — are served from the cache, with results identical to an
+// uncached sweep, and without any further profiling or calibration.
+func TestScenarioMemoization(t *testing.T) {
+	ctx := context.Background()
+	base := sweepBase(t)
+	scenarios := campaignScenarios()
+	// Duplicate grid points, spelled two ways that resolve to the same
+	// target deployment.
+	scenarios = append(scenarios,
+		ScaleDPScenario(2),
+		DeploymentScenario(GPT3_15B(), 2, 2, 2),
+		// Same target as the base spelled under two different scenario
+		// kinds: the cache must never let one serve the other's result.
+		ArchScenario(GPT3_15B()),
+		DeploymentScenario(GPT3_15B(), 2, 2, 1),
+	)
+
+	tk := New(WithSeed(42))
+	st, err := tk.Prepare(ctx, sweepBase(t), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := tk.EvaluateState(ctx, st, scenarios...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, entries := st.MemoStats()
+	if entries == 0 {
+		t.Fatal("no scenario results were memoized")
+	}
+
+	second, err := tk.EvaluateState(ctx, st, scenarios...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits, _ := st.MemoStats()
+	if hits < int64(entries) {
+		t.Fatalf("second sweep hit the cache %d times, want >= %d", hits, entries)
+	}
+	if !reflect.DeepEqual(first.Results, second.Results) {
+		t.Fatal("memoized sweep diverged from its first evaluation")
+	}
+	// Kinds survive cache hits: the arch-flavored and deploy-flavored
+	// spellings of the base target must each keep their own kind.
+	kinds := map[string]int{}
+	for _, r := range second.Results {
+		kinds[r.Kind]++
+	}
+	if kinds["arch"] != 2 { // ArchScenario(V1) from the base campaign + ArchScenario(15B)
+		t.Fatalf("an arch scenario lost its kind across the cache: %v", kinds)
+	}
+	if profiles, libs := tk.Counters(); profiles != 1 || libs != 1 {
+		t.Fatalf("memoized re-sweep re-calibrated: %d profiles, %d library builds", profiles, libs)
+	}
+
+	// An uncached toolkit sharing nothing must agree on every prediction.
+	plain := New(WithSeed(42), WithScenarioCache(false))
+	uncached, err := plain.Evaluate(ctx, base, scenarios...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(first.Results, uncached.Results) {
+		t.Fatal("cached and uncached sweeps disagree")
+	}
+	if h, e := uncachedMemoStats(plain, ctx, base); h != 0 || e != 0 {
+		t.Fatalf("cache-disabled sweep still memoized: hits=%d entries=%d", h, e)
+	}
+}
+
+// uncachedMemoStats runs a tiny cache-disabled sweep and reports its memo
+// activity.
+func uncachedMemoStats(tk *Toolkit, ctx context.Context, base Config) (int64, int64) {
+	st, err := tk.Prepare(ctx, base, 42)
+	if err != nil {
+		return -1, -1
+	}
+	if _, err := tk.EvaluateState(ctx, st, BaselineScenario(), BaselineScenario()); err != nil {
+		return -1, -1
+	}
+	hits, entries := st.MemoStats()
+	return hits, entries
+}
+
 // cancelScenario cancels its sweep's context from inside Run.
 type cancelScenario struct {
 	cancel context.CancelFunc
