@@ -1,6 +1,10 @@
 GO ?= go
 
-.PHONY: check fmt vet build test bench benchsmoke
+# SWEEP_BENCH selects the sweep hot-path benchmarks (shared calibration,
+# uncached throughput, fabric binding) shared by bench and bench-smoke.
+SWEEP_BENCH = BenchmarkSweep_SharedCalibration$$|BenchmarkSweepThroughput$$|BenchmarkSweep_FabricCampaign
+
+.PHONY: check fmt vet build test bench bench-smoke benchsmoke
 
 # check is the CI gate: formatting, static analysis, full build, tests, and
 # a one-iteration benchmark smoke pass.
@@ -23,11 +27,19 @@ test:
 benchsmoke:
 	$(GO) test -run xxx -bench . -benchtime 1x ./...
 
-# bench measures the sweep hot path (shared-calibration campaign and raw
-# uncached throughput) with allocation stats, archiving the results as
-# machine-readable JSON in BENCH_sweep.json. The bench output lands in a
-# file first so a benchmark failure fails the target (no pipeline masking).
+# bench measures the sweep hot path (shared-calibration campaign, raw
+# uncached throughput, and per-fabric binding) with allocation stats,
+# archiving the results as machine-readable JSON in BENCH_sweep.json —
+# fabric-parameterized entries carry a "fabric" label so numbers are
+# comparable across topologies. The bench output lands in a file first so a
+# benchmark failure fails the target (no pipeline masking).
 bench:
-	$(GO) test -run xxx -bench 'BenchmarkSweep_SharedCalibration$$|BenchmarkSweepThroughput$$' \
+	$(GO) test -run xxx -bench '$(SWEEP_BENCH)' \
 		-benchmem -benchtime 20x -count 1 . > BENCH_sweep.txt
 	$(GO) run ./cmd/benchjson < BENCH_sweep.txt > BENCH_sweep.json
+
+# bench-smoke runs the sweep benchmarks exactly once: a fast CI gate so
+# fabric-binding or calibration regressions in the hot path fail the build
+# without paying for a full measurement run.
+bench-smoke:
+	$(GO) test -run xxx -bench '$(SWEEP_BENCH)' -benchtime 1x -count 1 .

@@ -490,6 +490,50 @@ func BenchmarkSweepThroughput(b *testing.B) {
 	b.ReportMetric(float64(len(scenarios)), "scenarios/sweep")
 }
 
+// BenchmarkSweep_FabricCampaign measures the fabric-binding hot path per
+// topology: a campaign of fabric × degradation what-ifs evaluated against
+// prepared base state, with memoization disabled so every iteration pays
+// the full re-pricing cost. Sub-benchmarks carry a fabric=<preset> label
+// that cmd/benchjson records in BENCH_sweep.json, making entries comparable
+// across topologies.
+func BenchmarkSweep_FabricCampaign(b *testing.B) {
+	ctx := context.Background()
+	cfg, err := DeploymentConfig(GPT3_15B(), 2, 2, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg.Microbatches = 4
+	world := cfg.Map.WorldSize()
+	for _, fb := range []Fabric{
+		H100Cluster(world),
+		NVLDomainFabric(world),
+		OversubscribedFabric(world, 4),
+	} {
+		fb := fb
+		b.Run("fabric="+fb.FabricName(), func(b *testing.B) {
+			tk := New(WithConcurrency(4), WithScenarioCache(false))
+			base, err := tk.Prepare(ctx, cfg, 42)
+			if err != nil {
+				b.Fatal(err)
+			}
+			scenarios := append([]Scenario{BaselineScenario()},
+				FabricSweep([]Fabric{fb}, []float64{1, 0.5})...)
+			b.ResetTimer()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				sweep, err := tk.EvaluateState(ctx, base, scenarios...)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(sweep.Results) != len(scenarios) {
+					b.Fatal("scenario lost")
+				}
+			}
+			b.ReportMetric(float64(len(scenarios)), "scenarios/sweep")
+		})
+	}
+}
+
 // BenchmarkMultiIterationProfile measures the multi-step profiling window
 // and iteration splitting path.
 func BenchmarkMultiIterationProfile(b *testing.B) {

@@ -9,19 +9,29 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"regexp"
 	"strconv"
 	"strings"
 )
 
 // result is one parsed benchmark line.
 type result struct {
-	Name       string             `json:"name"`
-	Iterations int64              `json:"iterations"`
+	Name       string `json:"name"`
+	Iterations int64  `json:"iterations"`
+	// Fabric is the topology label for fabric-parameterized benchmarks
+	// (sub-benchmark names containing "fabric=<preset>"), so entries in
+	// BENCH_sweep.json are comparable across topologies.
+	Fabric     string             `json:"fabric,omitempty"`
 	NsPerOp    float64            `json:"ns_per_op,omitempty"`
 	BytesPerOp float64            `json:"bytes_per_op,omitempty"`
 	AllocsOp   float64            `json:"allocs_per_op,omitempty"`
 	Metrics    map[string]float64 `json:"metrics,omitempty"`
 }
+
+// fabricRe extracts the fabric label from a sub-benchmark name like
+// "BenchmarkSweep_FabricCampaign/fabric=nvl72-8" (the trailing -N is the
+// GOMAXPROCS suffix go test appends).
+var fabricRe = regexp.MustCompile(`fabric=([^/]+?)(?:-\d+)?$`)
 
 func parseLine(line string) (result, bool) {
 	fields := strings.Fields(line)
@@ -33,6 +43,9 @@ func parseLine(line string) (result, bool) {
 		return result{}, false
 	}
 	r := result{Name: fields[0], Iterations: iters, Metrics: map[string]float64{}}
+	if m := fabricRe.FindStringSubmatch(fields[0]); m != nil {
+		r.Fabric = m[1]
+	}
 	// The remainder alternates value / unit.
 	for i := 2; i+1 < len(fields); i += 2 {
 		v, err := strconv.ParseFloat(fields[i], 64)

@@ -20,11 +20,13 @@
 //	    given duration factor
 //	lumos sweep     -model 15b -tp 2 -pp 2 -dp 4 -mb 8 [-in traces/] \
 //	                [-pp-range 2,4,8] [-dp-range 4,8,16] [-arch v1,v2,v3,v4] \
+//	                [-fabric flat,nvl72,spine4] [-degrade 1,0.75,0.5] \
 //	                [-whatif] [-top 10] [-workers 0]
 //	    profile the base deployment once (or reuse -in traces), then
 //	    evaluate a whole what-if campaign — a TP×PP×DP grid, architecture
-//	    variants and kernel counterfactuals — concurrently against shared
-//	    calibration, printing results ranked by predicted iteration time
+//	    variants, network fabrics and degradation factors, and kernel
+//	    counterfactuals — concurrently against shared calibration, printing
+//	    results ranked by predicted iteration time
 //
 // All subcommands honor Ctrl-C: the context is canceled and in-flight
 // sweeps stop.
@@ -314,6 +316,46 @@ func cmdWhatIf(ctx context.Context, args []string) error {
 	return nil
 }
 
+// fabricByName resolves a fabric preset for the given world size:
+// "flat" (the two-tier H100 cluster), "nvl72" (rack-scale NVLink domains),
+// or "spineN" (leaf/spine with an N:1 oversubscribed spine, e.g. spine4).
+func fabricByName(name string, world int) (lumos.Fabric, error) {
+	n := strings.ToLower(strings.TrimSpace(name))
+	switch {
+	case n == "flat" || n == "h100":
+		return lumos.H100Cluster(world), nil
+	case n == "nvl72":
+		return lumos.NVLDomainFabric(world), nil
+	case strings.HasPrefix(n, "spine"):
+		factor := 1.0
+		if rest := strings.TrimPrefix(n, "spine"); rest != "" {
+			f, err := strconv.ParseFloat(rest, 64)
+			if err != nil || f < 1 {
+				return nil, fmt.Errorf("bad oversubscription factor in %q", name)
+			}
+			factor = f
+		}
+		return lumos.OversubscribedFabric(world, factor), nil
+	}
+	return nil, fmt.Errorf("unknown fabric %q (want flat|nvl72|spine[N])", name)
+}
+
+// parseFloatList parses "1,0.75,0.5" into []float64.
+func parseFloatList(s string) ([]float64, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad list element %q: %w", part, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
 // parseIntList parses "2,4,8" into []int.
 func parseIntList(s string) ([]int, error) {
 	if strings.TrimSpace(s) == "" {
@@ -338,6 +380,8 @@ func cmdSweep(ctx context.Context, args []string) error {
 	ppRange := fs.String("pp-range", "", "comma-separated PP grid")
 	dpRange := fs.String("dp-range", "", "comma-separated DP grid")
 	archList := fs.String("arch", "", "comma-separated architecture variants (e.g. v1,v2,v3,v4)")
+	fabricList := fs.String("fabric", "", "comma-separated fabric presets to re-price the base on (flat|nvl72|spine[N])")
+	degradeList := fs.String("degrade", "", "comma-separated network bandwidth factors for degraded-network what-ifs, applied to every tier beyond the NVLink domain (e.g. 1,0.75,0.5)")
 	whatIf := fs.Bool("whatif", false, "include kernel counterfactuals (2x GEMM/attention/comm, operator fusion)")
 	top := fs.Int("top", 10, "print only the K best-ranked scenarios (0 = all)")
 	workers := fs.Int("workers", 0, "sweep worker pool size (0 = auto)")
@@ -379,6 +423,23 @@ func cmdSweep(ctx context.Context, args []string) error {
 			}
 			scenarios = append(scenarios, lumos.ArchScenario(arch))
 		}
+	}
+	if *fabricList != "" || *degradeList != "" {
+		var fabrics []lumos.Fabric
+		if *fabricList != "" {
+			for _, name := range strings.Split(*fabricList, ",") {
+				f, err := fabricByName(name, base.Map.WorldSize())
+				if err != nil {
+					return err
+				}
+				fabrics = append(fabrics, f)
+			}
+		}
+		factors, err := parseFloatList(*degradeList)
+		if err != nil {
+			return err
+		}
+		scenarios = append(scenarios, lumos.FabricSweep(fabrics, factors)...)
 	}
 	if *whatIf {
 		scenarios = append(scenarios,
@@ -433,7 +494,7 @@ func cmdSweep(ctx context.Context, args []string) error {
 			continue
 		}
 		notes := r.Detail
-		if r.LibraryHits+r.LibraryMisses > 0 {
+		if notes == "" && r.LibraryHits+r.LibraryMisses > 0 {
 			notes = fmt.Sprintf("%d kernels measured, %d modeled", r.LibraryHits, r.LibraryMisses)
 		}
 		fmt.Printf("%4d  %-24s %-13s %6d %10.1fms %8.2fx %+8.1f%%  %s\n",

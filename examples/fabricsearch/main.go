@@ -1,0 +1,59 @@
+// fabricsearch: the network what-if campaign. Profile a GPT-3 deployment
+// once on the paper's flat H100/RoCE testbed, then ask the questions
+// operators actually ask about the fabric — would NVL72-class NVLink
+// domains pay off, how much does an oversubscribed spine cost, and how does
+// the job degrade when links run below nominal bandwidth — all against the
+// same calibration, without touching a cluster.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"lumos"
+)
+
+func main() {
+	ctx := context.Background()
+	tk := lumos.New(lumos.WithConcurrency(8))
+
+	base, err := lumos.DeploymentConfig(lumos.GPT3_15B(), 2, 2, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	base.Microbatches = 8
+	world := base.Map.WorldSize()
+
+	// The fabric grid: the profiled flat testbed, rack-scale NVLink domains,
+	// and a 4:1 oversubscribed leaf/spine — each at nominal bandwidth and
+	// with every network tier degraded to 75% and 50%.
+	fabrics := []lumos.Fabric{
+		lumos.H100Cluster(world),
+		lumos.NVLDomainFabric(world),
+		lumos.OversubscribedFabric(world, 4),
+	}
+	scenarios := append([]lumos.Scenario{lumos.BaselineScenario()},
+		lumos.FabricSweep(fabrics, []float64{1, 0.75, 0.5})...)
+
+	sweep, err := tk.Evaluate(ctx, base, scenarios...)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("base %s %dx%dx%d on %d GPUs: %.1fms/iter\n\n",
+		base.Arch.Name, base.Map.TP, base.Map.PP, base.Map.DP, world,
+		float64(sweep.Base.Iteration)/1e6)
+	fmt.Printf("%-22s %12s %9s  %s\n", "fabric", "pred/iter", "speedup", "notes")
+	for _, r := range sweep.Results {
+		if !r.Feasible() {
+			fmt.Printf("%-22s %12s %9s  infeasible: %s\n", r.Name, "-", "-", r.Err)
+			continue
+		}
+		fmt.Printf("%-22s %10.1fms %8.2fx  %s\n",
+			r.Name, float64(r.Iteration)/1e6, r.Speedup, r.Detail)
+	}
+	if best, ok := sweep.Best(); ok {
+		fmt.Printf("\nbest fabric point: %s (%.2fx vs profiled testbed)\n", best.Name, best.Speedup)
+	}
+}

@@ -1,0 +1,218 @@
+// Fabric-layer regression tests: the hierarchical pricing path must
+// reproduce the flat alpha-beta path bit-for-bit on the paper's two-tier
+// testbed, and fabric/degradation campaigns must be deterministic under any
+// worker count.
+package lumos
+
+import (
+	"context"
+	"reflect"
+	"testing"
+)
+
+// fig7Fig8Scenarios is the manipulation set behind the paper's Figure 7
+// (DP/PP/3D scaling) and Figure 8 (architecture variants), plus the base
+// point.
+func fig7Fig8Scenarios() []Scenario {
+	return []Scenario{
+		BaselineScenario(),
+		ScaleDPScenario(4),
+		ScalePPScenario(4),
+		Scale3DScenario(4, 4),
+		ArchScenario(GPT3_V1()),
+		ArchScenario(GPT3_V3()),
+	}
+}
+
+// TestHierPricerFig7Fig8Equivalence is the equivalence regression from the
+// fabric refactor: running the entire predict pipeline — ground-truth
+// profiling, kernel-library and fitted-model calibration, and every
+// fig7/fig8 manipulation — with the hierarchical pricer bound to the
+// two-tier H100 fabric must reproduce the flat alpha-beta model's
+// predictions bit-identically.
+func TestHierPricerFig7Fig8Equivalence(t *testing.T) {
+	ctx := context.Background()
+	base, err := DeploymentConfig(GPT3_15B(), 2, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base.Microbatches = 8
+
+	flatTK := New(WithSeed(42)) // default: flat H100 cluster + alpha-beta Model
+	hierTK := New(WithSeed(42), WithFabric(TwoTierFabric(H100Cluster(base.Map.WorldSize()))))
+
+	flat, err := flatTK.Evaluate(ctx, base, fig7Fig8Scenarios()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hier, err := hierTK.Evaluate(ctx, base, fig7Fig8Scenarios()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if flat.Base.Iteration != hier.Base.Iteration {
+		t.Fatalf("base profiles diverge: flat %d, hier %d", flat.Base.Iteration, hier.Base.Iteration)
+	}
+	if len(flat.Results) != len(hier.Results) {
+		t.Fatalf("result counts diverge: %d vs %d", len(flat.Results), len(hier.Results))
+	}
+	for i := range flat.Results {
+		f, h := flat.Results[i], hier.Results[i]
+		if f.Name != h.Name || f.Iteration != h.Iteration || f.Breakdown != h.Breakdown ||
+			f.LibraryHits != h.LibraryHits || f.LibraryMisses != h.LibraryMisses {
+			t.Errorf("rank %d: flat %q iter=%d (hits %d/misses %d) vs hier %q iter=%d (hits %d/misses %d)",
+				i, f.Name, f.Iteration, f.LibraryHits, f.LibraryMisses,
+				h.Name, h.Iteration, h.LibraryHits, h.LibraryMisses)
+		}
+		if !f.Feasible() {
+			t.Errorf("%q infeasible: %s", f.Name, f.Err)
+		}
+	}
+}
+
+// TestFabricSweepDeterministicRanked is the acceptance test for fabric
+// what-ifs: a campaign combining a deployment grid with 2 fabrics × 2
+// degradation factors (plus a base-fabric degradation) returns identical
+// ranked results serially and on an 8-wide worker pool, with every fabric
+// point feasible and the degraded points never faster than their nominal
+// fabric.
+func TestFabricSweepDeterministicRanked(t *testing.T) {
+	ctx := context.Background()
+	base, err := DeploymentConfig(GPT3_15B(), 2, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base.Microbatches = 4
+	world := base.Map.WorldSize()
+
+	scenarios := func() []Scenario {
+		s := GridSweep(GPT3_15B(), []int{2}, []int{1, 2}, []int{1, 2})
+		s = append(s, FabricSweep(
+			[]Fabric{NVLDomainFabric(world), OversubscribedFabric(world, 4)},
+			[]float64{1, 0.5})...)
+		s = append(s, BaselineScenario(), DegradeLinksScenario(1, 0.5))
+		return s
+	}
+
+	run := func(workers int) *SweepResult {
+		t.Helper()
+		tk := New(WithConcurrency(workers), WithSeed(42))
+		sweep, err := tk.Evaluate(ctx, base, scenarios()...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sweep
+	}
+	serial := run(1)
+	wide := run(8)
+	if !reflect.DeepEqual(serial.Results, wide.Results) {
+		t.Fatal("fabric sweep results depend on worker count")
+	}
+
+	byName := map[string]ScenarioResult{}
+	fabricPoints := 0
+	for _, r := range serial.Results {
+		if r.Kind == "fabric" {
+			fabricPoints++
+			if !r.Feasible() {
+				t.Errorf("fabric point %q infeasible: %s", r.Name, r.Err)
+			}
+			byName[r.Name] = r
+		}
+	}
+	if fabricPoints != 5 { // 2 fabrics × 2 factors + base-fabric degradation
+		t.Fatalf("campaign evaluated %d fabric points, want 5", fabricPoints)
+	}
+	for _, pair := range [][2]string{
+		{"nvl72", "nvl72 bw*0.5"},
+		{"spine4", "spine4 bw*0.5"},
+	} {
+		nominal, degraded := byName[pair[0]], byName[pair[1]]
+		if degraded.Iteration < nominal.Iteration {
+			t.Errorf("%s (%d) predicts faster than %s (%d)",
+				pair[1], degraded.Iteration, pair[0], nominal.Iteration)
+		}
+	}
+}
+
+// TestWithPricerSwapsBackend verifies the pricer is a genuinely swappable
+// axis: binding the phased hierarchical backend changes node-spanning
+// collective prices (and thus the profile), while remaining deterministic.
+func TestWithPricerSwapsBackend(t *testing.T) {
+	ctx := context.Background()
+	base, err := DeploymentConfig(GPT3_15B(), 2, 2, 4) // DP groups span nodes
+	if err != nil {
+		t.Fatal(err)
+	}
+	base.Microbatches = 4
+	fabric := OversubscribedFabric(base.Map.WorldSize(), 4)
+
+	profile := func(pricer func(Fabric) Pricer) *Multi {
+		t.Helper()
+		opts := []Option{WithSeed(7), WithFabric(fabric)}
+		if pricer != nil {
+			opts = append(opts, WithPricer(pricer))
+		}
+		tk := New(opts...)
+		m, err := tk.Profile(ctx, base, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	bottleneck := profile(nil)
+	phased := profile(NewPhasedPricer)
+	phased2 := profile(NewPhasedPricer)
+	if bottleneck.Duration() == phased.Duration() {
+		t.Fatal("phased pricer did not change node-spanning collective prices")
+	}
+	if phased.Duration() != phased2.Duration() {
+		t.Fatal("phased profiling is not deterministic")
+	}
+}
+
+// TestIdentityFabricMatchesIdentityDeploy pins the fabric-transfer
+// semantics: a fabric what-if targeting the very fabric the profile was
+// collected on (spelled as the preset, or as a 1.0 degradation) transfers
+// every measured communication duration unchanged, so its prediction is
+// bit-identical to the identity deployment prediction and the points share
+// a common footing with the rest of the campaign.
+func TestIdentityFabricMatchesIdentityDeploy(t *testing.T) {
+	ctx := context.Background()
+	base, err := DeploymentConfig(GPT3_15B(), 2, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base.Microbatches = 4
+
+	tk := New(WithSeed(42))
+	st, err := tk.Prepare(ctx, base, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sweep, err := tk.EvaluateState(ctx, st,
+		DeployScenario("identity", func(c Config) Config { return c }),
+		DegradeLinksScenario(1),
+		FabricScenario("same-fabric", H100Cluster(base.Map.WorldSize())),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]ScenarioResult{}
+	for _, r := range sweep.Results {
+		if !r.Feasible() {
+			t.Fatalf("%q infeasible: %s", r.Name, r.Err)
+		}
+		byName[r.Name] = r
+	}
+	identity := byName["identity"]
+	if identity.LibraryMisses != 0 {
+		t.Fatalf("identity deploy missed the library %d times", identity.LibraryMisses)
+	}
+	for _, name := range []string{"degrade=[1]", "same-fabric"} {
+		if got := byName[name].Iteration; got != identity.Iteration {
+			t.Errorf("%s predicts %d, identity deploy predicts %d — fabric transfer broke the common footing",
+				name, got, identity.Iteration)
+		}
+	}
+}

@@ -42,11 +42,14 @@ func StreamKindForID(id int) (model.StreamKind, bool) {
 
 // SimConfig tunes the ground-truth simulator.
 type SimConfig struct {
-	// Cluster is the fabric model.
-	Cluster topology.Cluster
-	// Oracle prices kernels. If nil, an H100 oracle over Cluster is used.
-	// Graph manipulation injects a trace-calibrated predictor here to turn
-	// the simulator into the paper's "new execution graph" generator.
+	// Fabric is the interconnect model: a flat two-tier topology.Cluster or
+	// any hierarchical fabric (NVLink domains, leaf/spine).
+	Fabric topology.Fabric
+	// Oracle prices kernels. If nil, a fabric-matched H100 oracle is built
+	// at Run/Synthesize time, so setting Fabric alone reprices collectives
+	// consistently. Graph manipulation injects a trace-calibrated predictor
+	// here to turn the simulator into the paper's "new execution graph"
+	// generator.
 	Oracle kernelmodel.Predictor
 	// Seed drives all stochastic draws. Two runs with different seeds are
 	// two "iterations" of the same training job.
@@ -87,8 +90,9 @@ type SimConfig struct {
 func DefaultSimConfig(numGPUs int, seed uint64) SimConfig {
 	c := topology.H100Cluster(numGPUs)
 	return SimConfig{
-		Cluster:                c,
-		Oracle:                 kernelmodel.NewOracle(c),
+		Fabric: c,
+		// Oracle stays nil: newSim builds one matched to the (possibly
+		// caller-overridden) Fabric.
 		Seed:                   seed,
 		ComputeJitterSigma:     0.025,
 		CommJitterSigma:        0.045,
@@ -339,12 +343,18 @@ func newSim(cfg parallel.Config, simCfg SimConfig, synthesize bool) (*sim, error
 		return nil, err
 	}
 	world := cfg.Map.WorldSize()
-	if simCfg.Cluster.NumGPUs < world {
-		return nil, fmt.Errorf("cluster: %d GPUs configured but deployment needs %d", simCfg.Cluster.NumGPUs, world)
+	if simCfg.Fabric == nil {
+		return nil, fmt.Errorf("cluster: no fabric configured")
+	}
+	if err := simCfg.Fabric.Validate(); err != nil {
+		return nil, fmt.Errorf("cluster: %w", err)
+	}
+	if simCfg.Fabric.Capacity() < world {
+		return nil, fmt.Errorf("cluster: %d GPUs configured but deployment needs %d", simCfg.Fabric.Capacity(), world)
 	}
 	oracle := simCfg.Oracle
 	if oracle == nil {
-		oracle = kernelmodel.NewOracle(simCfg.Cluster)
+		oracle = kernelmodel.NewOracleFabric(simCfg.Fabric, nil)
 	}
 
 	s := &sim{

@@ -318,3 +318,25 @@ func TestPropertyMakespanDominatesRanks(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestInvalidFabricRejected verifies fabric validation threads through the
+// substrate: a malformed fabric fails Run at construction instead of
+// producing silent nonsense collective costs.
+func TestInvalidFabricRejected(t *testing.T) {
+	cfg := smallConfig(t, 2, 2, 1, 2)
+	sc := DefaultSimConfig(cfg.Map.WorldSize(), 1)
+	sc.Fabric = topology.Cluster{GPUsPerNode: 8, NumGPUs: 12, IntraNodeBW: 1, InterNodeBW: 1}
+	if _, err := Run(cfg, sc); err == nil {
+		t.Fatal("ragged cluster must be rejected")
+	}
+	sc = DefaultSimConfig(cfg.Map.WorldSize(), 1)
+	sc.Fabric = nil
+	if _, err := Run(cfg, sc); err == nil {
+		t.Fatal("nil fabric must be rejected")
+	}
+	sc = DefaultSimConfig(cfg.Map.WorldSize(), 1)
+	sc.Fabric = topology.HierFabric{Name: "bad", NumGPUs: 8, Levels: []topology.Level{{GPUs: 8, BW: -1}}}
+	if _, err := Run(cfg, sc); err == nil {
+		t.Fatal("negative-bandwidth fabric must be rejected")
+	}
+}

@@ -1,14 +1,18 @@
 // Package collective prices NCCL-style communication primitives on a
-// topology.Cluster. These cost models stand in for the paper's production
+// topology.Fabric. These cost models stand in for the paper's production
 // RoCE fabric and for the network simulators (ASTRA-sim, analytical models)
 // the paper cites as alternative backends: given a primitive, payload size,
 // and participant set, they return a duration.
 //
-// The models are the standard alpha-beta formulations: a ring all-reduce of
-// S bytes over n ranks moves 2(n-1)/n·S through the bottleneck link and pays
-// (n-1) hop latencies per phase. Hierarchical groups (spanning nodes) are
-// priced against the inter-node bandwidth, which is the bottleneck in
-// practice.
+// Pricing is split behind the Pricer interface so backends are swappable:
+// Model is the standard flat alpha-beta formulation on a two-tier Cluster —
+// a ring all-reduce of S bytes over n ranks moves 2(n-1)/n·S through the
+// bottleneck link and pays (n-1) hop latencies per phase, with groups that
+// span nodes priced against the inter-node bandwidth — and HierPricer
+// generalizes it to arbitrary fabric hierarchies (NVLink domains, leaf/
+// spine), either at the bottleneck tier or as per-tier phase compositions.
+// topology.Degrade and the Degraded constructors scale per-tier bandwidth
+// for degraded-network what-ifs.
 package collective
 
 import (
@@ -41,6 +45,70 @@ func (a Algorithm) String() string {
 	return fmt.Sprintf("alg(%d)", uint8(a))
 }
 
+// Pricer prices NCCL-style communication primitives: given a primitive,
+// payload size, and participant set, it returns a duration. Backends are
+// swappable — the flat alpha-beta Model, the hierarchical HierPricer, and
+// their degraded variants all implement it — and must be safe for
+// concurrent use.
+type Pricer interface {
+	Cost(kind trace.CommKind, bytes int64, ranks []int) trace.Dur
+}
+
+// For returns the default pricer for a fabric: the flat alpha-beta Model
+// for a two-tier Cluster (preserving the calibrated legacy path
+// bit-for-bit), the hierarchical pricer for everything else.
+func For(f topology.Fabric) Pricer {
+	if c, ok := f.(topology.Cluster); ok {
+		return NewModel(c)
+	}
+	return NewPricer(f)
+}
+
+// --- Shared alpha-beta formulas --------------------------------------------
+//
+// Every backend resolves a group to a (bw, lat) pair — bandwidth in bytes
+// per NANOSECOND so size/bw expressions yield trace durations directly —
+// and applies these closed forms. Keeping them in one place guarantees the
+// flat and hierarchical backends agree bit-for-bit when they resolve the
+// same link.
+
+// allReduceTime is the faster of ring and pipelined tree, excluding launch
+// overhead.
+func allReduceTime(bytes int64, n int, bw, lat float64) float64 {
+	s := float64(bytes)
+	ring := 2 * float64(n-1) / float64(n) * s / bw
+	ringLat := 2 * float64(n-1) * lat
+	tree := 2 * s / bw // pipelined up+down through tree
+	treeLat := 2 * math.Ceil(math.Log2(float64(n))) * lat
+	return math.Min(ring+ringLat, tree+treeLat)
+}
+
+// reduceScatterTime covers reduce-scatter and all-gather (identical data
+// motion) and all-to-all.
+func reduceScatterTime(bytes int64, n int, bw, lat float64) float64 {
+	return float64(n-1)/float64(n)*float64(bytes)/bw + float64(n-1)*lat
+}
+
+// broadcastTime is a pipelined binomial broadcast.
+func broadcastTime(bytes int64, n int, bw, lat float64) float64 {
+	return float64(bytes)/bw + math.Ceil(math.Log2(float64(n)))*lat
+}
+
+// p2pTime is a single point-to-point transfer.
+func p2pTime(bytes int64, bw, lat float64) float64 {
+	return float64(bytes)/bw + lat
+}
+
+// effectiveBW derates a link rate to achievable bus bandwidth and converts
+// to bytes/ns, guarding degenerate inputs.
+func effectiveBW(bwPerSec, busEfficiency float64) float64 {
+	bw := bwPerSec * busEfficiency / 1e9
+	if !(bw > 0) { // non-positive or NaN
+		bw = 1e-9
+	}
+	return bw
+}
+
 // Model prices collectives on a cluster.
 type Model struct {
 	Cluster topology.Cluster
@@ -64,11 +132,7 @@ func NewModel(c topology.Cluster) *Model {
 // size/bw expressions yield trace durations directly.
 func (m *Model) groupParams(ranks []int) (bw, lat float64) {
 	bwPerSec, lat := m.Cluster.GroupBW(ranks)
-	bw = bwPerSec * m.BusEfficiency / 1e9
-	if bw <= 0 {
-		bw = 1e-9
-	}
-	return bw, lat
+	return effectiveBW(bwPerSec, m.BusEfficiency), lat
 }
 
 // AllReduce returns the duration (ns) of an all-reduce of size bytes over
@@ -79,13 +143,7 @@ func (m *Model) AllReduce(bytes int64, ranks []int) trace.Dur {
 		return trace.Dur(m.LaunchOverhead)
 	}
 	bw, lat := m.groupParams(ranks)
-	s := float64(bytes)
-	ring := 2 * float64(n-1) / float64(n) * s / bw
-	ringLat := 2 * float64(n-1) * lat
-	tree := 2 * s / bw // pipelined up+down through tree
-	treeLat := 2 * math.Ceil(math.Log2(float64(n))) * lat
-	t := math.Min(ring+ringLat, tree+treeLat)
-	return trace.Dur(m.LaunchOverhead + t)
+	return trace.Dur(m.LaunchOverhead + allReduceTime(bytes, n, bw, lat))
 }
 
 // ReduceScatter returns the duration of a reduce-scatter with per-rank input
@@ -96,8 +154,7 @@ func (m *Model) ReduceScatter(bytes int64, ranks []int) trace.Dur {
 		return trace.Dur(m.LaunchOverhead)
 	}
 	bw, lat := m.groupParams(ranks)
-	t := float64(n-1)/float64(n)*float64(bytes)/bw + float64(n-1)*lat
-	return trace.Dur(m.LaunchOverhead + t)
+	return trace.Dur(m.LaunchOverhead + reduceScatterTime(bytes, n, bw, lat))
 }
 
 // AllGather returns the duration of an all-gather producing bytes total on
@@ -114,8 +171,7 @@ func (m *Model) Broadcast(bytes int64, ranks []int) trace.Dur {
 		return trace.Dur(m.LaunchOverhead)
 	}
 	bw, lat := m.groupParams(ranks)
-	t := float64(bytes)/bw + math.Ceil(math.Log2(float64(n)))*lat
-	return trace.Dur(m.LaunchOverhead + t)
+	return trace.Dur(m.LaunchOverhead + broadcastTime(bytes, n, bw, lat))
 }
 
 // AllToAll returns the duration of an all-to-all where each rank exchanges
@@ -126,8 +182,7 @@ func (m *Model) AllToAll(bytes int64, ranks []int) trace.Dur {
 		return trace.Dur(m.LaunchOverhead)
 	}
 	bw, lat := m.groupParams(ranks)
-	t := float64(n-1)/float64(n)*float64(bytes)/bw + float64(n-1)*lat
-	return trace.Dur(m.LaunchOverhead + t)
+	return trace.Dur(m.LaunchOverhead + reduceScatterTime(bytes, n, bw, lat))
 }
 
 // P2P returns the duration of a point-to-point transfer of size bytes
@@ -137,7 +192,7 @@ func (m *Model) P2P(bytes int64, src, dst int) trace.Dur {
 		return trace.Dur(m.LaunchOverhead)
 	}
 	bw, lat := m.groupParams([]int{src, dst})
-	return trace.Dur(m.LaunchOverhead + float64(bytes)/bw + lat)
+	return trace.Dur(m.LaunchOverhead + p2pTime(bytes, bw, lat))
 }
 
 // Cost dispatches on a trace.CommKind. For send/recv, ranks must hold

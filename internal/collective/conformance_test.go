@@ -1,0 +1,175 @@
+package collective
+
+import (
+	"testing"
+
+	"lumos/internal/topology"
+	"lumos/internal/trace"
+)
+
+// pricerBackend describes one Pricer implementation under conformance test:
+// the pricer, group constructors for its innermost and a spanning tier, and
+// a degradation constructor.
+type pricerBackend struct {
+	name string
+	p    Pricer
+	// intra returns n ranks inside one innermost domain; inter returns n
+	// ranks spanning at least one tier boundary.
+	intra, inter func(n int) []int
+	// degrade returns the pricer with per-tier bandwidth factors applied.
+	degrade func(factors ...float64) Pricer
+}
+
+func strided(stride int) func(n int) []int {
+	return func(n int) []int {
+		out := make([]int, n)
+		for i := range out {
+			out[i] = i * stride
+		}
+		return out
+	}
+}
+
+// backends enumerates every Pricer implementation; the conformance suite
+// runs each property against all of them.
+func backends() []pricerBackend {
+	flat := NewModel(topology.H100Cluster(512))
+	twoTier := NewPricer(topology.TwoTierFabric(topology.H100Cluster(512)))
+	nvl := NewPricer(topology.NVLDomainFabric(1152))
+	phased := NewPhasedPricer(topology.NVLDomainFabric(1152))
+	return []pricerBackend{
+		{
+			name: "flat-alpha-beta", p: flat,
+			intra: strided(1), inter: strided(8),
+			degrade: func(f ...float64) Pricer { return flat.Degraded(f...) },
+		},
+		{
+			name: "hier-bottleneck/2tier", p: twoTier,
+			intra: strided(1), inter: strided(8),
+			degrade: func(f ...float64) Pricer { return twoTier.Degraded(f...) },
+		},
+		{
+			name: "hier-bottleneck/nvl72", p: nvl,
+			intra: strided(1), inter: strided(72),
+			degrade: func(f ...float64) Pricer { return nvl.Degraded(f...) },
+		},
+		{
+			name: "hier-phased/nvl72", p: phased,
+			intra: strided(1), inter: strided(72),
+			degrade: func(f ...float64) Pricer { return phased.Degraded(f...) },
+		},
+	}
+}
+
+var conformanceKinds = []trace.CommKind{
+	trace.CommAllReduce, trace.CommAllGather, trace.CommReduceScatter,
+	trace.CommBroadcast, trace.CommSend, trace.CommAllToAll,
+}
+
+var conformanceSizes = []int64{1 << 10, 1 << 14, 1 << 18, 1 << 22, 1 << 26, 1 << 30}
+
+// TestPricerConformance is the shared Pricer contract, run against every
+// backend: cost is monotone in payload, an intra-domain group never costs
+// more than the same group spread across domains, and a degradation factor
+// of 1.0 is the bit-exact identity while a real degradation never speeds a
+// collective up.
+func TestPricerConformance(t *testing.T) {
+	for _, b := range backends() {
+		b := b
+		t.Run(b.name, func(t *testing.T) {
+			groups := [][]int{b.intra(2), b.intra(8), b.inter(2), b.inter(8), b.inter(16)}
+
+			t.Run("monotone-in-payload", func(t *testing.T) {
+				for _, kind := range conformanceKinds {
+					for _, ranks := range groups {
+						prev := trace.Dur(-1)
+						for _, size := range conformanceSizes {
+							d := b.p.Cost(kind, size, ranks)
+							if d < prev {
+								t.Fatalf("%v over %d ranks: cost(%d)=%d < cost(smaller)=%d",
+									kind, len(ranks), size, d, prev)
+							}
+							prev = d
+						}
+					}
+				}
+			})
+
+			t.Run("intra-not-above-inter", func(t *testing.T) {
+				for _, kind := range conformanceKinds {
+					for _, n := range []int{2, 4, 8} {
+						const size = 64 << 20
+						in := b.p.Cost(kind, size, b.intra(n))
+						out := b.p.Cost(kind, size, b.inter(n))
+						if in > out {
+							t.Fatalf("%v n=%d: intra-domain %d > inter-domain %d", kind, n, in, out)
+						}
+					}
+				}
+			})
+
+			t.Run("degrade-1.0-is-identity", func(t *testing.T) {
+				for _, ident := range []Pricer{b.degrade(1), b.degrade(1, 1, 1)} {
+					for _, kind := range conformanceKinds {
+						for _, ranks := range groups {
+							for _, size := range conformanceSizes {
+								want := b.p.Cost(kind, size, ranks)
+								if got := ident.Cost(kind, size, ranks); got != want {
+									t.Fatalf("%v size=%d over %d ranks: degraded(1.0)=%d != %d",
+										kind, size, len(ranks), got, want)
+								}
+							}
+						}
+					}
+				}
+			})
+
+			t.Run("degrade-slows", func(t *testing.T) {
+				half := b.degrade(0.5)
+				for _, kind := range conformanceKinds {
+					for _, ranks := range groups {
+						const size = 256 << 20
+						if got, want := half.Cost(kind, size, ranks), b.p.Cost(kind, size, ranks); got < want {
+							t.Fatalf("%v over %d ranks: half-bandwidth cost %d < nominal %d",
+								kind, len(ranks), got, want)
+						}
+					}
+				}
+			})
+		})
+	}
+}
+
+// TestHierBottleneckMatchesFlatModel is the pricer-level equivalence
+// regression: the hierarchical pricer bound to the two-tier H100 fabric
+// must reproduce the flat alpha-beta model bit-for-bit for every primitive,
+// payload, and group shape.
+func TestHierBottleneckMatchesFlatModel(t *testing.T) {
+	c := topology.H100Cluster(512)
+	flat := NewModel(c)
+	hier := NewPricer(topology.TwoTierFabric(c))
+	groups := [][]int{
+		{0}, {3, 5}, {0, 1, 2, 3}, strided(1)(8), strided(8)(2), strided(8)(16), {0, 7, 8, 15, 64},
+	}
+	kinds := append([]trace.CommKind{trace.CommRecv, trace.CommNone}, conformanceKinds...)
+	// The equivalence must also survive degradation, including a middle
+	// factor that only touches the outer tier.
+	pairs := [][2]Pricer{
+		{flat, hier},
+		{flat.Degraded(1, 0.5), hier.Degraded(1, 0.5)},
+		{flat.Degraded(0.75), hier.Degraded(0.75)},
+	}
+	for _, pair := range pairs {
+		for _, kind := range kinds {
+			for _, ranks := range groups {
+				for _, size := range append([]int64{0, 1}, conformanceSizes...) {
+					f := pair[0].Cost(kind, size, ranks)
+					h := pair[1].Cost(kind, size, ranks)
+					if f != h {
+						t.Fatalf("%v size=%d ranks=%v: flat=%d hier=%d", kind, size, ranks, f, h)
+					}
+				}
+			}
+		}
+	}
+}

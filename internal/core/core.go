@@ -27,8 +27,10 @@ import (
 
 	"lumos/internal/analysis"
 	"lumos/internal/cluster"
+	"lumos/internal/collective"
 	"lumos/internal/dpro"
 	"lumos/internal/execgraph"
+	"lumos/internal/kernelmodel"
 	"lumos/internal/manip"
 	"lumos/internal/parallel"
 	"lumos/internal/replay"
@@ -39,9 +41,14 @@ import (
 // Options carries a toolkit's resolved configuration. Construct toolkits
 // with New and functional options.
 type Options struct {
-	// Cluster is the fabric model used for profiling and prediction.
-	// The zero value selects an H100 cluster sized on demand.
-	Cluster topology.Cluster
+	// Fabric is the interconnect model used for profiling and prediction —
+	// a flat two-tier topology.Cluster or any hierarchical Fabric. Nil (or
+	// a zero Cluster) selects an H100 cluster sized on demand.
+	Fabric topology.Fabric
+	// Pricer builds the collective pricing backend for a fabric. Nil
+	// selects the fabric's default (the calibrated flat alpha-beta model
+	// for two-tier clusters, the hierarchical pricer otherwise).
+	Pricer func(topology.Fabric) collective.Pricer
 	// Graph overrides execution-graph construction options.
 	Graph *execgraph.BuildOptions
 	// Replay overrides simulation options.
@@ -60,9 +67,26 @@ type Options struct {
 // Option configures a Toolkit.
 type Option func(*Options)
 
-// WithCluster sets the fabric model used for profiling and prediction.
+// WithCluster sets a flat two-tier fabric model used for profiling and
+// prediction.
 func WithCluster(c topology.Cluster) Option {
-	return func(o *Options) { o.Cluster = c }
+	return func(o *Options) { o.Fabric = c }
+}
+
+// WithFabric sets the interconnect model used for profiling and prediction:
+// any topology.Fabric, e.g. topology.NVLDomainFabric or an oversubscribed
+// leaf/spine preset, optionally wrapped by topology.Degrade.
+func WithFabric(f topology.Fabric) Option {
+	return func(o *Options) { o.Fabric = f }
+}
+
+// WithPricer swaps the collective pricing backend: the factory is invoked
+// with the bound (capacity-sized) fabric wherever the toolkit needs to
+// price communication — ground-truth profiling, calibration fallbacks, and
+// fabric what-if scenarios. E.g. WithPricer(func(f topology.Fabric)
+// collective.Pricer { return collective.NewPhasedPricer(f) }).
+func WithPricer(p func(topology.Fabric) collective.Pricer) Option {
+	return func(o *Options) { o.Pricer = p }
 }
 
 // WithGraphOptions overrides execution-graph construction options.
@@ -151,16 +175,27 @@ func (tk *Toolkit) concurrency() int {
 	return n
 }
 
-// clusterFor returns the fabric model, sized to at least world GPUs.
-func (tk *Toolkit) clusterFor(world int) topology.Cluster {
-	c := tk.opts.Cluster
-	if c.GPUsPerNode == 0 {
-		c = topology.H100Cluster(world)
+// fabricFor returns the interconnect model, sized to at least world GPUs.
+func (tk *Toolkit) fabricFor(world int) topology.Fabric {
+	f := tk.opts.Fabric
+	if f == nil {
+		return topology.H100Cluster(world)
 	}
-	if c.NumGPUs < world {
-		c.NumGPUs = world
+	if c, ok := f.(topology.Cluster); ok && c.GPUsPerNode == 0 {
+		return topology.H100Cluster(world)
 	}
-	return c
+	if f.Capacity() < world {
+		f = f.WithCapacity(world)
+	}
+	return f
+}
+
+// pricerFor builds the collective pricing backend for a fabric.
+func (tk *Toolkit) pricerFor(f topology.Fabric) collective.Pricer {
+	if tk.opts.Pricer != nil {
+		return tk.opts.Pricer(f)
+	}
+	return collective.For(f)
 }
 
 func (tk *Toolkit) graphOpts() execgraph.BuildOptions {
@@ -177,6 +212,16 @@ func (tk *Toolkit) replayOpts() replay.Options {
 	return replay.DefaultOptions()
 }
 
+// simConfigFor binds the toolkit's fabric (and its pricing backend) into a
+// ground-truth simulator configuration.
+func (tk *Toolkit) simConfigFor(world int, seed uint64) cluster.SimConfig {
+	simCfg := cluster.DefaultSimConfig(world, seed)
+	f := tk.fabricFor(world)
+	simCfg.Fabric = f
+	simCfg.Oracle = kernelmodel.NewOracleFabric(f, tk.pricerFor(f))
+	return simCfg
+}
+
 // Profile runs one training iteration of the deployment on the ground-truth
 // cluster simulator (the stand-in for a real cluster + PyTorch Kineto) and
 // returns per-rank traces. Different seeds are different iterations.
@@ -186,8 +231,7 @@ func (tk *Toolkit) Profile(ctx context.Context, cfg parallel.Config, seed uint64
 	}
 	tk.profiles.Add(1)
 	world := cfg.Map.WorldSize()
-	simCfg := cluster.DefaultSimConfig(world, seed)
-	simCfg.Cluster = tk.clusterFor(world)
+	simCfg := tk.simConfigFor(world, seed)
 	return cluster.Run(cfg, simCfg)
 }
 
@@ -200,8 +244,7 @@ func (tk *Toolkit) ProfileN(ctx context.Context, cfg parallel.Config, seed uint6
 	}
 	tk.profiles.Add(1)
 	world := cfg.Map.WorldSize()
-	simCfg := cluster.DefaultSimConfig(world, seed)
-	simCfg.Cluster = tk.clusterFor(world)
+	simCfg := tk.simConfigFor(world, seed)
 	return cluster.RunN(cfg, simCfg, n)
 }
 
@@ -282,12 +325,11 @@ func (tk *Toolkit) Predict(ctx context.Context, req manip.Request, profiled *tra
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	world := req.Target.Map.WorldSize()
-	if base := req.Base.Map.WorldSize(); base > world {
-		world = base
+	lib, fitted, f, err := tk.calibrate(req, profiled)
+	if err != nil {
+		return nil, err
 	}
-	tk.libraryBuilds.Add(1)
-	return manip.Predict(req, profiled, tk.clusterFor(world))
+	return manip.PredictWith(req, lib, fitted, f)
 }
 
 // PredictGraph is Predict via direct graph synthesis: the target's
@@ -297,12 +339,29 @@ func (tk *Toolkit) PredictGraph(ctx context.Context, req manip.Request, profiled
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	lib, fitted, f, err := tk.calibrate(req, profiled)
+	if err != nil {
+		return nil, err
+	}
+	return manip.PredictGraphWith(req, lib, fitted, f)
+}
+
+// calibrate builds one-shot calibration state (kernel library and fitted
+// model) for a prediction request, honoring the toolkit's fabric and pricer
+// bindings — the same artifacts a campaign's BaseState holds.
+func (tk *Toolkit) calibrate(req manip.Request, profiled *trace.Multi) (*manip.Library, *kernelmodel.Fitted, topology.Fabric, error) {
 	world := req.Target.Map.WorldSize()
 	if base := req.Base.Map.WorldSize(); base > world {
 		world = base
 	}
 	tk.libraryBuilds.Add(1)
-	return manip.PredictGraph(req, profiled, tk.clusterFor(world))
+	f := tk.fabricFor(world)
+	lib := manip.BuildLibrary(profiled, f)
+	fitted, err := kernelmodel.Fit([]*trace.Multi{profiled}, f, kernelmodel.NewOracleFabric(f, tk.pricerFor(f)))
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("core: fitting kernel model: %w", err)
+	}
+	return lib, fitted, f, nil
 }
 
 // WhatIfScale estimates the makespan if kernels matched by the predicate

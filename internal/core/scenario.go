@@ -18,6 +18,7 @@ import (
 	"sync/atomic"
 
 	"lumos/internal/analysis"
+	"lumos/internal/collective"
 	"lumos/internal/execgraph"
 	"lumos/internal/kernelmodel"
 	"lumos/internal/manip"
@@ -50,8 +51,9 @@ type BaseState struct {
 	// Fitted is the trace-fitted kernel performance model for kernels the
 	// library cannot price.
 	Fitted *kernelmodel.Fitted
-	// Cluster is the fabric model calibration was performed against.
-	Cluster topology.Cluster
+	// Fabric is the interconnect model calibration was performed against.
+	// It is bound once per campaign and shared by every scenario.
+	Fabric topology.Fabric
 
 	// tk owns the simulator pool and cache policy; nil for a hand-built
 	// BaseState, in which case scenarios fall back to fresh simulators.
@@ -176,7 +178,7 @@ func (s *deployScenario) Run(_ context.Context, b *BaseState) (ScenarioResult, e
 	}
 	// Direct graph synthesis: the target's execution graph is generated
 	// straight from the deployment, with no trace materialized or re-parsed.
-	out, err := manip.PredictGraphWith(req, b.Library, b.Fitted, b.Cluster)
+	out, err := manip.PredictGraphWith(req, b.Library, b.Fitted, b.Fabric)
 	if err != nil {
 		res.Err = err.Error()
 		return res, nil
@@ -349,6 +351,141 @@ func FusionScenario() Scenario {
 	return &fusionScenario{name: "fuse elementwise/norm", opts: analysis.DefaultFusionOpts()}
 }
 
+// pricerFor resolves the collective pricing backend for a fabric, honoring
+// the owning toolkit's WithPricer override.
+func (b *BaseState) pricerFor(f topology.Fabric) collective.Pricer {
+	if b.tk != nil {
+		return b.tk.pricerFor(f)
+	}
+	return collective.For(f)
+}
+
+// fabricScenario re-predicts the base deployment on a different (or
+// degraded) fabric: compute kernels keep their measured durations, every
+// communication kernel is re-priced for the target fabric, and the
+// synthesized schedule propagates the new costs.
+type fabricScenario struct {
+	name string
+	// fabric is the target interconnect; nil re-uses the campaign's bound
+	// fabric (degrade-only what-ifs).
+	fabric topology.Fabric
+	// degrade scales per-tier bandwidth (see topology.Degrade); empty means
+	// no degradation.
+	degrade []float64
+}
+
+func (s *fabricScenario) Name() string { return s.name }
+
+// Fingerprint keys the scenario by the fully resolved fabric value, so two
+// spellings of the same topology and degradation share one prediction.
+func (s *fabricScenario) Fingerprint(b *BaseState) (string, bool) {
+	f := s.resolve(b)
+	return fmt.Sprintf("fabric|%T|%+v|%v", f, f, s.degrade), true
+}
+
+// resolve produces the capacity-sized target fabric.
+func (s *fabricScenario) resolve(b *BaseState) topology.Fabric {
+	f := s.fabric
+	if f == nil {
+		f = b.Fabric
+	}
+	world := b.Config.Map.WorldSize()
+	if f == nil {
+		// Hand-built BaseState without a bound fabric: the legacy default.
+		f = topology.H100Cluster(world)
+	}
+	if f.Capacity() < world {
+		f = f.WithCapacity(world)
+	}
+	return f
+}
+
+func (s *fabricScenario) Run(_ context.Context, b *BaseState) (ScenarioResult, error) {
+	res := ScenarioResult{
+		Name:   s.name,
+		Kind:   "fabric",
+		Target: b.Config,
+		World:  b.Config.Map.WorldSize(),
+	}
+	f := s.resolve(b)
+	if len(s.degrade) > 0 {
+		f = topology.Degrade(f, s.degrade...)
+	}
+	if err := f.Validate(); err != nil {
+		res.Err = err.Error()
+		return res, nil
+	}
+	req := manip.Request{Base: b.Config, Target: b.Config}
+	var basePricer collective.Pricer
+	if b.Fabric != nil {
+		basePricer = b.pricerFor(b.Fabric)
+	}
+	out, err := manip.PredictGraphOnFabric(req, b.Library, b.Fitted, f, b.pricerFor(f), basePricer)
+	if err != nil {
+		res.Err = err.Error()
+		return res, nil
+	}
+	res.Iteration = out.Iteration
+	res.Breakdown = analysis.GraphBreakdown(out.Graph)
+	res.LibraryHits = out.LibraryHits
+	res.LibraryMisses = out.LibraryMisses
+	res.Detail = fmt.Sprintf("fabric %s, %d comm kernels repriced", f.FabricName(), out.CommRepriced)
+	return res, nil
+}
+
+// FabricScenario predicts the base deployment's iteration time on a
+// different interconnect — "what if this job ran on NVL72 racks?" — by
+// re-pricing communication for the target fabric while keeping measured
+// compute durations.
+func FabricScenario(name string, f topology.Fabric) Scenario {
+	if name == "" && f != nil {
+		name = "fabric=" + f.FabricName()
+	}
+	return &fabricScenario{name: name, fabric: f}
+}
+
+// DegradeLinksScenario predicts the base deployment under degraded links:
+// per-tier bandwidth is scaled by the given factors on the campaign's own
+// fabric (see topology.Degrade). DegradeLinksScenario(1, 0.5) halves every
+// tier beyond the innermost.
+func DegradeLinksScenario(factors ...float64) Scenario {
+	return &fabricScenario{
+		name:    fmt.Sprintf("degrade=%v", factors),
+		degrade: factors,
+	}
+}
+
+// FabricSweep enumerates a fabric × degradation grid as scenarios, the
+// network analogue of GridSweep: every fabric (nil = the campaign's bound
+// fabric) is evaluated at every network bandwidth factor. A factor scales
+// every tier beyond the innermost domain — the degraded-network what-if;
+// intra-domain NVLink stays nominal (use DegradeLinksScenario for explicit
+// per-tier factors). Factor 1 is the undegraded fabric.
+func FabricSweep(fabrics []topology.Fabric, degrade []float64) []Scenario {
+	if len(fabrics) == 0 {
+		fabrics = []topology.Fabric{nil}
+	}
+	if len(degrade) == 0 {
+		degrade = []float64{1}
+	}
+	var scenarios []Scenario
+	for _, f := range fabrics {
+		base := "base-fabric"
+		if f != nil {
+			base = f.FabricName()
+		}
+		for _, d := range degrade {
+			sc := &fabricScenario{name: base, fabric: f}
+			if d != 1 {
+				sc.name = fmt.Sprintf("%s bw*%g", base, d)
+				sc.degrade = []float64{1, d}
+			}
+			scenarios = append(scenarios, sc)
+		}
+	}
+	return scenarios
+}
+
 // baselineScenario reports the base point itself, so it appears in rankings.
 type baselineScenario struct{}
 
@@ -426,10 +563,10 @@ func (tk *Toolkit) PrepareTraces(ctx context.Context, cfg parallel.Config, m *tr
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	c := tk.clusterFor(cfg.Map.WorldSize())
+	f := tk.fabricFor(cfg.Map.WorldSize())
 	tk.libraryBuilds.Add(1)
-	lib := manip.BuildLibrary(m, c)
-	fitted, err := kernelmodel.Fit([]*trace.Multi{m}, c, kernelmodel.NewOracle(c))
+	lib := manip.BuildLibrary(m, f)
+	fitted, err := kernelmodel.Fit([]*trace.Multi{m}, f, kernelmodel.NewOracleFabric(f, tk.pricerFor(f)))
 	if err != nil {
 		return nil, fmt.Errorf("core: fitting kernel model: %w", err)
 	}
@@ -441,7 +578,7 @@ func (tk *Toolkit) PrepareTraces(ctx context.Context, cfg parallel.Config, m *tr
 		Breakdown: rep.Breakdown,
 		Library:   lib,
 		Fitted:    fitted,
-		Cluster:   c,
+		Fabric:    f,
 		tk:        tk,
 	}, nil
 }

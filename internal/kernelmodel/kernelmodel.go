@@ -46,17 +46,30 @@ type Oracle struct {
 	// KernelOverhead is the fixed device-side cost per kernel in ns.
 	KernelOverhead float64
 
-	// Collectives prices communication kernels.
-	Collectives *collective.Model
+	// Collectives prices communication kernels; any collective.Pricer
+	// backend (flat alpha-beta, hierarchical, degraded) plugs in here.
+	Collectives collective.Pricer
 }
 
-// NewOracle returns an H100-class oracle over the given cluster.
+// NewOracle returns an H100-class oracle over the given cluster, pricing
+// collectives with the flat alpha-beta model.
 func NewOracle(c topology.Cluster) *Oracle {
+	return NewOracleFabric(c, nil)
+}
+
+// NewOracleFabric returns an H100-class oracle over an arbitrary fabric.
+// pricer overrides the collective backend; nil selects the fabric's default
+// (the flat Model for a two-tier Cluster, the hierarchical pricer
+// otherwise).
+func NewOracleFabric(f topology.Fabric, pricer collective.Pricer) *Oracle {
+	if pricer == nil {
+		pricer = collective.For(f)
+	}
 	return &Oracle{
 		PeakFLOPs:      989e12,
 		HBMBW:          3.35e12,
 		KernelOverhead: 2_500,
-		Collectives:    collective.NewModel(c),
+		Collectives:    pricer,
 	}
 }
 
@@ -149,9 +162,11 @@ type commFit struct {
 
 // Fitted is a kernel-time predictor calibrated from traces.
 type Fitted struct {
-	cluster topology.Cluster
+	fabric  topology.Fabric
 	compute map[trace.KernelClass]*computeFit
-	// comm is keyed by kind and tier (0 = intra-node, 1 = inter-node).
+	// comm is keyed by kind and fabric tier (innermost = 0 outward), so a
+	// hierarchical fabric calibrates one alpha-beta cell per tier it
+	// exercises.
 	comm map[[2]int]*commFit
 
 	// fallback prices kernels for which no samples exist.
@@ -160,10 +175,7 @@ type Fitted struct {
 
 // commTier classifies a participant set by fabric tier.
 func (f *Fitted) commTier(ranks []int) int {
-	if f.cluster.SameNode(ranks) {
-		return 0
-	}
-	return 1
+	return f.fabric.TierOf(ranks)
 }
 
 // payloadCoef returns the fraction of payload crossing the bottleneck link
@@ -185,12 +197,14 @@ func payloadCoef(kind trace.CommKind, n int) float64 {
 	return 1
 }
 
-// Fit calibrates a predictor from one or more collected multi-rank traces.
-// fallback (usually an Oracle) prices families absent from the traces; it
-// may be nil, in which case unseen families get a conservative constant.
-func Fit(traces []*trace.Multi, cluster topology.Cluster, fallback Predictor) (*Fitted, error) {
+// Fit calibrates a predictor from one or more collected multi-rank traces
+// over the given fabric (a flat topology.Cluster or any hierarchical
+// Fabric). fallback (usually an Oracle) prices families absent from the
+// traces; it may be nil, in which case unseen families get a conservative
+// constant.
+func Fit(traces []*trace.Multi, fabric topology.Fabric, fallback Predictor) (*Fitted, error) {
 	f := &Fitted{
-		cluster:  cluster,
+		fabric:   fabric,
 		compute:  map[trace.KernelClass]*computeFit{},
 		comm:     map[[2]int]*commFit{},
 		fallback: fallback,
@@ -417,18 +431,32 @@ func (f *Fitted) Comm(kind trace.CommKind, bytes int64, ranks []int) trace.Dur {
 		}
 		return trace.Dur(d)
 	}
-	// Cross-tier fallback: scale an intra-node fit by the bandwidth ratio,
-	// matching how fleet models transfer across fabric tiers.
-	other := 1 - tier
-	if fit, ok := f.comm[[2]int{int(kind), other}]; ok && fit.invBW > 0 {
-		ratio := f.cluster.IntraNodeBW / f.cluster.InterNodeBW
-		inv := fit.invBW
-		if tier == 1 {
-			inv *= ratio
-		} else {
-			inv /= ratio
+	// Cross-tier fallback: transfer the nearest calibrated tier's fit by
+	// the bandwidth ratio between the two tiers, matching how fleet models
+	// transfer across fabric tiers. Inner (faster) tiers take priority at
+	// equal distance, mirroring the legacy intra→inter transfer.
+	for d := 1; d < f.fabric.Tiers(); d++ {
+		for _, other := range [2]int{tier - d, tier + d} {
+			if other < 0 || other >= f.fabric.Tiers() || other == tier {
+				continue
+			}
+			fit, ok := f.comm[[2]int{int(kind), other}]
+			if !ok || fit.invBW <= 0 {
+				continue
+			}
+			lo, hi := other, tier
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			ratio := f.fabric.Tier(lo).BW / f.fabric.Tier(hi).BW
+			inv := fit.invBW
+			if tier == hi {
+				inv *= ratio
+			} else {
+				inv /= ratio
+			}
+			return trace.Dur(fit.alpha + payloadCoef(kind, len(ranks))*float64(bytes)*inv)
 		}
-		return trace.Dur(fit.alpha + payloadCoef(kind, len(ranks))*float64(bytes)*inv)
 	}
 	if f.fallback != nil {
 		return f.fallback.Comm(kind, bytes, ranks)

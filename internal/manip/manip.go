@@ -20,6 +20,7 @@ import (
 	"sort"
 
 	"lumos/internal/cluster"
+	"lumos/internal/collective"
 	"lumos/internal/execgraph"
 	"lumos/internal/kernelmodel"
 	"lumos/internal/parallel"
@@ -59,17 +60,18 @@ func (d *durStat) median() trace.Dur {
 
 // Library holds measured kernel durations extracted from profiled traces.
 type Library struct {
-	cluster topology.Cluster
+	fabric  topology.Fabric
 	compute map[computeKey]trace.Dur
 	comm    map[commKey]trace.Dur
 }
 
 // BuildLibrary extracts per-kernel measured durations from a profiled
-// multi-rank trace. Collective durations use each group's intrinsic time
-// (minimum across participants, i.e. free of rendezvous waiting).
-func BuildLibrary(m *trace.Multi, c topology.Cluster) *Library {
+// multi-rank trace collected on the given fabric. Collective durations use
+// each group's intrinsic time (minimum across participants, i.e. free of
+// rendezvous waiting).
+func BuildLibrary(m *trace.Multi, c topology.Fabric) *Library {
 	lib := &Library{
-		cluster: c,
+		fabric:  c,
 		compute: map[computeKey]trace.Dur{},
 		comm:    map[commKey]trace.Dur{},
 	}
@@ -121,11 +123,7 @@ func BuildLibrary(m *trace.Multi, c topology.Cluster) *Library {
 		if len(a.ranks) < 2 {
 			continue
 		}
-		tier := 1
-		if lib.cluster.SameNode(a.ranks) {
-			tier = 0
-		}
-		key := commKey{a.kind, a.bytes, len(a.ranks), tier}
+		key := commKey{a.kind, a.bytes, len(a.ranks), lib.fabric.TierOf(a.ranks)}
 		st := commAcc[key]
 		if st == nil {
 			st = &durStat{}
@@ -150,9 +148,22 @@ type Predictor struct {
 	Lib    *Library
 	Fitted *kernelmodel.Fitted
 
+	// CommPricer, when set, re-prices every communication kernel for a
+	// different fabric — the fabric-swap path: measured collective
+	// durations are tied to the profiled fabric and do not carry over
+	// directly, while compute kernels are device-local and unchanged. When
+	// CommBasePricer is also set, kernels with a measured duration are
+	// transferred multiplicatively (measured × target/base analytic cost),
+	// preserving profiled jitter and contention effects and making the
+	// identical-fabric what-if reproduce the measured durations exactly;
+	// unmeasured kernels are priced analytically on the target fabric.
+	CommPricer     collective.Pricer
+	CommBasePricer collective.Pricer
+
 	// Hits and Misses count library lookups, for validation that unchanged
-	// configurations replay from measurements.
-	Hits, Misses int
+	// configurations replay from measurements. Repriced counts comm kernels
+	// priced by CommPricer.
+	Hits, Misses, Repriced int
 }
 
 // Compute implements kernelmodel.Predictor.
@@ -167,11 +178,20 @@ func (p *Predictor) Compute(class trace.KernelClass, flops, bytes int64) trace.D
 
 // Comm implements kernelmodel.Predictor.
 func (p *Predictor) Comm(kind trace.CommKind, bytes int64, ranks []int) trace.Dur {
-	tier := 1
-	if p.Lib.cluster.SameNode(ranks) {
-		tier = 0
+	if p.CommPricer != nil {
+		p.Repriced++
+		target := p.CommPricer.Cost(kind, bytes, ranks)
+		if p.CommBasePricer != nil {
+			if d, ok := p.Lib.comm[commKey{kind, bytes, len(ranks), p.Lib.fabric.TierOf(ranks)}]; ok {
+				base := p.CommBasePricer.Cost(kind, bytes, ranks)
+				if base > 0 && target > 0 {
+					return trace.Dur(float64(d) * (float64(target) / float64(base)))
+				}
+			}
+		}
+		return target
 	}
-	if d, ok := p.Lib.comm[commKey{kind, bytes, len(ranks), tier}]; ok {
+	if d, ok := p.Lib.comm[commKey{kind, bytes, len(ranks), p.Lib.fabric.TierOf(ranks)}]; ok {
 		p.Hits++
 		return d
 	}
@@ -226,12 +246,12 @@ type Result struct {
 // at the appropriate points with the original dependency patterns
 // (event-bridge and launch structure), and task durations are carried over
 // from the profiled graph or assigned by the kernel performance model.
-func Predict(req Request, profiled *trace.Multi, c topology.Cluster) (*Result, error) {
+func Predict(req Request, profiled *trace.Multi, c topology.Fabric) (*Result, error) {
 	if err := req.Validate(); err != nil {
 		return nil, err
 	}
 	lib := BuildLibrary(profiled, c)
-	oracle := kernelmodel.NewOracle(c)
+	oracle := kernelmodel.NewOracleFabric(c, nil)
 	fitted, err := kernelmodel.Fit([]*trace.Multi{profiled}, c, oracle)
 	if err != nil {
 		return nil, fmt.Errorf("manip: fitting kernel model: %w", err)
@@ -241,7 +261,7 @@ func Predict(req Request, profiled *trace.Multi, c topology.Cluster) (*Result, e
 
 // PredictWith is Predict with externally supplied calibration, so sweeps
 // can reuse one library and fitted model across many targets.
-func PredictWith(req Request, lib *Library, fitted *kernelmodel.Fitted, c topology.Cluster) (*Result, error) {
+func PredictWith(req Request, lib *Library, fitted *kernelmodel.Fitted, c topology.Fabric) (*Result, error) {
 	if err := req.Validate(); err != nil {
 		return nil, err
 	}
@@ -269,20 +289,21 @@ type GraphResult struct {
 	// Iteration is the predicted per-iteration time.
 	Iteration trace.Dur
 	// LibraryHits/LibraryMisses report how many kernels reused measured
-	// durations vs were priced by the fitted model.
-	LibraryHits, LibraryMisses int
+	// durations vs were priced by the fitted model. CommRepriced counts
+	// communication kernels priced analytically for a different fabric.
+	LibraryHits, LibraryMisses, CommRepriced int
 }
 
 // PredictGraph is Predict via direct graph synthesis: the generator emits
 // the target's execution graph directly instead of materializing a trace
 // and re-parsing it. The predicted iteration time is identical to the trace
 // path's (the generator draws at the same points in both modes).
-func PredictGraph(req Request, profiled *trace.Multi, c topology.Cluster) (*GraphResult, error) {
+func PredictGraph(req Request, profiled *trace.Multi, c topology.Fabric) (*GraphResult, error) {
 	if err := req.Validate(); err != nil {
 		return nil, err
 	}
 	lib := BuildLibrary(profiled, c)
-	oracle := kernelmodel.NewOracle(c)
+	oracle := kernelmodel.NewOracleFabric(c, nil)
 	fitted, err := kernelmodel.Fit([]*trace.Multi{profiled}, c, oracle)
 	if err != nil {
 		return nil, fmt.Errorf("manip: fitting kernel model: %w", err)
@@ -293,7 +314,7 @@ func PredictGraph(req Request, profiled *trace.Multi, c topology.Cluster) (*Grap
 // PredictGraphWith is PredictGraph with externally supplied calibration —
 // the sweep hot path: one library and fitted model, many targets, no trace
 // round trip.
-func PredictGraphWith(req Request, lib *Library, fitted *kernelmodel.Fitted, c topology.Cluster) (*GraphResult, error) {
+func PredictGraphWith(req Request, lib *Library, fitted *kernelmodel.Fitted, c topology.Fabric) (*GraphResult, error) {
 	if err := req.Validate(); err != nil {
 		return nil, err
 	}
@@ -313,14 +334,62 @@ func PredictGraphWith(req Request, lib *Library, fitted *kernelmodel.Fitted, c t
 	}, nil
 }
 
+// PredictGraphOnFabric predicts the base-calibrated target configuration on
+// a *different* fabric — the network what-if: compute kernels reuse
+// measured (or fitted) durations, since device-local work is
+// fabric-invariant, while communication kernels are transferred to the
+// target fabric — measured durations scaled by the ratio of the target and
+// base analytic costs (keeping profiled jitter/contention, and making the
+// identical-fabric point agree with the measured execution), unmeasured
+// ones priced directly by the target pricer. Nil pricers select each
+// fabric's default backend. The synthesized schedule then propagates the
+// new communication costs through the same dependency structure.
+func PredictGraphOnFabric(req Request, lib *Library, fitted *kernelmodel.Fitted, target topology.Fabric, pricer, basePricer collective.Pricer) (*GraphResult, error) {
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+	if target == nil {
+		return nil, fmt.Errorf("manip: no target fabric")
+	}
+	if err := target.Validate(); err != nil {
+		return nil, fmt.Errorf("manip: target fabric: %w", err)
+	}
+	if pricer == nil {
+		pricer = collective.For(target)
+	}
+	if basePricer == nil {
+		basePricer = collective.For(lib.fabric)
+	}
+	pred := &Predictor{Lib: lib, Fitted: fitted, CommPricer: pricer, CommBasePricer: basePricer}
+
+	world := req.Target.Map.WorldSize()
+	simCfg := deterministicSim(target, world, pred)
+	g, err := cluster.Synthesize(req.Target, simCfg)
+	if err != nil {
+		return nil, fmt.Errorf("manip: synthesizing target execution graph: %w", err)
+	}
+	return &GraphResult{
+		Graph:         g,
+		Iteration:     g.Duration(),
+		LibraryHits:   pred.Hits,
+		LibraryMisses: pred.Misses,
+		CommRepriced:  pred.Repriced,
+	}, nil
+}
+
 // deterministicSim returns simulator settings with all stochastic and
 // contention effects disabled: the generator must be a pure function of the
 // graph and the duration assignments, exactly like the paper's simulator.
-func deterministicSim(c topology.Cluster, world int, pred kernelmodel.Predictor) cluster.SimConfig {
+func deterministicSim(c topology.Fabric, world int, pred kernelmodel.Predictor) cluster.SimConfig {
 	cfg := cluster.DefaultSimConfig(world, 0)
-	cfg.Cluster = c
-	if cfg.Cluster.NumGPUs < world {
-		cfg.Cluster.NumGPUs = world
+	if c == nil {
+		// Hand-built calibration state without a bound fabric: the legacy
+		// default.
+		c = topology.H100Cluster(world)
+	}
+	cfg.Fabric = c
+	if cfg.Fabric.Capacity() < world {
+		cfg.Fabric = cfg.Fabric.WithCapacity(world)
 	}
 	cfg.Oracle = pred
 	cfg.ComputeJitterSigma = 0

@@ -1,0 +1,362 @@
+// Fabric: the hierarchical network-topology abstraction. A Fabric is a
+// sequence of tiers — innermost (fastest, smallest domains) to outermost —
+// each describing the per-GPU bandwidth and per-hop latency of one level of
+// the interconnect: NVLink domain, rail/leaf switch, spine. The flat
+// two-tier Cluster is one implementation; HierFabric models arbitrary
+// hierarchies (NVL72-class NVLink domains, rail-optimized or oversubscribed
+// leaf/spine networks); Degrade wraps any fabric with per-tier bandwidth
+// scaling for degraded-link what-ifs.
+package topology
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Link is one fabric tier's per-GPU link parameters.
+type Link struct {
+	// BW is effective per-GPU bandwidth in bytes/sec (unidirectional).
+	BW float64
+	// Latency is per-hop latency in nanoseconds.
+	Latency float64
+}
+
+// Fabric is a hierarchical interconnect model. Tiers are indexed from 0
+// (innermost: the fastest links and smallest domains) outward; every rank
+// set is contained by the outermost tier. Implementations must be usable by
+// value and safe for concurrent reads.
+type Fabric interface {
+	// FabricName identifies the preset for reports and benchmark labels.
+	FabricName() string
+	// Capacity is the total GPU count the fabric can host.
+	Capacity() int
+	// WithCapacity returns a copy resized to host at least n GPUs.
+	WithCapacity(n int) Fabric
+	// Tiers is the number of hierarchy levels.
+	Tiers() int
+	// Tier returns level l's link parameters.
+	Tier(l int) Link
+	// TierOf returns the innermost tier whose domains contain every rank in
+	// the group: 0 for a group inside one innermost domain, Tiers()-1 for a
+	// group spanning the whole fabric.
+	TierOf(ranks []int) int
+	// TierSize returns the number of consecutive ranks per domain at tier l;
+	// the outermost tier covers the whole fabric.
+	TierSize(l int) int
+	// Validate rejects non-physical fabrics (non-positive bandwidths,
+	// domain sizes that do not nest) at construction time.
+	Validate() error
+}
+
+// --- Cluster as a two-tier Fabric ------------------------------------------
+
+// FabricName implements Fabric.
+func (c Cluster) FabricName() string { return "flat" }
+
+// Capacity implements Fabric.
+func (c Cluster) Capacity() int { return c.NumGPUs }
+
+// WithCapacity implements Fabric, growing the cluster to whole nodes.
+func (c Cluster) WithCapacity(n int) Fabric {
+	if n > c.NumGPUs {
+		if c.GPUsPerNode > 0 {
+			n = (n + c.GPUsPerNode - 1) / c.GPUsPerNode * c.GPUsPerNode
+		}
+		c.NumGPUs = n
+	}
+	return c
+}
+
+// Tiers implements Fabric: NVLink inside a node, the network across.
+func (c Cluster) Tiers() int { return 2 }
+
+// Tier implements Fabric.
+func (c Cluster) Tier(l int) Link {
+	if l == 0 {
+		return Link{BW: c.IntraNodeBW, Latency: c.IntraNodeLatency}
+	}
+	return Link{BW: c.InterNodeBW, Latency: c.InterNodeLatency}
+}
+
+// TierOf implements Fabric.
+func (c Cluster) TierOf(ranks []int) int {
+	if c.SameNode(ranks) {
+		return 0
+	}
+	return 1
+}
+
+// TierSize implements Fabric.
+func (c Cluster) TierSize(l int) int {
+	if l == 0 {
+		return c.GPUsPerNode
+	}
+	return c.NumGPUs
+}
+
+// --- HierFabric -------------------------------------------------------------
+
+// Level is one tier of a HierFabric.
+type Level struct {
+	// Name labels the tier ("nvl-domain", "rail", "spine").
+	Name string
+	// GPUs is the domain size: consecutive ranks per domain at this tier.
+	// 0 on the outermost tier means "the whole fabric".
+	GPUs int
+	// BW is effective per-GPU bandwidth in bytes/sec at this tier.
+	BW float64
+	// Latency is per-hop latency in nanoseconds.
+	Latency float64
+}
+
+// HierFabric is an N-tier hierarchical fabric with contiguous rank-to-domain
+// placement at every tier.
+type HierFabric struct {
+	// Name identifies the preset.
+	Name string
+	// NumGPUs is the total accelerator count.
+	NumGPUs int
+	// Levels lists tiers innermost-first. Domain sizes must strictly grow
+	// and nest (each divides the next); only the last may be 0 (= whole
+	// fabric).
+	Levels []Level
+}
+
+// FabricName implements Fabric.
+func (h HierFabric) FabricName() string { return h.Name }
+
+// Capacity implements Fabric.
+func (h HierFabric) Capacity() int { return h.NumGPUs }
+
+// WithCapacity implements Fabric, growing to whole innermost domains.
+func (h HierFabric) WithCapacity(n int) Fabric {
+	if n > h.NumGPUs {
+		if len(h.Levels) > 0 && h.Levels[0].GPUs > 0 {
+			d := h.Levels[0].GPUs
+			n = (n + d - 1) / d * d
+		}
+		h.NumGPUs = n
+	}
+	return h
+}
+
+// Tiers implements Fabric.
+func (h HierFabric) Tiers() int { return len(h.Levels) }
+
+// Tier implements Fabric.
+func (h HierFabric) Tier(l int) Link {
+	if l < 0 {
+		l = 0
+	}
+	if l >= len(h.Levels) {
+		l = len(h.Levels) - 1
+	}
+	lv := h.Levels[l]
+	return Link{BW: lv.BW, Latency: lv.Latency}
+}
+
+// TierSize implements Fabric.
+func (h HierFabric) TierSize(l int) int {
+	if l < 0 || l >= len(h.Levels) {
+		return h.NumGPUs
+	}
+	if g := h.Levels[l].GPUs; g > 0 {
+		return g
+	}
+	return h.NumGPUs
+}
+
+// TierOf implements Fabric.
+func (h HierFabric) TierOf(ranks []int) int {
+	if len(ranks) == 0 {
+		return 0
+	}
+	for l := range h.Levels {
+		size := h.TierSize(l)
+		dom := ranks[0] / size
+		same := true
+		for _, r := range ranks[1:] {
+			if r/size != dom {
+				same = false
+				break
+			}
+		}
+		if same {
+			return l
+		}
+	}
+	return len(h.Levels) - 1
+}
+
+// Validate implements Fabric.
+func (h HierFabric) Validate() error {
+	if h.NumGPUs < 1 {
+		return fmt.Errorf("topology: fabric %q: NumGPUs must be >= 1, got %d", h.Name, h.NumGPUs)
+	}
+	if len(h.Levels) == 0 {
+		return fmt.Errorf("topology: fabric %q has no tiers", h.Name)
+	}
+	prev := 0
+	for i, lv := range h.Levels {
+		if !(lv.BW > 0) { // NaN-rejecting
+			return fmt.Errorf("topology: fabric %q tier %d (%s): bandwidth must be positive, got %g", h.Name, i, lv.Name, lv.BW)
+		}
+		if !(lv.Latency >= 0) {
+			return fmt.Errorf("topology: fabric %q tier %d (%s): negative latency %g", h.Name, i, lv.Name, lv.Latency)
+		}
+		if lv.GPUs == 0 {
+			if i != len(h.Levels)-1 {
+				return fmt.Errorf("topology: fabric %q tier %d (%s): only the outermost tier may cover the whole fabric", h.Name, i, lv.Name)
+			}
+			continue
+		}
+		if lv.GPUs <= prev {
+			return fmt.Errorf("topology: fabric %q tier %d (%s): domain size %d does not grow beyond inner tier's %d", h.Name, i, lv.Name, lv.GPUs, prev)
+		}
+		if prev > 0 && lv.GPUs%prev != 0 {
+			return fmt.Errorf("topology: fabric %q tier %d (%s): domain size %d does not nest on inner tier's %d", h.Name, i, lv.Name, lv.GPUs, prev)
+		}
+		prev = lv.GPUs
+	}
+	return nil
+}
+
+// --- Presets ----------------------------------------------------------------
+
+// NVLDomainFabric models an NVL72-class deployment: rack-scale NVLink
+// domains of 72 GPUs (GB200 NVL72 switch trays, ~900 GB/s peak per GPU
+// derated to 80%), joined rack-to-rack by a rail-optimized 800 Gbps RoCE
+// fabric within a pod of eight racks, with a spine across pods.
+func NVLDomainFabric(numGPUs int) HierFabric {
+	// Domain sizes are fixed by the hardware, not clamped to numGPUs: a
+	// fabric smaller than one domain simply lives inside it, and
+	// WithCapacity growth keeps real 72-GPU domains.
+	return HierFabric{
+		Name:    "nvl72",
+		NumGPUs: numGPUs,
+		Levels: []Level{
+			{Name: "nvl-domain", GPUs: 72, BW: 720e9, Latency: 3_500},
+			{Name: "rail", GPUs: 576, BW: 90e9, Latency: 10_000},
+			{Name: "spine", GPUs: 0, BW: 45e9, Latency: 16_000},
+		},
+	}
+}
+
+// OversubscribedFabric models classic 8-GPU NVLink servers under a
+// leaf/spine data-center network whose spine is oversubscribed by the given
+// factor: leaf switches carry the full 42 GB/s per GPU inside a 256-GPU
+// pod, while cross-pod traffic shares a spine with factor× less capacity.
+// factor 1 is a rail-optimized full-bisection network.
+func OversubscribedFabric(numGPUs int, factor float64) HierFabric {
+	if !(factor >= 1) { // NaN-rejecting
+		factor = 1
+	}
+	return HierFabric{
+		Name:    fmt.Sprintf("spine%g", factor),
+		NumGPUs: numGPUs,
+		Levels: []Level{
+			{Name: "nvlink", GPUs: 8, BW: 360e9, Latency: 4_000},
+			{Name: "leaf", GPUs: 256, BW: 42e9, Latency: 12_000},
+			{Name: "spine", GPUs: 0, BW: 42e9 / factor, Latency: 18_000},
+		},
+	}
+}
+
+// TwoTierFabric is the HierFabric view of a flat two-tier Cluster, with
+// identical tier structure and link parameters. It exists so the
+// hierarchical pricing path can be checked bit-for-bit against the flat
+// alpha-beta model on the same topology.
+func TwoTierFabric(c Cluster) HierFabric {
+	return HierFabric{
+		Name:    "flat-2tier",
+		NumGPUs: c.NumGPUs,
+		Levels: []Level{
+			{Name: "nvlink", GPUs: c.GPUsPerNode, BW: c.IntraNodeBW, Latency: c.IntraNodeLatency},
+			{Name: "network", GPUs: 0, BW: c.InterNodeBW, Latency: c.InterNodeLatency},
+		},
+	}
+}
+
+// --- Degradation ------------------------------------------------------------
+
+// degraded wraps a fabric with per-tier bandwidth scaling.
+type degraded struct {
+	base    Fabric
+	factors []float64
+}
+
+// Degrade returns a view of f whose tier-l bandwidth is scaled by
+// factors[l] (the last factor extends to all remaining outer tiers), the
+// "degraded links" what-if: Degrade(f, 1, 0.5) halves everything beyond the
+// innermost domain, Degrade(f, 0.5) halves every link. A factor of 1.0 is
+// the identity; if every factor is 1 the fabric is returned unwrapped.
+func Degrade(f Fabric, factors ...float64) Fabric {
+	ident := true
+	for _, s := range factors {
+		if s != 1 {
+			ident = false
+			break
+		}
+	}
+	if ident {
+		return f
+	}
+	return degraded{base: f, factors: factors}
+}
+
+// factor resolves tier l's bandwidth scale.
+func (d degraded) factor(l int) float64 {
+	if len(d.factors) == 0 {
+		return 1
+	}
+	if l >= len(d.factors) {
+		l = len(d.factors) - 1
+	}
+	if l < 0 {
+		l = 0
+	}
+	return d.factors[l]
+}
+
+// FabricName implements Fabric.
+func (d degraded) FabricName() string {
+	parts := make([]string, len(d.factors))
+	for i, s := range d.factors {
+		parts[i] = fmt.Sprintf("%g", s)
+	}
+	return fmt.Sprintf("%s@bw*%s", d.base.FabricName(), strings.Join(parts, ","))
+}
+
+// Capacity implements Fabric.
+func (d degraded) Capacity() int { return d.base.Capacity() }
+
+// WithCapacity implements Fabric.
+func (d degraded) WithCapacity(n int) Fabric {
+	return degraded{base: d.base.WithCapacity(n), factors: d.factors}
+}
+
+// Tiers implements Fabric.
+func (d degraded) Tiers() int { return d.base.Tiers() }
+
+// Tier implements Fabric.
+func (d degraded) Tier(l int) Link {
+	lk := d.base.Tier(l)
+	lk.BW *= d.factor(l)
+	return lk
+}
+
+// TierOf implements Fabric.
+func (d degraded) TierOf(ranks []int) int { return d.base.TierOf(ranks) }
+
+// TierSize implements Fabric.
+func (d degraded) TierSize(l int) int { return d.base.TierSize(l) }
+
+// Validate implements Fabric.
+func (d degraded) Validate() error {
+	for i, s := range d.factors {
+		if !(s > 0) { // NaN-rejecting
+			return fmt.Errorf("topology: degradation factor %d is %g, must be positive", i, s)
+		}
+	}
+	return d.base.Validate()
+}

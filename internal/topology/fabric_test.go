@@ -1,0 +1,215 @@
+package topology
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestClusterValidate(t *testing.T) {
+	good := H100Cluster(64)
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid cluster rejected: %v", err)
+	}
+	cases := map[string]func(c Cluster) Cluster{
+		"zero GPUsPerNode":   func(c Cluster) Cluster { c.GPUsPerNode = 0; return c },
+		"zero NumGPUs":       func(c Cluster) Cluster { c.NumGPUs = 0; return c },
+		"ragged last node":   func(c Cluster) Cluster { c.NumGPUs = 12; return c },
+		"zero intra BW":      func(c Cluster) Cluster { c.IntraNodeBW = 0; return c },
+		"negative inter BW":  func(c Cluster) Cluster { c.InterNodeBW = -1; return c },
+		"negative intra lat": func(c Cluster) Cluster { c.IntraNodeLatency = -1; return c },
+		"negative inter lat": func(c Cluster) Cluster { c.InterNodeLatency = -5; return c },
+		"indivisible counts": func(c Cluster) Cluster { c.GPUsPerNode = 7; return c },
+	}
+	for name, corrupt := range cases {
+		if err := corrupt(good).Validate(); err == nil {
+			t.Errorf("%s: Validate accepted a nonsense cluster", name)
+		}
+	}
+	if _, err := NewCluster(8, 12, 360e9, 42e9, 4000, 12000); err == nil {
+		t.Error("NewCluster accepted NumGPUs not divisible by GPUsPerNode")
+	}
+	if _, err := NewCluster(8, 64, 360e9, 0, 4000, 12000); err == nil {
+		t.Error("NewCluster accepted a non-positive bandwidth")
+	}
+	if c, err := NewCluster(8, 64, 360e9, 42e9, 4000, 12000); err != nil || c.NumNodes() != 8 {
+		t.Errorf("NewCluster rejected a valid cluster: %v (%d nodes)", err, c.NumNodes())
+	}
+}
+
+func TestH100ClusterAlwaysValidates(t *testing.T) {
+	for _, n := range []int{1, 3, 4, 7, 8, 12, 16, 100, 512} {
+		c := H100Cluster(n)
+		if err := c.Validate(); err != nil {
+			t.Errorf("H100Cluster(%d) invalid: %v", n, err)
+		}
+		if c.Capacity() < n {
+			t.Errorf("H100Cluster(%d) capacity %d", n, c.Capacity())
+		}
+		// The rank-to-node mapping of the first n ranks must match the
+		// pre-normalization 8-per-node layout.
+		for r := 0; r < n; r++ {
+			want := r / 8
+			if n < 8 {
+				want = 0
+			}
+			if c.Node(r) != want {
+				t.Fatalf("H100Cluster(%d).Node(%d) = %d, want %d", n, r, c.Node(r), want)
+			}
+		}
+	}
+}
+
+func TestClusterAsFabric(t *testing.T) {
+	c := H100Cluster(64)
+	var f Fabric = c
+	if f.Tiers() != 2 || f.FabricName() != "flat" {
+		t.Fatalf("cluster fabric shape: %d tiers, %q", f.Tiers(), f.FabricName())
+	}
+	if f.Tier(0).BW != c.IntraNodeBW || f.Tier(1).BW != c.InterNodeBW {
+		t.Fatal("tier links disagree with cluster fields")
+	}
+	if f.TierOf([]int{0, 7}) != 0 || f.TierOf([]int{0, 8}) != 1 {
+		t.Fatal("TierOf disagrees with SameNode")
+	}
+	if f.TierSize(0) != 8 || f.TierSize(1) != 64 {
+		t.Fatal("tier sizes wrong")
+	}
+	grown := f.WithCapacity(70)
+	if grown.Capacity() != 72 {
+		t.Fatalf("WithCapacity(70) = %d, want whole nodes (72)", grown.Capacity())
+	}
+	if err := grown.Validate(); err != nil {
+		t.Fatalf("grown cluster invalid: %v", err)
+	}
+}
+
+func TestTwoTierFabricMatchesCluster(t *testing.T) {
+	c := H100Cluster(512)
+	h := TwoTierFabric(c)
+	if err := h.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if h.Tier(0) != c.Tier(0) || h.Tier(1) != c.Tier(1) {
+		t.Fatal("two-tier fabric links diverge from the cluster's")
+	}
+	// TierOf must agree with the cluster's SameNode classification for
+	// arbitrary groups.
+	f := func(a, b, n uint16) bool {
+		ranks := []int{int(a) % 512, int(b) % 512, int(n) % 512}
+		return h.TierOf(ranks) == c.TierOf(ranks)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHierFabricTierOf(t *testing.T) {
+	h := NVLDomainFabric(1152) // two rails of 576, 16 NVL72 domains
+	if err := h.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := h.TierOf([]int{0, 71}); got != 0 {
+		t.Fatalf("group inside one NVL domain: tier %d", got)
+	}
+	if got := h.TierOf([]int{0, 72}); got != 1 {
+		t.Fatalf("group across domains within a rail: tier %d", got)
+	}
+	if got := h.TierOf([]int{0, 576}); got != 2 {
+		t.Fatalf("group across rails: tier %d", got)
+	}
+	if got := h.TierOf(nil); got != 0 {
+		t.Fatalf("empty group: tier %d", got)
+	}
+	if h.TierSize(0) != 72 || h.TierSize(1) != 576 || h.TierSize(2) != 1152 {
+		t.Fatalf("tier sizes: %d/%d/%d", h.TierSize(0), h.TierSize(1), h.TierSize(2))
+	}
+}
+
+func TestHierFabricValidate(t *testing.T) {
+	bad := []HierFabric{
+		{Name: "no-tiers", NumGPUs: 8},
+		{Name: "zero-bw", NumGPUs: 8, Levels: []Level{{GPUs: 8, BW: 0}}},
+		{Name: "shrinking", NumGPUs: 64, Levels: []Level{
+			{GPUs: 8, BW: 1e9}, {GPUs: 4, BW: 1e9}}},
+		{Name: "non-nesting", NumGPUs: 64, Levels: []Level{
+			{GPUs: 8, BW: 1e9}, {GPUs: 12, BW: 1e9}}},
+		{Name: "inner-whole", NumGPUs: 64, Levels: []Level{
+			{GPUs: 0, BW: 1e9}, {GPUs: 0, BW: 1e9}}},
+		{Name: "negative-lat", NumGPUs: 8, Levels: []Level{{GPUs: 8, BW: 1e9, Latency: -1}}},
+	}
+	for _, h := range bad {
+		if err := h.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted a malformed fabric", h.Name)
+		}
+	}
+	// Presets must validate at any world size, including ones smaller than
+	// (or not dividing) their hardware domain sizes.
+	for _, n := range []int{3, 4, 5, 7, 40, 72, 100, 512, 1152} {
+		for _, h := range []HierFabric{NVLDomainFabric(n), OversubscribedFabric(n, 4), OversubscribedFabric(n, 1)} {
+			if err := h.Validate(); err != nil {
+				t.Errorf("preset %s at %d GPUs invalid: %v", h.Name, n, err)
+			}
+		}
+	}
+}
+
+func TestPresetDomainsSurviveGrowth(t *testing.T) {
+	// A preset built small keeps its hardware domain sizes, so growing the
+	// fabric to a larger campaign world preserves the real topology instead
+	// of freezing a clamped domain.
+	small := NVLDomainFabric(8)
+	if small.TierSize(0) != 72 {
+		t.Fatalf("NVL domain size %d, want 72 regardless of world", small.TierSize(0))
+	}
+	grown := small.WithCapacity(100)
+	if grown.TierSize(0) != 72 {
+		t.Fatalf("grown NVL domain size %d", grown.TierSize(0))
+	}
+	if grown.Capacity() < 100 || grown.Capacity()%72 != 0 {
+		t.Fatalf("grown capacity %d, want whole domains >= 100", grown.Capacity())
+	}
+	if err := grown.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if grown.TierOf([]int{0, 71}) != 0 || grown.TierOf([]int{0, 72}) != 1 {
+		t.Fatal("grown fabric lost its domain structure")
+	}
+}
+
+func TestDegrade(t *testing.T) {
+	base := NVLDomainFabric(576)
+	// All-ones degradation is the identity: the fabric is returned as-is.
+	if f := Degrade(base, 1, 1, 1); f.(HierFabric).Name != base.Name {
+		t.Fatal("identity degradation should unwrap to the base fabric")
+	}
+	d := Degrade(base, 1, 0.5)
+	if d.Tier(0) != base.Tier(0) {
+		t.Fatal("tier 0 must be untouched by factor 1")
+	}
+	if got, want := d.Tier(1).BW, base.Tier(1).BW*0.5; got != want {
+		t.Fatalf("tier 1 BW = %g, want %g", got, want)
+	}
+	// The last factor extends outward.
+	if got, want := d.Tier(2).BW, base.Tier(2).BW*0.5; got != want {
+		t.Fatalf("tier 2 BW = %g, want %g", got, want)
+	}
+	if d.Tier(1).Latency != base.Tier(1).Latency {
+		t.Fatal("degradation must not alter latency")
+	}
+	if d.TierOf([]int{0, 72}) != base.TierOf([]int{0, 72}) || d.Capacity() != base.Capacity() {
+		t.Fatal("degradation must not alter topology structure")
+	}
+	if !strings.Contains(d.FabricName(), base.FabricName()) {
+		t.Fatalf("degraded name %q should mention the base", d.FabricName())
+	}
+	if err := Degrade(base, -0.5).Validate(); err == nil {
+		t.Fatal("non-positive degradation factor must be rejected")
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.WithCapacity(1200).Capacity(); got < 1200 {
+		t.Fatalf("degraded WithCapacity = %d", got)
+	}
+}

@@ -35,6 +35,7 @@ import (
 	"fmt"
 
 	"lumos/internal/analysis"
+	"lumos/internal/collective"
 	"lumos/internal/core"
 	"lumos/internal/execgraph"
 	"lumos/internal/manip"
@@ -58,8 +59,19 @@ type (
 // New returns a toolkit configured by the given options.
 func New(opts ...Option) *Toolkit { return core.New(opts...) }
 
-// WithCluster sets the fabric model used for profiling and prediction.
+// WithCluster sets a flat two-tier fabric model used for profiling and
+// prediction.
 func WithCluster(c Cluster) Option { return core.WithCluster(c) }
+
+// WithFabric sets the interconnect model used for profiling and prediction:
+// any Fabric, e.g. NVLDomainFabric(512) or OversubscribedFabric(512, 4),
+// optionally wrapped by DegradeFabric.
+func WithFabric(f Fabric) Option { return core.WithFabric(f) }
+
+// WithPricer swaps the collective pricing backend used wherever the toolkit
+// prices communication: ground-truth profiling, calibration fallbacks, and
+// fabric what-if scenarios.
+func WithPricer(p func(Fabric) collective.Pricer) Option { return core.WithPricer(p) }
 
 // WithGraphOptions overrides execution-graph construction options.
 func WithGraphOptions(g execgraph.BuildOptions) Option { return core.WithGraphOptions(g) }
@@ -87,8 +99,21 @@ type (
 	Config = parallel.Config
 	// Mapping is a 3D-parallel rank layout.
 	Mapping = topology.Mapping
-	// Cluster describes the physical fabric.
+	// Cluster describes a flat two-tier physical fabric (NVLink inside a
+	// node, one network across); it is the simplest Fabric implementation.
 	Cluster = topology.Cluster
+	// Fabric is the hierarchical interconnect abstraction: tiers of
+	// bandwidth/latency from NVLink domain out to spine. Deployments,
+	// predictions and what-if campaigns bind one Fabric.
+	Fabric = topology.Fabric
+	// HierFabric is an N-tier hierarchical fabric with contiguous
+	// rank-to-domain placement.
+	HierFabric = topology.HierFabric
+	// Link is one fabric tier's per-GPU bandwidth/latency pair.
+	Link = topology.Link
+	// Pricer prices NCCL-style communication primitives; backends are
+	// swappable (flat alpha-beta, hierarchical, degraded).
+	Pricer = collective.Pricer
 	// Trace is one rank's profiling trace; Multi a distributed run's set.
 	Trace = trace.Trace
 	// Multi is a set of per-rank traces.
@@ -172,8 +197,40 @@ func SMUtilization(t *Trace, windowNs int64) []float64 {
 func SaveTraces(m *Multi, dir string) error { return core.SaveTraces(m, dir) }
 func LoadTraces(dir string) (*Multi, error) { return core.LoadTraces(dir) }
 
-// H100Cluster returns the paper-like fabric model for n GPUs.
+// H100Cluster returns the paper-like flat two-tier fabric model for n GPUs.
 func H100Cluster(n int) Cluster { return topology.H100Cluster(n) }
+
+// NVLDomainFabric returns an NVL72-class fabric: rack-scale 72-GPU NVLink
+// domains joined by a rail-optimized RoCE fabric with a spine across pods.
+func NVLDomainFabric(n int) HierFabric { return topology.NVLDomainFabric(n) }
+
+// OversubscribedFabric returns classic 8-GPU NVLink servers under a
+// leaf/spine network whose spine is oversubscribed by the given factor
+// (factor 1 = full bisection).
+func OversubscribedFabric(n int, factor float64) HierFabric {
+	return topology.OversubscribedFabric(n, factor)
+}
+
+// TwoTierFabric is the hierarchical view of a flat Cluster, with identical
+// tier structure and link parameters.
+func TwoTierFabric(c Cluster) HierFabric { return topology.TwoTierFabric(c) }
+
+// DegradeFabric wraps a fabric with per-tier bandwidth scaling (the last
+// factor extends to the remaining outer tiers); factor 1.0 is the identity.
+func DegradeFabric(f Fabric, factors ...float64) Fabric { return topology.Degrade(f, factors...) }
+
+// NewFlatPricer returns the flat alpha-beta collective model over a
+// two-tier cluster — the calibrated legacy backend.
+func NewFlatPricer(c Cluster) Pricer { return collective.NewModel(c) }
+
+// NewHierPricer returns the bottleneck-composed hierarchical pricer over
+// any fabric (bit-identical to the flat model on a two-tier fabric).
+func NewHierPricer(f Fabric) Pricer { return collective.NewPricer(f) }
+
+// NewPhasedPricer returns the hierarchical pricer with per-tier phase
+// composition (NCCL's hierarchical algorithms: intra-domain reduce-scatter
+// and all-gather around a cross-domain ring).
+func NewPhasedPricer(f Fabric) Pricer { return collective.NewPhasedPricer(f) }
 
 // FusionReport summarizes an operator-fusion what-if.
 type FusionReport = analysis.FusionReport

@@ -63,6 +63,19 @@ func ClassScaleScenario(class KernelClass, factor float64) Scenario {
 // operator fusion pattern" scenario from Section 3.4).
 func FusionScenario() Scenario { return core.FusionScenario() }
 
+// FabricScenario predicts the base deployment's iteration time on a
+// different interconnect — "what if this job ran on NVL72 racks?" — by
+// re-pricing communication for the target fabric while keeping measured
+// compute durations. An empty name defaults to the fabric's preset name.
+func FabricScenario(name string, f Fabric) Scenario { return core.FabricScenario(name, f) }
+
+// DegradeLinksScenario predicts the base deployment under degraded links:
+// per-tier bandwidth scaled by the given factors on the campaign's own
+// fabric (the last factor extends outward; 1.0 is the identity).
+func DegradeLinksScenario(factors ...float64) Scenario {
+	return core.DegradeLinksScenario(factors...)
+}
+
 // GridSweep enumerates a deployment scenario for every TP×PP×DP combination
 // of the given ranges under the given architecture — the paper's
 // exploration loop ("which deployment should I rent?") as one campaign.
@@ -79,4 +92,14 @@ func GridSweep(arch Arch, tpRange, ppRange, dpRange []int) []Scenario {
 		}
 	}
 	return scenarios
+}
+
+// FabricSweep enumerates a fabric × degradation grid as scenarios — the
+// network analogue of GridSweep ("which interconnect should I rent, and how
+// much headroom does it have?"). Every fabric (nil = the campaign's bound
+// fabric) is evaluated at every network bandwidth factor, scaling the tiers
+// beyond the innermost domain (NVLink stays nominal); factor 1 is
+// undegraded. The result composes with GridSweep points in one campaign.
+func FabricSweep(fabrics []Fabric, degrade []float64) []Scenario {
+	return core.FabricSweep(fabrics, degrade)
 }
