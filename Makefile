@@ -1,14 +1,15 @@
 GO ?= go
 
-# SWEEP_BENCH selects the sweep hot-path benchmarks (shared calibration,
-# uncached throughput, fabric binding) shared by bench and bench-smoke.
-SWEEP_BENCH = BenchmarkSweep_SharedCalibration$$|BenchmarkSweepThroughput$$|BenchmarkSweep_FabricCampaign
+# SWEEP_BENCH selects the sweep/planner hot-path benchmarks (shared
+# calibration, uncached throughput, fabric binding, strategy-labeled plan
+# search) shared by bench and bench-smoke.
+SWEEP_BENCH = BenchmarkSweep_SharedCalibration$$|BenchmarkSweepThroughput$$|BenchmarkSweep_FabricCampaign|BenchmarkPlan_BeamVsExhaustive
 
-.PHONY: check fmt vet build test bench bench-smoke benchsmoke
+.PHONY: check fmt vet build test bench bench-smoke benchsmoke plan-smoke
 
-# check is the CI gate: formatting, static analysis, full build, tests, and
-# a one-iteration benchmark smoke pass.
-check: fmt vet build test benchsmoke
+# check is the CI gate: formatting, static analysis, full build, tests, a
+# one-iteration benchmark smoke pass, and the planner acceptance smoke.
+check: fmt vet build test benchsmoke plan-smoke
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -43,3 +44,10 @@ bench:
 # without paying for a full measurement run.
 bench-smoke:
 	$(GO) test -run xxx -bench '$(SWEEP_BENCH)' -benchtime 1x -count 1 .
+
+# plan-smoke is the deployment-planner acceptance gate: examples/autotune
+# exits non-zero unless beam search and successive halving find the same
+# best configuration as an exhaustive sweep of the fig7/fig8 spaces while
+# simulating strictly fewer points.
+plan-smoke:
+	$(GO) run ./examples/autotune

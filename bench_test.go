@@ -534,6 +534,60 @@ func BenchmarkSweep_FabricCampaign(b *testing.B) {
 	}
 }
 
+// BenchmarkPlan_BeamVsExhaustive measures the deployment planner per
+// search strategy over one fig7-style space, with the scenario cache
+// disabled so every promoted point pays its full simulation cost.
+// Sub-benchmarks carry a strategy=<name> label that cmd/benchjson records
+// in BENCH_sweep.json; the simulated-points metric shows the guided
+// strategies promoting strictly fewer points than exhaustive while the
+// best-ms metric shows equal frontier quality.
+func BenchmarkPlan_BeamVsExhaustive(b *testing.B) {
+	ctx := context.Background()
+	cfg, err := DeploymentConfig(GPT3_15B(), 2, 2, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg.Microbatches = 4
+	space := Space{
+		PP:         []int{1, 2, 4},
+		DP:         []int{1, 2},
+		Microbatch: []int{4, 8},
+	}
+	mem := MemoryModel{GPUMemBytes: 192 << 30, ZeRO: ZeROOptimizer}
+	for _, strat := range []PlanStrategy{
+		ExhaustiveStrategy(),
+		BeamStrategy(4),
+		HalvingStrategy(3),
+	} {
+		strat := strat
+		b.Run("strategy="+strat.Name(), func(b *testing.B) {
+			tk := New(WithConcurrency(4), WithScenarioCache(false))
+			base, err := tk.Prepare(ctx, cfg, 42)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			b.ReportAllocs()
+			var simulated, bestMS float64
+			for i := 0; i < b.N; i++ {
+				res, err := tk.PlanState(ctx, base, space,
+					WithPlanStrategy(strat), WithMemoryModel(mem))
+				if err != nil {
+					b.Fatal(err)
+				}
+				best, ok := res.Best()
+				if !ok {
+					b.Fatal("no feasible point")
+				}
+				simulated = float64(res.Stats.Simulated)
+				bestMS = analysis.Millis(best.Iteration)
+			}
+			b.ReportMetric(simulated, "simulated-points")
+			b.ReportMetric(bestMS, "best-ms")
+		})
+	}
+}
+
 // BenchmarkMultiIterationProfile measures the multi-step profiling window
 // and iteration splitting path.
 func BenchmarkMultiIterationProfile(b *testing.B) {

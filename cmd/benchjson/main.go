@@ -21,7 +21,11 @@ type result struct {
 	// Fabric is the topology label for fabric-parameterized benchmarks
 	// (sub-benchmark names containing "fabric=<preset>"), so entries in
 	// BENCH_sweep.json are comparable across topologies.
-	Fabric     string             `json:"fabric,omitempty"`
+	Fabric string `json:"fabric,omitempty"`
+	// Strategy is the search-strategy label for planner benchmarks
+	// (sub-benchmark names containing "strategy=<name>"), so entries are
+	// comparable across exhaustive/beam/halving runs.
+	Strategy   string             `json:"strategy,omitempty"`
 	NsPerOp    float64            `json:"ns_per_op,omitempty"`
 	BytesPerOp float64            `json:"bytes_per_op,omitempty"`
 	AllocsOp   float64            `json:"allocs_per_op,omitempty"`
@@ -30,8 +34,12 @@ type result struct {
 
 // fabricRe extracts the fabric label from a sub-benchmark name like
 // "BenchmarkSweep_FabricCampaign/fabric=nvl72-8" (the trailing -N is the
-// GOMAXPROCS suffix go test appends).
-var fabricRe = regexp.MustCompile(`fabric=([^/]+?)(?:-\d+)?$`)
+// GOMAXPROCS suffix go test appends); strategyRe does the same for planner
+// benchmarks like "BenchmarkPlan_BeamVsExhaustive/strategy=beam4-8".
+var (
+	fabricRe   = regexp.MustCompile(`fabric=([^/]+?)(?:-\d+)?$`)
+	strategyRe = regexp.MustCompile(`strategy=([^/]+?)(?:-\d+)?$`)
+)
 
 func parseLine(line string) (result, bool) {
 	fields := strings.Fields(line)
@@ -45,6 +53,9 @@ func parseLine(line string) (result, bool) {
 	r := result{Name: fields[0], Iterations: iters, Metrics: map[string]float64{}}
 	if m := fabricRe.FindStringSubmatch(fields[0]); m != nil {
 		r.Fabric = m[1]
+	}
+	if m := strategyRe.FindStringSubmatch(fields[0]); m != nil {
+		r.Strategy = m[1]
 	}
 	// The remainder alternates value / unit.
 	for i := 2; i+1 < len(fields); i += 2 {

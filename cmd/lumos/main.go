@@ -27,6 +27,16 @@
 //	    variants, network fabrics and degradation factors, and kernel
 //	    counterfactuals — concurrently against shared calibration, printing
 //	    results ranked by predicted iteration time
+//	lumos plan      -model 15b -tp 2 -pp 2 -dp 2 -mb 8 [-in traces/] \
+//	                [-pp-range 1,2,4] [-dp-range 1,2,4] [-mb-range 4,8] \
+//	                [-fabric flat,nvl72] [-degrade 1,0.5] \
+//	                [-strategy auto|exhaustive|beam|halving] [-beam 8] [-eta 3] \
+//	                [-budget 0] [-gpu-mem-gib 80] [-zero 0|1|2] [-top 10]
+//	    guided deployment search: expand the parallelism × microbatch ×
+//	    fabric space lazily, rule out configurations that would OOM with
+//	    the analytic memory model, rank the rest by roofline cost bounds,
+//	    simulate only the survivors the strategy promotes, and print the
+//	    Pareto frontier over (iteration time, GPUs, peak memory)
 //
 // All subcommands honor Ctrl-C: the context is canceled and in-flight
 // sweeps stop.
@@ -50,7 +60,7 @@ import (
 )
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: lumos <tracegen|replay|breakdown|smutil|predict|whatif|sweep> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: lumos <tracegen|replay|breakdown|smutil|predict|whatif|sweep|plan> [flags]")
 	os.Exit(2)
 }
 
@@ -78,6 +88,8 @@ func main() {
 		err = cmdWhatIf(ctx, args)
 	case "sweep":
 		err = cmdSweep(ctx, args)
+	case "plan":
+		err = cmdPlan(ctx, args)
 	default:
 		usage()
 	}
@@ -316,6 +328,14 @@ func cmdWhatIf(ctx context.Context, args []string) error {
 	return nil
 }
 
+// fabricPresets lists every valid -fabric preset name, so errors can spell
+// out the whole menu instead of failing bare.
+var fabricPresets = []string{
+	"flat (alias h100) — the paper's two-tier H100/RoCE testbed",
+	"nvl72 — rack-scale 72-GPU NVLink domains under a rail/spine fabric",
+	"spine[N] — 8-GPU NVLink servers under a leaf/spine network with an N:1 oversubscribed spine (e.g. spine4)",
+}
+
 // fabricByName resolves a fabric preset for the given world size:
 // "flat" (the two-tier H100 cluster), "nvl72" (rack-scale NVLink domains),
 // or "spineN" (leaf/spine with an N:1 oversubscribed spine, e.g. spine4).
@@ -331,13 +351,13 @@ func fabricByName(name string, world int) (lumos.Fabric, error) {
 		if rest := strings.TrimPrefix(n, "spine"); rest != "" {
 			f, err := strconv.ParseFloat(rest, 64)
 			if err != nil || f < 1 {
-				return nil, fmt.Errorf("bad oversubscription factor in %q", name)
+				return nil, fmt.Errorf("bad oversubscription factor in %q (want spine[N] with N >= 1, e.g. spine4)", name)
 			}
 			factor = f
 		}
 		return lumos.OversubscribedFabric(world, factor), nil
 	}
-	return nil, fmt.Errorf("unknown fabric %q (want flat|nvl72|spine[N])", name)
+	return nil, fmt.Errorf("unknown fabric %q; valid presets:\n  %s", name, strings.Join(fabricPresets, "\n  "))
 }
 
 // parseFloatList parses "1,0.75,0.5" into []float64.
@@ -507,6 +527,174 @@ func cmdSweep(ctx context.Context, args []string) error {
 			best.Name, analysis.Millis(best.Iteration), best.Speedup)
 	}
 	return nil
+}
+
+func cmdPlan(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("plan", flag.ExitOnError)
+	mdl, tp, pp, dp, mb, seed := deployFlags(fs)
+	in := fs.String("in", "", "profiled trace directory of the base config (empty = profile now)")
+	tpRange := fs.String("tp-range", "", "comma-separated TP grid (default: base TP; other TPs are out of manipulation scope)")
+	ppRange := fs.String("pp-range", "", "comma-separated PP grid (default: base PP)")
+	dpRange := fs.String("dp-range", "", "comma-separated DP grid (default: base DP)")
+	mbRange := fs.String("mb-range", "", "comma-separated microbatch grid (default: base -mb)")
+	fabricList := fs.String("fabric", "", "comma-separated fabric presets to search over (flat|nvl72|spine[N]; default: the profiled fabric)")
+	degradeList := fs.String("degrade", "", "comma-separated network bandwidth factors beyond the NVLink domain (e.g. 1,0.75,0.5)")
+	strategy := fs.String("strategy", "auto", "search strategy: auto|exhaustive|beam|halving")
+	beam := fs.Int("beam", 8, "beam width for -strategy beam")
+	eta := fs.Int("eta", 3, "promotion rate for -strategy halving")
+	budget := fs.Int("budget", 0, "max points promoted to full simulation (0 = no cap)")
+	gpuMem := fs.Float64("gpu-mem-gib", 80, "device memory capacity in GiB for the feasibility model")
+	zero := fs.Int("zero", 0, "ZeRO sharding stage for the memory model: 0 (none), 1 (optimizer), 2 (+gradients)")
+	top := fs.Int("top", 10, "print only the K best dominated points (0 = all)")
+	workers := fs.Int("workers", 0, "sweep worker pool size (0 = auto)")
+	fs.Parse(args)
+
+	base, err := buildConfig(*mdl, *tp, *pp, *dp, *mb)
+	if err != nil {
+		return err
+	}
+	var space lumos.Space
+	if space.TP, err = parseIntList(*tpRange); err != nil {
+		return err
+	}
+	if space.PP, err = parseIntList(*ppRange); err != nil {
+		return err
+	}
+	if space.DP, err = parseIntList(*dpRange); err != nil {
+		return err
+	}
+	if space.Microbatch, err = parseIntList(*mbRange); err != nil {
+		return err
+	}
+	if *fabricList != "" {
+		// Size presets for the largest world the space can reach.
+		maxWorld := base.Map.WorldSize()
+		space.ForEach(base, func(p lumos.PlanPoint) bool {
+			if w := p.World(); w > maxWorld {
+				maxWorld = w
+			}
+			return true
+		})
+		for _, name := range strings.Split(*fabricList, ",") {
+			f, err := fabricByName(name, maxWorld)
+			if err != nil {
+				return err
+			}
+			space.Fabrics = append(space.Fabrics, f)
+		}
+	}
+	if *degradeList != "" {
+		factors, err := parseFloatList(*degradeList)
+		if err != nil {
+			return err
+		}
+		for _, f := range factors {
+			space.Degrade = append(space.Degrade, lumos.NetworkDegradeFactors(f))
+		}
+	}
+
+	var opts []lumos.PlanOption
+	switch strings.ToLower(*strategy) {
+	case "auto", "":
+	case "exhaustive":
+		opts = append(opts, lumos.WithPlanStrategy(lumos.ExhaustiveStrategy()))
+	case "beam":
+		opts = append(opts, lumos.WithPlanStrategy(lumos.BeamStrategy(*beam)))
+	case "halving":
+		opts = append(opts, lumos.WithPlanStrategy(lumos.HalvingStrategy(*eta)))
+	default:
+		return fmt.Errorf("unknown strategy %q (want auto|exhaustive|beam|halving)", *strategy)
+	}
+	if *budget > 0 {
+		opts = append(opts, lumos.WithPlanBudget(*budget))
+	}
+	if *zero < 0 || *zero > 2 {
+		return fmt.Errorf("bad -zero %d (want 0 none, 1 optimizer states, 2 +gradients)", *zero)
+	}
+	if !(*gpuMem > 0) {
+		return fmt.Errorf("bad -gpu-mem-gib %g (want a positive capacity)", *gpuMem)
+	}
+	mem := lumos.MemoryModel{
+		GPUMemBytes: int64(*gpuMem * (1 << 30)),
+		ZeRO:        lumos.ZeROStage(*zero),
+	}
+	opts = append(opts, lumos.WithMemoryModel(mem))
+
+	tk := lumos.New(lumos.WithConcurrency(*workers), lumos.WithSeed(*seed))
+	t0 := time.Now()
+	var st *lumos.BaseState
+	if *in != "" {
+		traces, err := lumos.LoadTraces(*in)
+		if err != nil {
+			return err
+		}
+		st, err = tk.PrepareTraces(ctx, base, traces)
+		if err != nil {
+			return sweepErr(err)
+		}
+	} else {
+		fmt.Printf("base %s %dx%dx%d: profiling %d GPUs (seed %d)...\n", base.Arch.Name,
+			base.Map.TP, base.Map.PP, base.Map.DP, base.Map.WorldSize(), *seed)
+		st, err = tk.Prepare(ctx, base, *seed)
+		if err != nil {
+			return sweepErr(err)
+		}
+	}
+	res, err := tk.PlanState(ctx, st, space, opts...)
+	if err != nil {
+		return sweepErr(err)
+	}
+
+	s := res.Stats
+	fmt.Printf("base iteration %.1fms; strategy=%s space=%d feasible=%d mem-rejected=%d scope-rejected=%d\n",
+		analysis.Millis(st.Iteration), res.Strategy, s.SpaceSize, s.Feasible, s.MemRejected, s.ScopeRejected)
+	fmt.Printf("simulated %d unique points in %d rounds (%d requests, %d served by the scenario cache) in %v\n\n",
+		s.Simulated, s.Rounds, s.SimRequests, s.SimRequests-s.Simulated, time.Since(t0).Round(time.Millisecond))
+
+	printPlanPoint := func(rank int, e lumos.PlanEvaluated) {
+		speedup := 0.0
+		if e.Iteration > 0 {
+			speedup = float64(st.Iteration) / float64(e.Iteration)
+		}
+		fmt.Printf("%4d  %-28s %6d %10.1fms %8.2fx %7.1fGiB  %10.1fms\n",
+			rank, clip(e.Point.Key(), 28), e.Point.World(), analysis.Millis(e.Iteration),
+			speedup, e.Mem.GiB(), analysis.Millis(e.Bound))
+	}
+	fmt.Println("Pareto frontier (iteration time × GPU count × peak memory):")
+	printPlanHeader()
+	for i, e := range res.Frontier {
+		printPlanPoint(i+1, e)
+	}
+	dominated := res.Dominated
+	if *top > 0 && len(dominated) > *top {
+		dominated = dominated[:*top]
+	}
+	if len(dominated) > 0 {
+		fmt.Printf("\ndominated (%d total, ranked):\n", len(res.Dominated))
+		printPlanHeader()
+		for i, e := range dominated {
+			printPlanPoint(len(res.Frontier)+i+1, e)
+		}
+	}
+	if len(res.Infeasible) > 0 {
+		// The retained list mixes analytic rejections with points that were
+		// promoted but failed in simulation; each entry carries its reason.
+		fmt.Printf("\ninfeasible (%d mem-rejected, %d scope-rejected; %d retained with reasons):\n",
+			s.MemRejected, s.ScopeRejected, len(res.Infeasible))
+		for _, c := range res.Infeasible {
+			fmt.Printf("  %-28s %s\n", clip(c.Point.Key(), 28), c.Infeasible)
+		}
+	}
+	if best, ok := res.Best(); ok {
+		fmt.Printf("\nbest: %s — %.1fms/iter on %d GPUs, %s\n",
+			best.Point.Key(), analysis.Millis(best.Iteration), best.Point.World(), best.Mem)
+	}
+	return nil
+}
+
+func printPlanHeader() {
+	fmt.Printf("%4s  %-28s %6s %12s %9s %10s  %12s\n",
+		"rank", "point", "gpus", "pred/iter", "speedup", "mem", "bound")
 }
 
 func countInfeasible(results []lumos.ScenarioResult) int {

@@ -1,6 +1,7 @@
 package collective
 
 import (
+	"math"
 	"testing"
 
 	"lumos/internal/topology"
@@ -16,8 +17,20 @@ type pricerBackend struct {
 	// intra returns n ranks inside one innermost domain; inter returns n
 	// ranks spanning at least one tier boundary.
 	intra, inter func(n int) []int
-	// degrade returns the pricer with per-tier bandwidth factors applied.
-	degrade func(factors ...float64) Pricer
+	// degrade returns the pricer with per-tier bandwidth factors applied,
+	// or the construction-time rejection for invalid factors.
+	degrade func(factors ...float64) (Pricer, error)
+}
+
+// mustDegrade unwraps a backend's degrade constructor for factors the test
+// knows are valid.
+func mustDegrade(t *testing.T, b pricerBackend, factors ...float64) Pricer {
+	t.Helper()
+	p, err := b.degrade(factors...)
+	if err != nil {
+		t.Fatalf("%s: degrade(%v): %v", b.name, factors, err)
+	}
+	return p
 }
 
 func strided(stride int) func(n int) []int {
@@ -41,22 +54,22 @@ func backends() []pricerBackend {
 		{
 			name: "flat-alpha-beta", p: flat,
 			intra: strided(1), inter: strided(8),
-			degrade: func(f ...float64) Pricer { return flat.Degraded(f...) },
+			degrade: func(f ...float64) (Pricer, error) { return flat.Degraded(f...) },
 		},
 		{
 			name: "hier-bottleneck/2tier", p: twoTier,
 			intra: strided(1), inter: strided(8),
-			degrade: func(f ...float64) Pricer { return twoTier.Degraded(f...) },
+			degrade: func(f ...float64) (Pricer, error) { return twoTier.Degraded(f...) },
 		},
 		{
 			name: "hier-bottleneck/nvl72", p: nvl,
 			intra: strided(1), inter: strided(72),
-			degrade: func(f ...float64) Pricer { return nvl.Degraded(f...) },
+			degrade: func(f ...float64) (Pricer, error) { return nvl.Degraded(f...) },
 		},
 		{
 			name: "hier-phased/nvl72", p: phased,
 			intra: strided(1), inter: strided(72),
-			degrade: func(f ...float64) Pricer { return phased.Degraded(f...) },
+			degrade: func(f ...float64) (Pricer, error) { return phased.Degraded(f...) },
 		},
 	}
 }
@@ -109,7 +122,7 @@ func TestPricerConformance(t *testing.T) {
 			})
 
 			t.Run("degrade-1.0-is-identity", func(t *testing.T) {
-				for _, ident := range []Pricer{b.degrade(1), b.degrade(1, 1, 1)} {
+				for _, ident := range []Pricer{mustDegrade(t, b, 1), mustDegrade(t, b, 1, 1, 1)} {
 					for _, kind := range conformanceKinds {
 						for _, ranks := range groups {
 							for _, size := range conformanceSizes {
@@ -124,8 +137,16 @@ func TestPricerConformance(t *testing.T) {
 				}
 			})
 
+			t.Run("degrade-rejects-bad-factors", func(t *testing.T) {
+				for _, factors := range [][]float64{{0}, {-0.5}, {1, -1}, {math.NaN()}, {math.Inf(1)}} {
+					if _, err := b.degrade(factors...); err == nil {
+						t.Fatalf("degrade(%v) accepted, want construction-time rejection", factors)
+					}
+				}
+			})
+
 			t.Run("degrade-slows", func(t *testing.T) {
-				half := b.degrade(0.5)
+				half := mustDegrade(t, b, 0.5)
 				for _, kind := range conformanceKinds {
 					for _, ranks := range groups {
 						const size = 256 << 20
@@ -154,10 +175,17 @@ func TestHierBottleneckMatchesFlatModel(t *testing.T) {
 	kinds := append([]trace.CommKind{trace.CommRecv, trace.CommNone}, conformanceKinds...)
 	// The equivalence must also survive degradation, including a middle
 	// factor that only touches the outer tier.
-	pairs := [][2]Pricer{
-		{flat, hier},
-		{flat.Degraded(1, 0.5), hier.Degraded(1, 0.5)},
-		{flat.Degraded(0.75), hier.Degraded(0.75)},
+	pairs := [][2]Pricer{{flat, hier}}
+	for _, factors := range [][]float64{{1, 0.5}, {0.75}} {
+		f, err := flat.Degraded(factors...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h, err := hier.Degraded(factors...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pairs = append(pairs, [2]Pricer{f, h})
 	}
 	for _, pair := range pairs {
 		for _, kind := range kinds {

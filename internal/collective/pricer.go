@@ -58,20 +58,29 @@ func NewPhasedPricer(f topology.Fabric) *HierPricer {
 
 // Degraded returns a copy of the pricer whose fabric tiers have bandwidth
 // scaled by the given factors (see topology.Degrade). Factor 1.0 is the
-// identity.
-func (h *HierPricer) Degraded(factors ...float64) *HierPricer {
+// identity; NaN, zero, negative, and infinite factors are rejected at
+// construction.
+func (h *HierPricer) Degraded(factors ...float64) (*HierPricer, error) {
+	f, err := topology.Degrade(h.Fabric, factors...)
+	if err != nil {
+		return nil, err
+	}
 	cp := *h
-	cp.Fabric = topology.Degrade(h.Fabric, factors...)
-	return &cp
+	cp.Fabric = f
+	return &cp, nil
 }
 
 // Degraded returns a copy of the flat model with the cluster's two tiers'
 // bandwidth scaled by the given factors (the last factor extends outward).
-// Factor 1.0 is the identity.
-func (m *Model) Degraded(factors ...float64) *Model {
+// Factor 1.0 is the identity; NaN, zero, negative, and infinite factors are
+// rejected at construction.
+func (m *Model) Degraded(factors ...float64) (*Model, error) {
+	if err := topology.ValidateDegradeFactors(factors); err != nil {
+		return nil, err
+	}
 	cp := *m
 	if len(factors) == 0 {
-		return &cp
+		return &cp, nil
 	}
 	// Per-tier mapping, matching topology.Degrade: tier 0 takes factors[0],
 	// tier 1 takes factors[1] (or factors[0] when only one is given).
@@ -86,7 +95,7 @@ func (m *Model) Degraded(factors ...float64) *Model {
 	if inter != 1 {
 		cp.Cluster.InterNodeBW *= inter
 	}
-	return &cp
+	return &cp, nil
 }
 
 // tierParams resolves tier l's effective bandwidth (bytes/ns) and latency.

@@ -1,0 +1,127 @@
+// Deployment planning: the guided-search entry points. Toolkit.Plan sits
+// the planner subsystem on top of the sweep engine — the planner decides
+// *which* points of a parallelism × microbatch × fabric space deserve full
+// graph simulation (memory pre-filter, analytic bounds, search strategy),
+// and each promoted point is evaluated as a scenario against the shared
+// campaign BaseState, so re-visited points hit the scenario cache and the
+// whole search is deterministic at any worker count.
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"lumos/internal/analysis"
+	"lumos/internal/collective"
+	"lumos/internal/manip"
+	"lumos/internal/parallel"
+	"lumos/internal/planner"
+)
+
+// planScenario evaluates one planner candidate: the target deployment
+// predicted via direct graph synthesis, on the campaign fabric or on the
+// point's own (possibly degraded) fabric.
+type planScenario struct {
+	cand planner.Candidate
+}
+
+func (s *planScenario) Name() string { return s.cand.Point.Key() }
+
+// Fingerprint keys the scenario by the point's canonical identity, so
+// successive-halving re-visits (and overlapping strategies on one campaign
+// state) are served from the scenario cache.
+func (s *planScenario) Fingerprint(*BaseState) (string, bool) {
+	return "plan|" + s.cand.Point.Key(), true
+}
+
+func (s *planScenario) Run(_ context.Context, b *BaseState) (ScenarioResult, error) {
+	p := s.cand.Point
+	target := p.Config(b.Config)
+	res := ScenarioResult{
+		Name:   s.Name(),
+		Kind:   "plan",
+		Target: target,
+		World:  target.Map.WorldSize(),
+	}
+	req := manip.Request{Base: b.Config, Target: target}
+	if err := req.Validate(); err != nil {
+		res.Err = err.Error()
+		return res, nil
+	}
+
+	var out *manip.GraphResult
+	var err error
+	if p.Fabric == nil && len(p.Degrade) == 0 {
+		// The campaign's own fabric: the plain deploy-prediction path.
+		out, err = manip.PredictGraphWith(req, b.Library, b.Fitted, b.Fabric)
+	} else {
+		// The same resolution chain the planner's analytic bound used.
+		f, rerr := planner.ResolveFabric(p, b.Fabric)
+		if rerr != nil {
+			res.Err = rerr.Error()
+			return res, nil
+		}
+		var basePricer collective.Pricer
+		if b.Fabric != nil {
+			basePricer = b.pricerFor(b.Fabric)
+		}
+		out, err = manip.PredictGraphOnFabric(req, b.Library, b.Fitted, f, b.pricerFor(f), basePricer)
+	}
+	if err != nil {
+		res.Err = err.Error()
+		return res, nil
+	}
+	res.Iteration = out.Iteration
+	res.Breakdown = analysis.GraphBreakdown(out.Graph)
+	res.LibraryHits = out.LibraryHits
+	res.LibraryMisses = out.LibraryMisses
+	if out.CommRepriced > 0 {
+		res.Detail = fmt.Sprintf("%d comm kernels repriced", out.CommRepriced)
+	}
+	return res, nil
+}
+
+// Plan profiles the base deployment once and runs the guided deployment
+// search over the space: analytic memory and cost bounds prune and rank the
+// candidates, the strategy (exhaustive, beam, successive halving — see
+// planner) promotes survivors to full graph simulation on the sweep engine,
+// and the result carries the Pareto frontier over (iteration time, GPU
+// count, peak memory) with ranked dominated points retained.
+func (tk *Toolkit) Plan(ctx context.Context, base parallel.Config, space planner.Space, opts ...planner.Option) (*planner.Result, error) {
+	st, err := tk.Prepare(ctx, base, tk.opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+	return tk.PlanState(ctx, st, space, opts...)
+}
+
+// PlanState is Plan against prepared campaign state, which may be shared
+// with Evaluate campaigns and across multiple Plan calls — the scenario
+// cache then spans all of them.
+func (tk *Toolkit) PlanState(ctx context.Context, st *BaseState, space planner.Space, opts ...planner.Option) (*planner.Result, error) {
+	sim := func(ctx context.Context, cands []planner.Candidate) ([]planner.Outcome, error) {
+		scenarios := make([]Scenario, len(cands))
+		for i := range cands {
+			scenarios[i] = &planScenario{cand: cands[i]}
+		}
+		sweep, err := tk.EvaluateState(ctx, st, scenarios...)
+		if err != nil {
+			return nil, err
+		}
+		byName := make(map[string]ScenarioResult, len(sweep.Results))
+		for _, r := range sweep.Results {
+			byName[r.Name] = r
+		}
+		outs := make([]planner.Outcome, len(cands))
+		for i, c := range cands {
+			r, ok := byName[c.Point.Key()]
+			if !ok {
+				outs[i] = planner.Outcome{Err: "internal: scenario result missing"}
+				continue
+			}
+			outs[i] = planner.Outcome{Iteration: r.Iteration, Err: r.Err}
+		}
+		return outs, nil
+	}
+	return planner.Plan(ctx, st.Config, space, st.Fabric, tk.opts.Pricer, sim, opts...)
+}

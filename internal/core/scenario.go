@@ -409,7 +409,12 @@ func (s *fabricScenario) Run(_ context.Context, b *BaseState) (ScenarioResult, e
 	}
 	f := s.resolve(b)
 	if len(s.degrade) > 0 {
-		f = topology.Degrade(f, s.degrade...)
+		df, err := topology.Degrade(f, s.degrade...)
+		if err != nil {
+			res.Err = err.Error()
+			return res, nil
+		}
+		f = df
 	}
 	if err := f.Validate(); err != nil {
 		res.Err = err.Error()
@@ -455,6 +460,18 @@ func DegradeLinksScenario(factors ...float64) Scenario {
 	}
 }
 
+// NetworkDegradeFactors spells the sweep/plan convention for a single
+// network bandwidth factor: it scales every tier beyond the innermost
+// domain (intra-domain NVLink stays nominal), and factor 1 is the
+// undegraded fabric (nil factors). The `-degrade` flags of both CLIs and
+// FabricSweep all map through here.
+func NetworkDegradeFactors(factor float64) []float64 {
+	if factor == 1 {
+		return nil
+	}
+	return []float64{1, factor}
+}
+
 // FabricSweep enumerates a fabric × degradation grid as scenarios, the
 // network analogue of GridSweep: every fabric (nil = the campaign's bound
 // fabric) is evaluated at every network bandwidth factor. A factor scales
@@ -475,10 +492,9 @@ func FabricSweep(fabrics []topology.Fabric, degrade []float64) []Scenario {
 			base = f.FabricName()
 		}
 		for _, d := range degrade {
-			sc := &fabricScenario{name: base, fabric: f}
+			sc := &fabricScenario{name: base, fabric: f, degrade: NetworkDegradeFactors(d)}
 			if d != 1 {
 				sc.name = fmt.Sprintf("%s bw*%g", base, d)
-				sc.degrade = []float64{1, d}
 			}
 			scenarios = append(scenarios, sc)
 		}

@@ -65,11 +65,20 @@ func NewOracleFabric(f topology.Fabric, pricer collective.Pricer) *Oracle {
 	if pricer == nil {
 		pricer = collective.For(f)
 	}
+	o := NewDeviceOracle()
+	o.Collectives = pricer
+	return o
+}
+
+// NewDeviceOracle returns the H100-class device roofline constants with no
+// collective backend bound: a compute-only predictor for analytic cost
+// bounds (the planner's cheap fidelity). Comm must not be called on it;
+// communication is priced directly by a collective.Pricer instead.
+func NewDeviceOracle() *Oracle {
 	return &Oracle{
 		PeakFLOPs:      989e12,
 		HBMBW:          3.35e12,
 		KernelOverhead: 2_500,
-		Collectives:    pricer,
 	}
 }
 

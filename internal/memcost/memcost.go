@@ -1,0 +1,225 @@
+// Package memcost estimates the per-GPU memory footprint of a training
+// deployment from first principles, so the deployment planner can rule out
+// configurations that would OOM before any simulation time is spent on them
+// — the analytic-bounds-before-simulation layering.
+//
+// The estimate decomposes into the four big residents of training memory:
+//
+//   - Weights: the rank's parameter shard in the training dtype.
+//   - Gradients: the gradient buffers the data-parallel all-reduce runs on.
+//   - Optimizer states: Adam with FP32 master weights and two moments
+//     (12 bytes/param by default), optionally sharded across the
+//     data-parallel group ZeRO-style.
+//   - Activations: per-layer stored activations for backward, multiplied by
+//     the peak number of in-flight microbatches the pipeline schedule keeps
+//     resident (1F1B holds min(PP-stage, microbatches); GPipe holds all).
+//
+// The model is intentionally analytic and cheap — one estimate is a few
+// arithmetic operations — and errs on the side of the big terms: CUDA
+// context, fragmentation, and temporary workspaces are folded into a
+// configurable reserve instead of being itemized.
+package memcost
+
+import (
+	"fmt"
+
+	"lumos/internal/parallel"
+)
+
+// ZeROStage selects how far optimizer state (and gradients) are sharded
+// across the data-parallel group, mirroring the ZeRO/distributed-optimizer
+// family.
+type ZeROStage int
+
+const (
+	// ZeRONone replicates optimizer states and gradients on every rank
+	// (plain DDP).
+	ZeRONone ZeROStage = iota
+	// ZeROOptimizer shards optimizer states across DP (ZeRO-1 /
+	// Megatron's distributed optimizer).
+	ZeROOptimizer
+	// ZeROGradients additionally shards gradient buffers across DP (ZeRO-2).
+	ZeROGradients
+)
+
+// String names the stage.
+func (z ZeROStage) String() string {
+	switch z {
+	case ZeRONone:
+		return "none"
+	case ZeROOptimizer:
+		return "zero1"
+	case ZeROGradients:
+		return "zero2"
+	}
+	return fmt.Sprintf("zero(%d)", int(z))
+}
+
+// Model configures the memory estimate. The zero value is usable: an
+// 80 GiB H100-class device, plain DDP, Adam with FP32 master weights.
+type Model struct {
+	// GPUMemBytes is the device capacity. Zero selects 80 GiB.
+	GPUMemBytes int64
+	// ReserveBytes is capacity held back for the CUDA context, NCCL
+	// buffers, fragmentation and temporary workspaces. Zero selects 6 GiB.
+	ReserveBytes int64
+	// OptimBytesPerParam is the optimizer-state footprint per parameter.
+	// Zero selects 12 (Adam: FP32 master weight + exp_avg + exp_avg_sq).
+	OptimBytesPerParam int64
+	// ZeRO selects the DP-sharding stage for optimizer state / gradients.
+	ZeRO ZeROStage
+	// NoFlashAttention charges the materialized attention-score matrices
+	// (2·heads·seq² per layer) to activation memory. The default assumes a
+	// flash-style fused attention that never stores them.
+	NoFlashAttention bool
+}
+
+// DefaultModel returns the H100-class defaults made explicit.
+func DefaultModel() Model {
+	return Model{}.resolved()
+}
+
+func (m Model) resolved() Model {
+	if m.GPUMemBytes == 0 {
+		m.GPUMemBytes = 80 << 30
+	}
+	if m.ReserveBytes == 0 {
+		m.ReserveBytes = 6 << 30
+	}
+	if m.OptimBytesPerParam == 0 {
+		m.OptimBytesPerParam = 12
+	}
+	return m
+}
+
+// Usable returns the capacity available to the training job after the
+// reserve.
+func (m Model) Usable() int64 {
+	r := m.resolved()
+	return r.GPUMemBytes - r.ReserveBytes
+}
+
+// Estimate is the per-GPU memory decomposition at the peak stage.
+type Estimate struct {
+	// Weights/Gradients/Optimizer/Activations are the four components in
+	// bytes on the peak stage's ranks.
+	Weights, Gradients, Optimizer, Activations int64
+	// Stage is the pipeline stage where the total peaks (first stage wins
+	// ties: it carries the embedding and the deepest 1F1B in-flight count).
+	Stage int
+	// InFlight is the peak resident microbatch count on that stage.
+	InFlight int
+}
+
+// Total returns the summed footprint.
+func (e Estimate) Total() int64 {
+	return e.Weights + e.Gradients + e.Optimizer + e.Activations
+}
+
+// GiB returns the total in gibibytes, for reports.
+func (e Estimate) GiB() float64 { return float64(e.Total()) / (1 << 30) }
+
+// String formats the decomposition for reports.
+func (e Estimate) String() string {
+	const gib = 1 << 30
+	return fmt.Sprintf("%.1fGiB (w %.1f + g %.1f + opt %.1f + act %.1f @ stage %d, %d in flight)",
+		e.GiB(), float64(e.Weights)/gib, float64(e.Gradients)/gib,
+		float64(e.Optimizer)/gib, float64(e.Activations)/gib, e.Stage, e.InFlight)
+}
+
+// Estimate returns the peak per-GPU memory estimate across pipeline stages
+// for the deployment.
+func (m Model) Estimate(cfg parallel.Config) (Estimate, error) {
+	if err := cfg.Validate(); err != nil {
+		return Estimate{}, err
+	}
+	r := m.resolved()
+	var peak Estimate
+	for stage := 0; stage < cfg.Map.PP; stage++ {
+		e, err := r.stageEstimate(cfg, stage)
+		if err != nil {
+			return Estimate{}, err
+		}
+		if stage == 0 || e.Total() > peak.Total() {
+			peak = e
+		}
+	}
+	return peak, nil
+}
+
+// stageEstimate computes one stage's footprint.
+func (m Model) stageEstimate(cfg parallel.Config, stage int) (Estimate, error) {
+	params := cfg.LocalParams(stage)
+	dp := int64(cfg.Map.DP)
+
+	e := Estimate{Stage: stage}
+	e.Weights = params * int64(cfg.Arch.DTypeBytes)
+	e.Gradients = params * int64(cfg.Arch.GradDTypeBytes)
+	e.Optimizer = params * m.OptimBytesPerParam
+	if dp > 1 {
+		switch {
+		case m.ZeRO >= ZeROGradients:
+			e.Gradients = ceilDiv(e.Gradients, dp)
+			fallthrough
+		case m.ZeRO >= ZeROOptimizer:
+			e.Optimizer = ceilDiv(e.Optimizer, dp)
+		}
+	}
+
+	inFlight, err := cfg.PeakInFlight(stage)
+	if err != nil {
+		return Estimate{}, err
+	}
+	e.InFlight = inFlight
+	perMB := ActivationBytesPerLayer(cfg, m.NoFlashAttention) * int64(cfg.LayersPerStage())
+	e.Activations = perMB * int64(inFlight)
+	return e, nil
+}
+
+// Feasible reports whether the deployment fits the device, returning the
+// estimate either way; err is non-nil only for invalid configs.
+func (m Model) Feasible(cfg parallel.Config) (Estimate, bool, error) {
+	e, err := m.Estimate(cfg)
+	if err != nil {
+		return Estimate{}, false, err
+	}
+	return e, e.Total() <= m.Usable(), nil
+}
+
+// ActivationBytesPerLayer returns the stored-activation footprint of one
+// transformer layer for one in-flight microbatch on one rank, following the
+// Megatron-style accounting (Korthikanti et al.) with the architecture's
+// actual FFN width instead of the fixed 4h: the two layernorm outputs are
+// replicated across the tensor-parallel group (sharded under sequence
+// parallelism), while QKV projections, the attention context and both MLP
+// activations are TP-sharded. storeScores additionally charges the
+// materialized attention-score and softmax matrices (a non-flash attention
+// implementation).
+func ActivationBytesPerLayer(cfg parallel.Config, storeScores bool) int64 {
+	a := cfg.Arch
+	s := int64(a.SeqLen)
+	b := int64(cfg.MicrobatchSize)
+	h := int64(a.Hidden)
+	f := int64(a.FFN)
+	t := int64(cfg.Map.TP)
+
+	full := 2 * s * b * h  // ln1 + ln2 outputs
+	shard := 4 * s * b * h // qkv (3) + attention context (1)
+	shard += 2 * s * b * f // fc1 output + activation function
+	if storeScores {
+		shard += 2 * int64(a.Heads) * s * s * b // attention scores + softmax output
+	}
+	elems := full + ceilDiv(shard, t) // TP shards the big tensors
+	if cfg.SequenceParallel {
+		elems = ceilDiv(full, t) + ceilDiv(shard, t)
+	}
+	return elems * int64(a.DTypeBytes)
+}
+
+// ceilDiv is ceiling division for non-negative operands.
+func ceilDiv(x, d int64) int64 {
+	if d <= 1 {
+		return x
+	}
+	return (x + d - 1) / d
+}

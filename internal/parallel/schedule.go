@@ -126,6 +126,18 @@ func ValidateSchedule(slots []Slot, microbatches int) error {
 	return nil
 }
 
+// PeakInFlight returns the peak number of in-flight microbatches on the
+// given pipeline stage under the config's schedule — the activation-memory
+// pressure the memory model charges for. For 1F1B this is min(PP-stage,
+// microbatches) on stage `stage`; for GPipe it is the full microbatch count.
+func (c Config) PeakInFlight(stage int) (int, error) {
+	slots, err := BuildSchedule(c.Schedule, stage, c.Map.PP, c.Microbatches)
+	if err != nil {
+		return 0, err
+	}
+	return InFlight(slots), nil
+}
+
 // InFlight returns the maximum number of microbatches whose forward has run
 // but whose backward has not, i.e. the peak activation-memory pressure of
 // the schedule in microbatches.

@@ -1,0 +1,226 @@
+// Analytic cost bounds: the planner's cheap fidelity. Before any graph is
+// synthesized, every candidate gets a first-principles iteration-time
+// estimate composed from the kernelmodel roofline (compute kernels priced
+// by class, FLOPs and HBM traffic) and the campaign's collective.Pricer
+// (TP/DP/PP communication priced on the candidate's resolved fabric), plus
+// a memory-feasibility verdict from internal/memcost. Candidates that OOM
+// or fall outside the manipulation scope are rejected here, and search
+// strategies use the bound to decide which survivors are worth promoting
+// to full graph simulation.
+package planner
+
+import (
+	"fmt"
+
+	"lumos/internal/collective"
+	"lumos/internal/kernelmodel"
+	"lumos/internal/memcost"
+	"lumos/internal/model"
+	"lumos/internal/parallel"
+	"lumos/internal/topology"
+	"lumos/internal/trace"
+)
+
+// Candidate is a point annotated with the analytic pre-filter's verdicts.
+type Candidate struct {
+	Point Point
+	// Target is the derived deployment.
+	Target parallel.Config
+	// Bound is the analytic iteration-time estimate (ns); the promotion
+	// ranking of every search strategy.
+	Bound trace.Dur
+	// Mem is the per-GPU memory estimate at the peak pipeline stage.
+	Mem memcost.Estimate
+	// Infeasible is non-empty when the analytic filters rejected the point
+	// (invalid config, out of manipulation scope, or OOM); such candidates
+	// are never simulated.
+	Infeasible string
+	// OOM marks an Infeasible verdict that came from the memory model.
+	OOM bool
+}
+
+// Bounder derives candidates: it owns the campaign context the analytic
+// bound is computed against.
+type Bounder struct {
+	// Base is the campaign's profiled deployment.
+	Base parallel.Config
+	// Fabric is the campaign's bound interconnect, used by points that do
+	// not override it.
+	Fabric topology.Fabric
+	// Pricer builds the collective backend for a fabric; nil selects the
+	// fabric's default.
+	Pricer func(topology.Fabric) collective.Pricer
+	// Mem is the memory-feasibility model.
+	Mem memcost.Model
+
+	oracle *kernelmodel.Oracle
+}
+
+// NewBounder returns a bounder over the campaign context.
+func NewBounder(base parallel.Config, fabric topology.Fabric, pricer func(topology.Fabric) collective.Pricer, mem memcost.Model) *Bounder {
+	return &Bounder{
+		Base:   base,
+		Fabric: fabric,
+		Pricer: pricer,
+		Mem:    mem,
+		oracle: kernelmodel.NewDeviceOracle(),
+	}
+}
+
+// Candidate runs the analytic pre-filter on one point: scope check, memory
+// feasibility, and the roofline + pricer cost bound. It never simulates.
+func (b *Bounder) Candidate(p Point) Candidate {
+	c := Candidate{Point: p, Target: p.Config(b.Base)}
+	if p.TP != b.Base.Map.TP {
+		// The paper's manipulation scope: TP changes cannot be predicted
+		// from the profile, so the point can never be promoted.
+		c.Infeasible = fmt.Sprintf("tensor-parallel changes are not supported (TP %d → %d)", b.Base.Map.TP, p.TP)
+		return c
+	}
+	if err := c.Target.Validate(); err != nil {
+		c.Infeasible = err.Error()
+		return c
+	}
+	_, pricer, err := b.resolveFabric(p)
+	if err != nil {
+		c.Infeasible = err.Error()
+		return c
+	}
+	mem, ok, err := b.Mem.Feasible(c.Target)
+	if err != nil {
+		c.Infeasible = err.Error()
+		return c
+	}
+	c.Mem = mem
+	if !ok {
+		c.Infeasible = fmt.Sprintf("OOM: needs %v, device has %.1fGiB usable", mem, float64(b.Mem.Usable())/(1<<30))
+		c.OOM = true
+		return c
+	}
+	c.Bound = b.bound(c.Target, pricer)
+	return c
+}
+
+// ResolveFabric resolves a point's target fabric against the campaign's
+// bound one: nil falls back to the campaign fabric (or the H100 default),
+// capacity grows to the point's world, degradation wraps, and the result
+// is validated. The analytic bound and the simulation both resolve
+// through this one chain, so the pre-filter can never diverge from the
+// simulator.
+func ResolveFabric(p Point, campaign topology.Fabric) (topology.Fabric, error) {
+	f := p.Fabric
+	if f == nil {
+		f = campaign
+	}
+	if f == nil {
+		f = topology.H100Cluster(p.World())
+	}
+	if f.Capacity() < p.World() {
+		f = f.WithCapacity(p.World())
+	}
+	if len(p.Degrade) > 0 {
+		df, err := topology.Degrade(f, p.Degrade...)
+		if err != nil {
+			return nil, err
+		}
+		f = df
+	}
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// resolveFabric produces the candidate's capacity-sized (and possibly
+// degraded) fabric and its pricer.
+func (b *Bounder) resolveFabric(p Point) (topology.Fabric, collective.Pricer, error) {
+	f, err := ResolveFabric(p, b.Fabric)
+	if err != nil {
+		return nil, nil, err
+	}
+	var pricer collective.Pricer
+	if b.Pricer != nil {
+		pricer = b.Pricer(f)
+	} else {
+		pricer = collective.For(f)
+	}
+	return f, pricer, nil
+}
+
+// opsTime sums an op sequence analytically: compute kernels through the
+// device roofline, communication kernels through the pricer over the given
+// group.
+func (b *Bounder) opsTime(ops []model.Op, pricer collective.Pricer, commRanks []int) trace.Dur {
+	var t trace.Dur
+	for _, op := range ops {
+		if op.IsComm() {
+			if len(commRanks) > 1 && op.CommBytes > 0 {
+				t += pricer.Cost(op.Comm, op.CommBytes, commRanks)
+			}
+			continue
+		}
+		t += b.oracle.Compute(op.Class, op.FLOPs, op.Bytes)
+	}
+	return t
+}
+
+// bound estimates the candidate's iteration time from first principles:
+// per-microbatch stage work (transformer layers plus the heavier of the
+// embedding and head stages, with tensor-parallel collectives priced on
+// the fabric), pipelined over microbatches with the (PP-1)-slot fill/drain
+// bubble, plus the data-parallel gradient all-reduce and the optimizer
+// step. Overlap is ignored, so the bound is pessimistic but ranks
+// configurations by the same forces the simulator resolves exactly.
+func (b *Bounder) bound(cfg parallel.Config, pricer collective.Pricer) trace.Dur {
+	m := cfg.Map
+	shape := model.ShapeConfig{
+		TP:               m.TP,
+		MicrobatchSize:   cfg.MicrobatchSize,
+		SequenceParallel: cfg.SequenceParallel,
+	}
+	arch := cfg.Arch
+
+	// Rank 0's groups are representative: the mapping places TP innermost
+	// (ranks 0..TP-1 share a domain), PP neighbors TP apart, DP members
+	// TP*PP apart — exactly the strides TierOf classifies by.
+	tpRanks := make([]int, m.TP)
+	for i := range tpRanks {
+		tpRanks[i] = i
+	}
+
+	layer := b.opsTime(arch.LayerForward(shape, 0), pricer, tpRanks) +
+		b.opsTime(arch.LayerBackward(shape, 0), pricer, tpRanks)
+	embed := b.opsTime(arch.EmbeddingForward(shape), pricer, tpRanks) +
+		b.opsTime(arch.EmbeddingBackward(shape), pricer, tpRanks)
+	head := b.opsTime(arch.HeadForward(shape), pricer, tpRanks) +
+		b.opsTime(arch.HeadBackward(shape), pricer, tpRanks)
+
+	perMB := layer * trace.Dur(cfg.LayersPerStage())
+	if m.PP == 1 {
+		perMB += embed + head
+	} else {
+		// Pipelined stages run concurrently; the bottleneck stage carries
+		// the heavier edge plus the activation/gradient handoffs.
+		edge := embed
+		if head > edge {
+			edge = head
+		}
+		perMB += edge
+		send := arch.PPSend(shape, trace.PassForward)
+		ppRanks := []int{0, m.TP}
+		perMB += 2 * pricer.Cost(send.Comm, send.CommBytes, ppRanks)
+	}
+
+	iter := perMB * trace.Dur(cfg.Microbatches+m.PP-1)
+
+	if m.DP > 1 {
+		dpRanks := make([]int, m.DP)
+		for d := range dpRanks {
+			dpRanks[d] = d * m.TP * m.PP
+		}
+		gradBytes := cfg.LocalParams(0) * int64(arch.GradDTypeBytes)
+		iter += pricer.Cost(trace.CommAllReduce, gradBytes, dpRanks)
+	}
+	iter += b.opsTime(arch.OptimizerOps(cfg.LocalParams(0), cfg.OptimizerChunks), pricer, nil)
+	return iter
+}

@@ -1,0 +1,520 @@
+// Package planner is the deployment-search subsystem: guided exploration
+// of the joint parallelism × microbatch × fabric space on top of the sweep
+// engine. The layering is analytic-bounds-before-simulation: a declarative
+// Space expands lazily, every point passes through the memcost
+// feasibility model and a roofline + collective-pricer cost bound, and a
+// pluggable search strategy (exhaustive, beam, successive halving) decides
+// which survivors are promoted to full graph simulation. The result is
+// multi-objective: the Pareto frontier over (iteration time, GPU count,
+// peak memory), with ranked dominated points retained.
+//
+// The planner owns no simulator: callers hand it a Simulate callback
+// (internal/core binds it to scenario evaluation against a shared
+// BaseState), which keeps the search logic deterministic at any worker
+// count — candidate ordering, exploration draws (seeded rng) and
+// promotion decisions all happen single-threaded here, and only the
+// embarrassingly parallel point evaluations fan out.
+package planner
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"lumos/internal/collective"
+	"lumos/internal/memcost"
+	"lumos/internal/parallel"
+	"lumos/internal/rng"
+	"lumos/internal/topology"
+	"lumos/internal/trace"
+)
+
+// Outcome is one simulated point's result, parallel to the Simulate input.
+type Outcome struct {
+	// Iteration is the predicted per-iteration time.
+	Iteration trace.Dur
+	// Err is non-empty when the simulation rejected or failed the point.
+	Err string
+}
+
+// Simulate promotes a batch of candidates to full graph simulation and
+// returns one outcome per candidate, in order. Implementations must be
+// deterministic functions of the candidate set (worker-count independent)
+// and are expected to memoize: strategies deliberately re-submit survivors
+// across rounds.
+type Simulate func(ctx context.Context, cands []Candidate) ([]Outcome, error)
+
+// Evaluated is a candidate with its simulation outcome.
+type Evaluated struct {
+	Candidate
+	// Iteration is the simulated per-iteration time.
+	Iteration trace.Dur
+	// Err is non-empty when simulation failed the point.
+	Err string
+}
+
+// Strategy decides which feasible candidates are promoted to simulation.
+// Implementations receive the candidates in deterministic space order and
+// must themselves be deterministic; budget > 0 caps the number of unique
+// points they may promote.
+type Strategy interface {
+	// Name labels the strategy in results and benchmark output.
+	Name() string
+	// Search runs the strategy and returns every evaluated candidate.
+	Search(ctx context.Context, cands []Candidate, budget int, sim Simulate) ([]Evaluated, error)
+}
+
+// sortByBound orders candidates by analytic bound, point key breaking ties,
+// and returns a fresh slice.
+func sortByBound(cands []Candidate) []Candidate {
+	out := make([]Candidate, len(cands))
+	copy(out, cands)
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Bound != out[j].Bound {
+			return out[i].Bound < out[j].Bound
+		}
+		return out[i].Point.Key() < out[j].Point.Key()
+	})
+	return out
+}
+
+// ceilDiv is ceiling division for positive ints.
+func ceilDiv(x, d int) int {
+	if d < 1 {
+		return x
+	}
+	return (x + d - 1) / d
+}
+
+// --- Exhaustive -------------------------------------------------------------
+
+// Exhaustive simulates every feasible candidate (bound-ranked truncation
+// under a budget). The reference strategy for small spaces, and the quality
+// yardstick the guided strategies are measured against.
+type Exhaustive struct{}
+
+// Name implements Strategy.
+func (Exhaustive) Name() string { return "exhaustive" }
+
+// Search implements Strategy.
+func (Exhaustive) Search(ctx context.Context, cands []Candidate, budget int, sim Simulate) ([]Evaluated, error) {
+	pool := sortByBound(cands)
+	if budget > 0 && len(pool) > budget {
+		pool = pool[:budget]
+	}
+	outs, err := sim(ctx, pool)
+	if err != nil {
+		return nil, err
+	}
+	return zip(pool, outs), nil
+}
+
+// --- Beam -------------------------------------------------------------------
+
+// Beam promotes only the Width most promising candidates by analytic bound
+// — one simulation batch, bounded cost regardless of space size.
+type Beam struct {
+	// Width is the beam size. Zero selects 8.
+	Width int
+}
+
+// Name implements Strategy.
+func (b Beam) Name() string { return fmt.Sprintf("beam%d", b.width()) }
+
+func (b Beam) width() int {
+	if b.Width > 0 {
+		return b.Width
+	}
+	return 8
+}
+
+// Search implements Strategy.
+func (b Beam) Search(ctx context.Context, cands []Candidate, budget int, sim Simulate) ([]Evaluated, error) {
+	pool := sortByBound(cands)
+	w := b.width()
+	if w > len(pool) {
+		w = len(pool)
+	}
+	if budget > 0 && w > budget {
+		w = budget
+	}
+	outs, err := sim(ctx, pool[:w])
+	if err != nil {
+		return nil, err
+	}
+	return zip(pool[:w], outs), nil
+}
+
+// --- Successive halving -----------------------------------------------------
+
+// SuccessiveHalving races bound-ranked cohorts through simulation: round r
+// promotes the next 1/Eta slice of the remaining pool (plus a seeded
+// exploration draw from deeper in the ranking, guarding against
+// analytic-bound bias), evaluates it together with the current survivors —
+// whose re-visits hit the sweep engine's scenario cache — and keeps the
+// top 1/Eta by measured iteration time. Total simulations converge to
+// roughly N/(Eta-1) of an exhaustive pass.
+type SuccessiveHalving struct {
+	// Eta is the cohort/promotion rate. Zero selects 3; values below 2
+	// are clamped to 2.
+	Eta int
+	// Explore is the fraction of each cohort drawn uniformly (seeded) from
+	// the rest of the pool instead of strictly by bound. Zero selects
+	// 0.25; negative disables exploration.
+	Explore float64
+	// Seed drives the exploration draws. Zero selects 1.
+	Seed uint64
+}
+
+// Name implements Strategy.
+func (s SuccessiveHalving) Name() string { return fmt.Sprintf("halving%d", s.eta()) }
+
+func (s SuccessiveHalving) eta() int {
+	switch {
+	case s.Eta <= 0:
+		return 3
+	case s.Eta < 2:
+		return 2
+	}
+	return s.Eta
+}
+
+func (s SuccessiveHalving) explore() float64 {
+	if s.Explore == 0 {
+		return 0.25
+	}
+	if s.Explore < 0 {
+		return 0
+	}
+	return s.Explore
+}
+
+// Search implements Strategy.
+func (s SuccessiveHalving) Search(ctx context.Context, cands []Candidate, budget int, sim Simulate) ([]Evaluated, error) {
+	remaining := sortByBound(cands)
+	n := len(remaining)
+	if n == 0 {
+		return nil, nil
+	}
+	eta := s.eta()
+	draw := rng.New(s.seed())
+
+	evaluated := map[string]Evaluated{}
+	var order []string // insertion order, so output is deterministic
+	var survivors []Candidate
+	promoted := 0
+
+	cohort := ceilDiv(n, eta)
+	for len(remaining) > 0 {
+		take := cohort
+		if take > len(remaining) {
+			take = len(remaining)
+		}
+		if budget > 0 {
+			if left := budget - promoted; take > left {
+				take = left
+			}
+		}
+		if take < 1 {
+			break
+		}
+		batch, rest := s.draft(remaining, take, draw)
+		remaining = rest
+		promoted += len(batch)
+
+		full := append(append([]Candidate{}, survivors...), batch...)
+		outs, err := sim(ctx, full)
+		if err != nil {
+			return nil, err
+		}
+		ranked := zip(full, outs)
+		for _, e := range ranked {
+			k := e.Point.Key()
+			if _, seen := evaluated[k]; !seen {
+				order = append(order, k)
+			}
+			evaluated[k] = e
+		}
+		rankEvaluated(ranked)
+		keep := ceilDiv(len(ranked), eta)
+		survivors = survivors[:0]
+		for _, e := range ranked {
+			if e.Err == "" && len(survivors) < keep {
+				survivors = append(survivors, e.Candidate)
+			}
+		}
+		next := ceilDiv(cohort, eta)
+		if next >= cohort {
+			// The cohort can no longer halve: the race has converged.
+			break
+		}
+		cohort = next
+	}
+
+	out := make([]Evaluated, 0, len(order))
+	for _, k := range order {
+		out = append(out, evaluated[k])
+	}
+	return out, nil
+}
+
+func (s SuccessiveHalving) seed() uint64 {
+	if s.Seed == 0 {
+		return 1
+	}
+	return s.Seed
+}
+
+// draft selects the round's cohort — mostly the best remaining bounds,
+// plus seeded exploration draws from deeper in the ranking — and returns
+// it alongside the unpicked remainder, whose bound-sorted order is
+// preserved for later rounds.
+func (s SuccessiveHalving) draft(pool []Candidate, take int, draw *rng.Source) (batch, rest []Candidate) {
+	if take > len(pool) {
+		take = len(pool)
+	}
+	explore := int(float64(take) * s.explore())
+	if explore >= take {
+		explore = take - 1
+	}
+	exploit := take - explore
+	batch = append(batch, pool[:exploit]...)
+	rest = append(rest, pool[exploit:]...)
+	for i := 0; i < explore && len(rest) > 0; i++ {
+		j := draw.Intn(len(rest))
+		batch = append(batch, rest[j])
+		rest = append(rest[:j], rest[j+1:]...)
+	}
+	return batch, rest
+}
+
+// zip pairs candidates with their outcomes.
+func zip(cands []Candidate, outs []Outcome) []Evaluated {
+	es := make([]Evaluated, len(cands))
+	for i, c := range cands {
+		es[i] = Evaluated{Candidate: c}
+		if i < len(outs) {
+			es[i].Iteration = outs[i].Iteration
+			es[i].Err = outs[i].Err
+		} else {
+			es[i].Err = "no outcome returned"
+		}
+	}
+	return es
+}
+
+// rankEvaluated orders evaluated points fastest-first (failed last), key
+// tiebreaks, matching the sweep engine's ranking contract.
+func rankEvaluated(es []Evaluated) {
+	sort.SliceStable(es, func(i, j int) bool {
+		a, b := es[i], es[j]
+		if (a.Err == "") != (b.Err == "") {
+			return a.Err == ""
+		}
+		if a.Iteration != b.Iteration {
+			return a.Iteration < b.Iteration
+		}
+		return a.Point.Key() < b.Point.Key()
+	})
+}
+
+// --- Engine -----------------------------------------------------------------
+
+// Options configures a plan run.
+type Options struct {
+	// Strategy selects the search. Nil picks Exhaustive for small
+	// candidate sets and SuccessiveHalving beyond AutoThreshold.
+	Strategy Strategy
+	// Budget caps the number of unique points promoted to simulation;
+	// 0 means no cap.
+	Budget int
+	// Mem is the memory-feasibility model (zero value: 80 GiB H100, plain
+	// DDP).
+	Mem memcost.Model
+	// MaxInfeasible caps how many analytically rejected points are
+	// retained (with reasons) in the result. Zero selects 32; the
+	// rejection *counts* in Stats are always exact.
+	MaxInfeasible int
+}
+
+// Option mutates Options.
+type Option func(*Options)
+
+// WithStrategy selects the search strategy.
+func WithStrategy(s Strategy) Option { return func(o *Options) { o.Strategy = s } }
+
+// WithBudget caps the number of unique points simulated.
+func WithBudget(n int) Option { return func(o *Options) { o.Budget = n } }
+
+// WithMemModel overrides the memory-feasibility model.
+func WithMemModel(m memcost.Model) Option { return func(o *Options) { o.Mem = m } }
+
+// AutoThreshold is the feasible-candidate count up to which the nil
+// strategy stays exhaustive.
+const AutoThreshold = 24
+
+// Stats reports how the search spent its effort.
+type Stats struct {
+	// SpaceSize is the full expansion of the space.
+	SpaceSize int
+	// Feasible is how many points survived the analytic pre-filters.
+	Feasible int
+	// MemRejected counts points the memory model ruled out (no simulation
+	// spent); ScopeRejected counts invalid or out-of-scope points.
+	MemRejected, ScopeRejected int
+	// Simulated is the number of unique points promoted to full graph
+	// simulation; SimRequests the total point-evaluations requested —
+	// the difference re-visited the sweep engine's scenario cache.
+	Simulated, SimRequests int
+	// Rounds is the number of simulation batches the strategy ran.
+	Rounds int
+}
+
+// Result is a completed plan: the Pareto frontier over (iteration time,
+// GPU count, peak memory), dominated simulated points ranked by iteration
+// time, and the analytically rejected points with their reasons.
+type Result struct {
+	// Strategy names the search that produced the result.
+	Strategy string
+	// Frontier holds the non-dominated points, fastest first.
+	Frontier []Evaluated
+	// Dominated holds simulated feasible points not on the frontier,
+	// ranked by iteration time.
+	Dominated []Evaluated
+	// Infeasible holds analytically rejected points (OOM, scope, bad
+	// fabric) and simulation failures, with reasons, capped by
+	// Options.MaxInfeasible.
+	Infeasible []Candidate
+	// Stats reports search effort.
+	Stats Stats
+}
+
+// Best returns the frontier's fastest point.
+func (r *Result) Best() (Evaluated, bool) {
+	if len(r.Frontier) == 0 {
+		return Evaluated{}, false
+	}
+	return r.Frontier[0], true
+}
+
+// Plan runs the guided search: expand the space lazily, pre-filter with
+// the memory model and analytic bounds, let the strategy promote survivors
+// to the Simulate callback, and assemble the Pareto frontier.
+func Plan(ctx context.Context, base parallel.Config, space Space,
+	fabric topology.Fabric, pricer func(topology.Fabric) collective.Pricer,
+	sim Simulate, opts ...Option) (*Result, error) {
+
+	var o Options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	maxInfeasible := o.MaxInfeasible
+	if maxInfeasible == 0 {
+		maxInfeasible = 32
+	}
+
+	bounder := NewBounder(base, fabric, pricer, o.Mem)
+	stats := Stats{}
+	var feasible []Candidate
+	var infeasible []Candidate
+	space.ForEach(base, func(p Point) bool {
+		stats.SpaceSize++
+		c := bounder.Candidate(p)
+		if c.Infeasible == "" {
+			feasible = append(feasible, c)
+			return true
+		}
+		if c.OOM {
+			stats.MemRejected++
+		} else {
+			stats.ScopeRejected++
+		}
+		if len(infeasible) < maxInfeasible {
+			infeasible = append(infeasible, c)
+		}
+		return true
+	})
+	stats.Feasible = len(feasible)
+
+	strat := o.Strategy
+	if strat == nil {
+		if len(feasible) <= AutoThreshold {
+			strat = Exhaustive{}
+		} else {
+			strat = SuccessiveHalving{}
+		}
+	}
+
+	// The engine meters the strategy's use of the simulator: unique points
+	// promoted, total requests (the difference hit the scenario cache), and
+	// batch rounds.
+	seen := map[string]bool{}
+	metered := func(ctx context.Context, cands []Candidate) ([]Outcome, error) {
+		stats.Rounds++
+		stats.SimRequests += len(cands)
+		for _, c := range cands {
+			if k := c.Point.Key(); !seen[k] {
+				seen[k] = true
+				stats.Simulated++
+			}
+		}
+		return sim(ctx, cands)
+	}
+
+	evaluated, err := strat.Search(ctx, feasible, o.Budget, metered)
+	if err != nil {
+		return nil, err
+	}
+
+	var ok []Evaluated
+	for _, e := range evaluated {
+		if e.Err == "" {
+			ok = append(ok, e)
+			continue
+		}
+		if len(infeasible) < maxInfeasible {
+			c := e.Candidate
+			c.Infeasible = "simulation: " + e.Err
+			infeasible = append(infeasible, c)
+		}
+	}
+	frontier, dominated := paretoSplit(ok)
+
+	return &Result{
+		Strategy:   strat.Name(),
+		Frontier:   frontier,
+		Dominated:  dominated,
+		Infeasible: infeasible,
+		Stats:      stats,
+	}, nil
+}
+
+// dominates reports whether a Pareto-dominates b over (iteration time, GPU
+// count, peak memory): no worse on every objective, better on at least one.
+func dominates(a, b Evaluated) bool {
+	if a.Iteration > b.Iteration || a.Point.World() > b.Point.World() || a.Mem.Total() > b.Mem.Total() {
+		return false
+	}
+	return a.Iteration < b.Iteration || a.Point.World() < b.Point.World() || a.Mem.Total() < b.Mem.Total()
+}
+
+// paretoSplit partitions evaluated points into the frontier and the
+// ranked dominated remainder.
+func paretoSplit(es []Evaluated) (frontier, dominated []Evaluated) {
+	rankEvaluated(es)
+	for i, e := range es {
+		dom := false
+		for j, other := range es {
+			if i != j && dominates(other, e) {
+				dom = true
+				break
+			}
+		}
+		if dom {
+			dominated = append(dominated, e)
+		} else {
+			frontier = append(frontier, e)
+		}
+	}
+	return frontier, dominated
+}

@@ -10,6 +10,7 @@ package topology
 
 import (
 	"fmt"
+	"math"
 	"strings"
 )
 
@@ -230,7 +231,12 @@ func (h HierFabric) Validate() error {
 func NVLDomainFabric(numGPUs int) HierFabric {
 	// Domain sizes are fixed by the hardware, not clamped to numGPUs: a
 	// fabric smaller than one domain simply lives inside it, and
-	// WithCapacity growth keeps real 72-GPU domains.
+	// WithCapacity growth keeps real 72-GPU domains. Non-positive GPU counts
+	// normalize to one domain so the constructor always validates, matching
+	// H100Cluster.
+	if numGPUs < 1 {
+		numGPUs = 72
+	}
 	return HierFabric{
 		Name:    "nvl72",
 		NumGPUs: numGPUs,
@@ -250,6 +256,9 @@ func NVLDomainFabric(numGPUs int) HierFabric {
 func OversubscribedFabric(numGPUs int, factor float64) HierFabric {
 	if !(factor >= 1) { // NaN-rejecting
 		factor = 1
+	}
+	if numGPUs < 1 {
+		numGPUs = 8
 	}
 	return HierFabric{
 		Name:    fmt.Sprintf("spine%g", factor),
@@ -285,12 +294,29 @@ type degraded struct {
 	factors []float64
 }
 
+// ValidateDegradeFactors rejects non-physical per-tier bandwidth factors:
+// NaN, zero, negative, and +Inf values all turn into silent nonsense prices
+// downstream, so they are refused before a degraded fabric can exist.
+func ValidateDegradeFactors(factors []float64) error {
+	for i, s := range factors {
+		if !(s > 0) || math.IsInf(s, 1) { // NaN-rejecting
+			return fmt.Errorf("topology: degradation factor %d is %g, must be a positive finite value", i, s)
+		}
+	}
+	return nil
+}
+
 // Degrade returns a view of f whose tier-l bandwidth is scaled by
 // factors[l] (the last factor extends to all remaining outer tiers), the
 // "degraded links" what-if: Degrade(f, 1, 0.5) halves everything beyond the
 // innermost domain, Degrade(f, 0.5) halves every link. A factor of 1.0 is
 // the identity; if every factor is 1 the fabric is returned unwrapped.
-func Degrade(f Fabric, factors ...float64) Fabric {
+// NaN, zero, negative, and infinite factors are rejected at construction —
+// a bad factor never reaches a pricer.
+func Degrade(f Fabric, factors ...float64) (Fabric, error) {
+	if err := ValidateDegradeFactors(factors); err != nil {
+		return nil, err
+	}
 	ident := true
 	for _, s := range factors {
 		if s != 1 {
@@ -299,9 +325,19 @@ func Degrade(f Fabric, factors ...float64) Fabric {
 		}
 	}
 	if ident {
-		return f
+		return f, nil
 	}
-	return degraded{base: f, factors: factors}
+	return degraded{base: f, factors: factors}, nil
+}
+
+// MustDegrade is Degrade for statically known factors; it panics on factors
+// Degrade would reject.
+func MustDegrade(f Fabric, factors ...float64) Fabric {
+	d, err := Degrade(f, factors...)
+	if err != nil {
+		panic(err)
+	}
+	return d
 }
 
 // factor resolves tier l's bandwidth scale.
@@ -351,12 +387,11 @@ func (d degraded) TierOf(ranks []int) int { return d.base.TierOf(ranks) }
 // TierSize implements Fabric.
 func (d degraded) TierSize(l int) int { return d.base.TierSize(l) }
 
-// Validate implements Fabric.
+// Validate implements Fabric. Factors were already rejected at
+// construction; re-checking keeps hand-built degraded values honest.
 func (d degraded) Validate() error {
-	for i, s := range d.factors {
-		if !(s > 0) { // NaN-rejecting
-			return fmt.Errorf("topology: degradation factor %d is %g, must be positive", i, s)
-		}
+	if err := ValidateDegradeFactors(d.factors); err != nil {
+		return err
 	}
 	return d.base.Validate()
 }

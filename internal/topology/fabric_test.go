@@ -1,6 +1,7 @@
 package topology
 
 import (
+	"math"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -180,10 +181,10 @@ func TestPresetDomainsSurviveGrowth(t *testing.T) {
 func TestDegrade(t *testing.T) {
 	base := NVLDomainFabric(576)
 	// All-ones degradation is the identity: the fabric is returned as-is.
-	if f := Degrade(base, 1, 1, 1); f.(HierFabric).Name != base.Name {
+	if f := MustDegrade(base, 1, 1, 1); f.(HierFabric).Name != base.Name {
 		t.Fatal("identity degradation should unwrap to the base fabric")
 	}
-	d := Degrade(base, 1, 0.5)
+	d := MustDegrade(base, 1, 0.5)
 	if d.Tier(0) != base.Tier(0) {
 		t.Fatal("tier 0 must be untouched by factor 1")
 	}
@@ -203,13 +204,80 @@ func TestDegrade(t *testing.T) {
 	if !strings.Contains(d.FabricName(), base.FabricName()) {
 		t.Fatalf("degraded name %q should mention the base", d.FabricName())
 	}
-	if err := Degrade(base, -0.5).Validate(); err == nil {
-		t.Fatal("non-positive degradation factor must be rejected")
-	}
 	if err := d.Validate(); err != nil {
 		t.Fatal(err)
 	}
 	if got := d.WithCapacity(1200).Capacity(); got < 1200 {
 		t.Fatalf("degraded WithCapacity = %d", got)
+	}
+}
+
+// TestDegradeFactorValidation is the construction-time rejection contract:
+// a bad factor never produces a fabric, so it can never flow into prices.
+func TestDegradeFactorValidation(t *testing.T) {
+	base := NVLDomainFabric(576)
+	cases := []struct {
+		name    string
+		factors []float64
+		wantErr bool
+	}{
+		{"empty-is-identity", nil, false},
+		{"all-ones", []float64{1, 1, 1}, false},
+		{"half-outer", []float64{1, 0.5}, false},
+		{"tiny-positive", []float64{1e-9}, false},
+		{"above-one", []float64{2}, false},
+		{"zero", []float64{0}, true},
+		{"negative", []float64{-0.5}, true},
+		{"negative-outer", []float64{1, -1}, true},
+		{"nan", []float64{math.NaN()}, true},
+		{"nan-middle", []float64{1, math.NaN(), 1}, true},
+		{"pos-inf", []float64{math.Inf(1)}, true},
+		{"neg-inf", []float64{math.Inf(-1)}, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			f, err := Degrade(base, tc.factors...)
+			if tc.wantErr {
+				if err == nil {
+					t.Fatalf("Degrade(%v) accepted, want construction-time rejection", tc.factors)
+				}
+				if f != nil {
+					t.Fatalf("Degrade(%v) returned a fabric alongside the error", tc.factors)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("Degrade(%v): %v", tc.factors, err)
+			}
+			if err := f.Validate(); err != nil {
+				t.Fatalf("accepted fabric fails Validate: %v", err)
+			}
+		})
+	}
+}
+
+// TestPresetConstructorNormalization checks that preset constructors
+// normalize degenerate GPU counts into valid fabrics instead of producing
+// values that fail Validate downstream.
+func TestPresetConstructorNormalization(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		f    Fabric
+	}{
+		{"nvl72-zero", NVLDomainFabric(0)},
+		{"nvl72-negative", NVLDomainFabric(-4)},
+		{"spine-zero", OversubscribedFabric(0, 4)},
+		{"spine-negative-factor", OversubscribedFabric(64, -3)},
+		{"spine-nan-factor", OversubscribedFabric(64, math.NaN())},
+		{"h100-zero", H100Cluster(0)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := tc.f.Validate(); err != nil {
+				t.Fatalf("preset does not self-normalize: %v", err)
+			}
+			if tc.f.Capacity() < 1 {
+				t.Fatalf("normalized capacity %d", tc.f.Capacity())
+			}
+		})
 	}
 }

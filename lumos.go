@@ -24,9 +24,12 @@
 //
 // The base is profiled once and the kernel library and fitted kernel model
 // are built once; every scenario shares them, so campaigns are both the
-// idiomatic and the fast path. GridSweep enumerates whole TP×PP×DP grids.
-// Single-shot entry points (Profile, BuildGraph, Replay, Predict) remain
-// for step-by-step use and all accept a context for cancellation.
+// idiomatic and the fast path. GridSweep enumerates whole TP×PP×DP grids,
+// and Toolkit.Plan goes one step further: a guided search over a declared
+// parallelism × microbatch × fabric Space with an analytic memory
+// pre-filter and Pareto-frontier output (see plan.go). Single-shot entry
+// points (Profile, BuildGraph, Replay, Predict) remain for step-by-step
+// use and all accept a context for cancellation.
 //
 // Subsystem packages live under internal/.
 package lumos
@@ -217,7 +220,11 @@ func TwoTierFabric(c Cluster) HierFabric { return topology.TwoTierFabric(c) }
 
 // DegradeFabric wraps a fabric with per-tier bandwidth scaling (the last
 // factor extends to the remaining outer tiers); factor 1.0 is the identity.
-func DegradeFabric(f Fabric, factors ...float64) Fabric { return topology.Degrade(f, factors...) }
+// NaN, zero, negative, and infinite factors are rejected at construction so
+// a bad factor never flows into collective prices.
+func DegradeFabric(f Fabric, factors ...float64) (Fabric, error) {
+	return topology.Degrade(f, factors...)
+}
 
 // NewFlatPricer returns the flat alpha-beta collective model over a
 // two-tier cluster — the calibrated legacy backend.

@@ -103,3 +103,11 @@ func GridSweep(arch Arch, tpRange, ppRange, dpRange []int) []Scenario {
 func FabricSweep(fabrics []Fabric, degrade []float64) []Scenario {
 	return core.FabricSweep(fabrics, degrade)
 }
+
+// NetworkDegradeFactors maps one network bandwidth factor to the per-tier
+// degrade vector the sweep and plan surfaces share: tiers beyond the
+// innermost domain are scaled, NVLink stays nominal, and factor 1 is the
+// undegraded fabric (nil).
+func NetworkDegradeFactors(factor float64) []float64 {
+	return core.NetworkDegradeFactors(factor)
+}
