@@ -1,15 +1,16 @@
 GO ?= go
 
 # SWEEP_BENCH selects the sweep/planner hot-path benchmarks (shared
-# calibration, uncached throughput, fabric binding, strategy-labeled plan
-# search) shared by bench and bench-smoke.
-SWEEP_BENCH = BenchmarkSweep_SharedCalibration$$|BenchmarkSweepThroughput$$|BenchmarkSweep_FabricCampaign|BenchmarkPlan_BeamVsExhaustive
+# calibration, uncached throughput, fabric binding, schedule campaigns,
+# strategy-labeled plan search) shared by bench and bench-smoke.
+SWEEP_BENCH = BenchmarkSweep_SharedCalibration$$|BenchmarkSweepThroughput$$|BenchmarkSweep_FabricCampaign|BenchmarkSweep_ScheduleCampaign|BenchmarkPlan_BeamVsExhaustive
 
-.PHONY: check fmt vet build test bench bench-smoke benchsmoke plan-smoke
+.PHONY: check fmt vet build test bench bench-smoke benchsmoke plan-smoke schedule-smoke
 
 # check is the CI gate: formatting, static analysis, full build, tests, a
-# one-iteration benchmark smoke pass, and the planner acceptance smoke.
-check: fmt vet build test benchsmoke plan-smoke
+# one-iteration benchmark smoke pass, and the planner and schedule
+# acceptance smokes.
+check: fmt vet build test benchsmoke plan-smoke schedule-smoke
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -51,3 +52,10 @@ bench-smoke:
 # simulating strictly fewer points.
 plan-smoke:
 	$(GO) run ./examples/autotune
+
+# schedule-smoke is the pipeline-schedule acceptance gate: examples/schedules
+# exits non-zero unless interleaved 1F1B strictly beats flat 1F1B's bubble
+# time on the fig7/fig8 configs and ZB-H1's analytic peak memory matches
+# 1F1B's within tolerance.
+schedule-smoke:
+	$(GO) run ./examples/schedules

@@ -534,6 +534,55 @@ func BenchmarkSweep_FabricCampaign(b *testing.B) {
 	}
 }
 
+// BenchmarkSweep_ScheduleCampaign measures the schedule what-if hot path
+// per pipeline schedule: one shared profile/calibration, each sub-benchmark
+// re-predicting the base deployment under one schedule (regenerated slot
+// structure — interleaved chunk P2P, zero-bubble split backward — against
+// the shared kernel library). Sub-benchmarks carry a schedule=<name> label
+// that cmd/benchjson records in BENCH_sweep.json; the pred-ms metric tracks
+// each schedule's predicted iteration time so regressions in the schedule
+// economics fail loudly.
+func BenchmarkSweep_ScheduleCampaign(b *testing.B) {
+	ctx := context.Background()
+	cfg, err := DeploymentConfig(GPT3_15B(), 2, 2, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg.Microbatches = 4
+	tk := New(WithConcurrency(4), WithScenarioCache(false))
+	base, err := tk.Prepare(ctx, cfg, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, spec := range []string{"1f1b", "gpipe", "interleaved2", "zb-h1"} {
+		spec := spec
+		b.Run("schedule="+spec, func(b *testing.B) {
+			scenarios := []Scenario{BaselineScenario(), ScheduleScenario(spec)}
+			b.ResetTimer()
+			b.ReportAllocs()
+			var last ScenarioResult
+			for i := 0; i < b.N; i++ {
+				sweep, err := tk.EvaluateState(ctx, base, scenarios...)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(sweep.Results) != len(scenarios) {
+					b.Fatal("scenario lost")
+				}
+				for _, r := range sweep.Results {
+					if r.Kind == "schedule" {
+						if !r.Feasible() {
+							b.Fatalf("%s infeasible: %s", r.Name, r.Err)
+						}
+						last = r
+					}
+				}
+			}
+			b.ReportMetric(float64(last.Iteration)/1e6, "pred-ms")
+		})
+	}
+}
+
 // BenchmarkPlan_BeamVsExhaustive measures the deployment planner per
 // search strategy over one fig7-style space, with the scenario cache
 // disabled so every promoted point pays its full simulation cost.

@@ -25,7 +25,11 @@ type result struct {
 	// Strategy is the search-strategy label for planner benchmarks
 	// (sub-benchmark names containing "strategy=<name>"), so entries are
 	// comparable across exhaustive/beam/halving runs.
-	Strategy   string             `json:"strategy,omitempty"`
+	Strategy string `json:"strategy,omitempty"`
+	// Schedule is the pipeline-schedule label for schedule-campaign
+	// benchmarks (sub-benchmark names containing "schedule=<name>"), so
+	// entries are comparable across 1f1b/gpipe/interleaved/zb-h1 runs.
+	Schedule   string             `json:"schedule,omitempty"`
 	NsPerOp    float64            `json:"ns_per_op,omitempty"`
 	BytesPerOp float64            `json:"bytes_per_op,omitempty"`
 	AllocsOp   float64            `json:"allocs_per_op,omitempty"`
@@ -39,6 +43,7 @@ type result struct {
 var (
 	fabricRe   = regexp.MustCompile(`fabric=([^/]+?)(?:-\d+)?$`)
 	strategyRe = regexp.MustCompile(`strategy=([^/]+?)(?:-\d+)?$`)
+	scheduleRe = regexp.MustCompile(`schedule=([^/]+?)(?:-\d+)?$`)
 )
 
 func parseLine(line string) (result, bool) {
@@ -56,6 +61,9 @@ func parseLine(line string) (result, bool) {
 	}
 	if m := strategyRe.FindStringSubmatch(fields[0]); m != nil {
 		r.Strategy = m[1]
+	}
+	if m := scheduleRe.FindStringSubmatch(fields[0]); m != nil {
+		r.Schedule = m[1]
 	}
 	// The remainder alternates value / unit.
 	for i := 2; i+1 < len(fields); i += 2 {

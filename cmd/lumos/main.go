@@ -20,23 +20,26 @@
 //	    given duration factor
 //	lumos sweep     -model 15b -tp 2 -pp 2 -dp 4 -mb 8 [-in traces/] \
 //	                [-pp-range 2,4,8] [-dp-range 4,8,16] [-arch v1,v2,v3,v4] \
+//	                [-schedule 1f1b,interleaved2,zb-h1] \
 //	                [-fabric flat,nvl72,spine4] [-degrade 1,0.75,0.5] \
 //	                [-whatif] [-top 10] [-workers 0]
 //	    profile the base deployment once (or reuse -in traces), then
 //	    evaluate a whole what-if campaign — a TP×PP×DP grid, architecture
-//	    variants, network fabrics and degradation factors, and kernel
-//	    counterfactuals — concurrently against shared calibration, printing
-//	    results ranked by predicted iteration time
+//	    variants, pipeline schedules, network fabrics and degradation
+//	    factors, and kernel counterfactuals — concurrently against shared
+//	    calibration, printing results ranked by predicted iteration time
 //	lumos plan      -model 15b -tp 2 -pp 2 -dp 2 -mb 8 [-in traces/] \
 //	                [-pp-range 1,2,4] [-dp-range 1,2,4] [-mb-range 4,8] \
+//	                [-schedule 1f1b,interleaved2,zb-h1] \
 //	                [-fabric flat,nvl72] [-degrade 1,0.5] \
 //	                [-strategy auto|exhaustive|beam|halving] [-beam 8] [-eta 3] \
 //	                [-budget 0] [-gpu-mem-gib 80] [-zero 0|1|2] [-top 10]
 //	    guided deployment search: expand the parallelism × microbatch ×
-//	    fabric space lazily, rule out configurations that would OOM with
-//	    the analytic memory model, rank the rest by roofline cost bounds,
-//	    simulate only the survivors the strategy promotes, and print the
-//	    Pareto frontier over (iteration time, GPUs, peak memory)
+//	    schedule × fabric space lazily, rule out configurations that would
+//	    OOM with the analytic memory model, rank the rest by roofline cost
+//	    bounds with schedule-specific bubble terms, simulate only the
+//	    survivors the strategy promotes, and print the Pareto frontier over
+//	    (iteration time, GPUs, peak memory)
 //
 // All subcommands honor Ctrl-C: the context is canceled and in-flight
 // sweeps stop.
@@ -360,6 +363,24 @@ func fabricByName(name string, world int) (lumos.Fabric, error) {
 	return nil, fmt.Errorf("unknown fabric %q; valid presets:\n  %s", name, strings.Join(fabricPresets, "\n  "))
 }
 
+// parseScheduleList validates a comma-separated -schedule list, resolving
+// each spec so unknown names fail fast with the full menu of valid
+// schedules (parity with the -fabric and -strategy menus).
+func parseScheduleList(s string) ([]string, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		spec, err := lumos.ParseSchedule(part)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, spec.Name())
+	}
+	return out, nil
+}
+
 // parseFloatList parses "1,0.75,0.5" into []float64.
 func parseFloatList(s string) ([]float64, error) {
 	if strings.TrimSpace(s) == "" {
@@ -400,6 +421,7 @@ func cmdSweep(ctx context.Context, args []string) error {
 	ppRange := fs.String("pp-range", "", "comma-separated PP grid")
 	dpRange := fs.String("dp-range", "", "comma-separated DP grid")
 	archList := fs.String("arch", "", "comma-separated architecture variants (e.g. v1,v2,v3,v4)")
+	schedList := fs.String("schedule", "", "comma-separated pipeline schedules to re-predict the base under (1f1b|gpipe|interleaved[V]|zb-h1)")
 	fabricList := fs.String("fabric", "", "comma-separated fabric presets to re-price the base on (flat|nvl72|spine[N])")
 	degradeList := fs.String("degrade", "", "comma-separated network bandwidth factors for degraded-network what-ifs, applied to every tier beyond the NVLink domain (e.g. 1,0.75,0.5)")
 	whatIf := fs.Bool("whatif", false, "include kernel counterfactuals (2x GEMM/attention/comm, operator fusion)")
@@ -443,6 +465,13 @@ func cmdSweep(ctx context.Context, args []string) error {
 			}
 			scenarios = append(scenarios, lumos.ArchScenario(arch))
 		}
+	}
+	if *schedList != "" {
+		specs, err := parseScheduleList(*schedList)
+		if err != nil {
+			return err
+		}
+		scenarios = append(scenarios, lumos.ScheduleSweep(specs)...)
 	}
 	if *fabricList != "" || *degradeList != "" {
 		var fabrics []lumos.Fabric
@@ -537,6 +566,7 @@ func cmdPlan(ctx context.Context, args []string) error {
 	ppRange := fs.String("pp-range", "", "comma-separated PP grid (default: base PP)")
 	dpRange := fs.String("dp-range", "", "comma-separated DP grid (default: base DP)")
 	mbRange := fs.String("mb-range", "", "comma-separated microbatch grid (default: base -mb)")
+	schedList := fs.String("schedule", "", "comma-separated pipeline schedules to search over (1f1b|gpipe|interleaved[V]|zb-h1; default: the base schedule)")
 	fabricList := fs.String("fabric", "", "comma-separated fabric presets to search over (flat|nvl72|spine[N]; default: the profiled fabric)")
 	degradeList := fs.String("degrade", "", "comma-separated network bandwidth factors beyond the NVLink domain (e.g. 1,0.75,0.5)")
 	strategy := fs.String("strategy", "auto", "search strategy: auto|exhaustive|beam|halving")
@@ -564,6 +594,9 @@ func cmdPlan(ctx context.Context, args []string) error {
 		return err
 	}
 	if space.Microbatch, err = parseIntList(*mbRange); err != nil {
+		return err
+	}
+	if space.Schedules, err = parseScheduleList(*schedList); err != nil {
 		return err
 	}
 	if *fabricList != "" {
@@ -646,8 +679,8 @@ func cmdPlan(ctx context.Context, args []string) error {
 	}
 
 	s := res.Stats
-	fmt.Printf("base iteration %.1fms; strategy=%s space=%d feasible=%d mem-rejected=%d scope-rejected=%d\n",
-		analysis.Millis(st.Iteration), res.Strategy, s.SpaceSize, s.Feasible, s.MemRejected, s.ScopeRejected)
+	fmt.Printf("base iteration %.1fms; strategy=%s space=%d feasible=%d mem-rejected=%d schedule-rejected=%d scope-rejected=%d\n",
+		analysis.Millis(st.Iteration), res.Strategy, s.SpaceSize, s.Feasible, s.MemRejected, s.ScheduleRejected, s.ScopeRejected)
 	fmt.Printf("simulated %d unique points in %d rounds (%d requests, %d served by the scenario cache) in %v\n\n",
 		s.Simulated, s.Rounds, s.SimRequests, s.SimRequests-s.Simulated, time.Since(t0).Round(time.Millisecond))
 
@@ -679,8 +712,8 @@ func cmdPlan(ctx context.Context, args []string) error {
 	if len(res.Infeasible) > 0 {
 		// The retained list mixes analytic rejections with points that were
 		// promoted but failed in simulation; each entry carries its reason.
-		fmt.Printf("\ninfeasible (%d mem-rejected, %d scope-rejected; %d retained with reasons):\n",
-			s.MemRejected, s.ScopeRejected, len(res.Infeasible))
+		fmt.Printf("\ninfeasible (%d mem-rejected, %d schedule-rejected, %d scope-rejected; %d retained with reasons):\n",
+			s.MemRejected, s.ScheduleRejected, s.ScopeRejected, len(res.Infeasible))
 		for _, c := range res.Infeasible {
 			fmt.Printf("  %-28s %s\n", clip(c.Point.Key(), 28), c.Infeasible)
 		}

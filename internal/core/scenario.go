@@ -14,6 +14,7 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -25,6 +26,7 @@ import (
 	"lumos/internal/model"
 	"lumos/internal/parallel"
 	"lumos/internal/replay"
+	"lumos/internal/schedule"
 	"lumos/internal/topology"
 	"lumos/internal/trace"
 )
@@ -501,6 +503,67 @@ func FabricSweep(fabrics []topology.Fabric, degrade []float64) []Scenario {
 	}
 	return scenarios
 }
+
+// infeasibleScenario reports a construction-time error as an infeasible
+// result, so one bad spec cannot sink a campaign. kind classifies the
+// result like its feasible siblings would be.
+type infeasibleScenario struct {
+	name string
+	kind string
+	err  string
+}
+
+func (s infeasibleScenario) Name() string { return s.name }
+
+func (s infeasibleScenario) Run(context.Context, *BaseState) (ScenarioResult, error) {
+	return ScenarioResult{Name: s.name, Kind: s.kind, Err: s.err}, nil
+}
+
+// InfeasibleScenario returns a scenario that always reports the given
+// error under the given kind — campaigns embed construction-time failures
+// as ranked infeasible rows instead of failing outright.
+func InfeasibleScenario(name, kind, errMsg string) Scenario {
+	return infeasibleScenario{name: name, kind: kind, err: errMsg}
+}
+
+// ScheduleScenario re-predicts the base deployment under a different
+// pipeline schedule — "would interleaving or a zero-bubble schedule shrink
+// my bubble?" — by regenerating the execution graph with the schedule's
+// slot structure (interleaved chunk P2P, split B/W backward) while
+// everything else, including the kernel calibration, is shared with the
+// campaign. spec is a schedule spec name: "1f1b", "gpipe", "interleaved[V]"
+// or "zb-h1"; unknown names evaluate as infeasible with the full menu.
+func ScheduleScenario(spec string) Scenario {
+	name := "schedule=" + strings.ToLower(strings.TrimSpace(spec))
+	s, err := schedule.Parse(spec)
+	if err != nil {
+		return infeasibleScenario{name: name, kind: "schedule", err: err.Error()}
+	}
+	return &deployScenario{
+		name: "schedule=" + s.Name(),
+		kind: "schedule",
+		transform: func(base parallel.Config) parallel.Config {
+			target := base
+			target.Schedule = s.Policy
+			target.VirtualStages = s.Virtual
+			return target
+		},
+	}
+}
+
+// ScheduleSweep enumerates schedule scenarios, the pipeline-schedule
+// analogue of FabricSweep: one scenario per spec name, each re-predicting
+// the base deployment under that schedule against shared calibration.
+func ScheduleSweep(specs []string) []Scenario {
+	scenarios := make([]Scenario, 0, len(specs))
+	for _, spec := range specs {
+		scenarios = append(scenarios, ScheduleScenario(spec))
+	}
+	return scenarios
+}
+
+// ScheduleNames lists the valid schedule spec names for CLI menus.
+func ScheduleNames() []string { return schedule.Names() }
 
 // baselineScenario reports the base point itself, so it appears in rankings.
 type baselineScenario struct{}

@@ -11,8 +11,9 @@
 //     (12 bytes/param by default), optionally sharded across the
 //     data-parallel group ZeRO-style.
 //   - Activations: per-layer stored activations for backward, multiplied by
-//     the peak number of in-flight microbatches the pipeline schedule keeps
-//     resident (1F1B holds min(PP-stage, microbatches); GPipe holds all).
+//     the peak number of in-flight chunk-microbatches the pipeline schedule
+//     keeps resident (1F1B holds min(PP-stage, microbatches); GPipe holds
+//     all; interleaved holds more but thinner chunks; ZB-H1 matches 1F1B).
 //
 // The model is intentionally analytic and cheap — one estimate is a few
 // arithmetic operations — and errs on the side of the big terms: CUDA
@@ -171,8 +172,13 @@ func (m Model) stageEstimate(cfg parallel.Config, stage int) (Estimate, error) {
 		return Estimate{}, err
 	}
 	e.InFlight = inFlight
-	perMB := ActivationBytesPerLayer(cfg, m.NoFlashAttention) * int64(cfg.LayersPerStage())
-	e.Activations = perMB * int64(inFlight)
+	// One in-flight schedule slot holds one model chunk's layer activations:
+	// the full stage slice under flat schedules, a 1/v slice under
+	// interleaving (which holds more, smaller chunks in flight). ZB-H1's B
+	// pass releases the bulk activations exactly like a 1F1B backward, so
+	// its peak matches 1F1B's.
+	perChunkMB := ActivationBytesPerLayer(cfg, m.NoFlashAttention) * int64(cfg.LayersPerChunk())
+	e.Activations = perChunkMB * int64(inFlight)
 	return e, nil
 }
 

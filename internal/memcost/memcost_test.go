@@ -96,6 +96,47 @@ func TestActivationPressureTracksSchedule(t *testing.T) {
 	}
 }
 
+func TestZBH1PeakMatchesOneFOneB(t *testing.T) {
+	// ZB-H1's B pass releases activations exactly like a 1F1B backward, so
+	// the whole memory decomposition matches 1F1B bit-for-bit.
+	for _, shape := range [][4]int{{2, 2, 2, 8}, {2, 4, 1, 8}, {1, 2, 4, 4}} {
+		c := cfg(t, model.GPT3_15B(), shape[0], shape[1], shape[2], shape[3])
+		fb := estimate(t, Model{}, c)
+		c.Schedule = parallel.ZBH1
+		zb := estimate(t, Model{}, c)
+		if zb != fb {
+			t.Fatalf("%v: ZB-H1 estimate %+v != 1F1B %+v", shape, zb, fb)
+		}
+	}
+}
+
+func TestInterleavedActivationPressure(t *testing.T) {
+	c := cfg(t, model.GPT3_15B(), 2, 2, 1, 8)
+	fb := estimate(t, Model{}, c)
+
+	il := c
+	il.Schedule = parallel.Interleaved
+	il.VirtualStages = 2
+	e := estimate(t, Model{}, il)
+	// Interleaving holds more chunk-microbatches in flight...
+	if e.InFlight <= fb.InFlight {
+		t.Fatalf("interleaved in-flight %d not > 1F1B %d", e.InFlight, fb.InFlight)
+	}
+	// ...each holding a 1/v layer slice, so the total exceeds 1F1B (the
+	// schedule's memory cost) but stays under the naive full-stage charge.
+	if e.Activations <= fb.Activations {
+		t.Fatalf("interleaved activations %d not > 1F1B %d", e.Activations, fb.Activations)
+	}
+	perChunk := ActivationBytesPerLayer(il, false) * int64(il.LayersPerChunk())
+	if want := perChunk * int64(e.InFlight); e.Activations != want {
+		t.Fatalf("interleaved activations %d, want in-flight × per-chunk %d", e.Activations, want)
+	}
+	naive := ActivationBytesPerLayer(il, false) * int64(il.LayersPerStage()) * int64(e.InFlight)
+	if e.Activations >= naive {
+		t.Fatal("interleaved activation charge must account for the thinner chunks")
+	}
+}
+
 func TestTPAndSequenceParallelShrinkActivations(t *testing.T) {
 	base := cfg(t, model.GPT3_15B(), 1, 1, 1, 4)
 	tp4 := cfg(t, model.GPT3_15B(), 4, 1, 1, 4)

@@ -242,3 +242,43 @@ func TestValidateRejections(t *testing.T) {
 		t.Fatal("zero layers must be rejected")
 	}
 }
+
+func TestSplitBackwardConservesWork(t *testing.T) {
+	// The zero-bubble B/W split must carry exactly the fused backward's
+	// FLOPs and HBM bytes, per class, so split-backward schedules do the
+	// same total work as 1F1B.
+	for _, sp := range []bool{false, true} {
+		c := ShapeConfig{TP: 2, MicrobatchSize: 2, SequenceParallel: sp}
+		a := GPT3_15B()
+		type agg struct{ flops, bytes, commBytes int64 }
+		sum := func(opss ...[]Op) map[trace.KernelClass]agg {
+			m := map[trace.KernelClass]agg{}
+			for _, ops := range opss {
+				for _, op := range ops {
+					e := m[op.Class]
+					e.flops += op.FLOPs
+					e.bytes += op.Bytes
+					e.commBytes += op.CommBytes
+					m[op.Class] = e
+				}
+			}
+			return m
+		}
+		fused := sum(a.LayerBackward(c, 0))
+		split := sum(a.LayerBackwardInput(c, 0), a.LayerBackwardWeight(c, 0))
+		for class, f := range fused {
+			if split[class] != f {
+				t.Fatalf("sp=%v class %v: split %+v != fused %+v", sp, class, split[class], f)
+			}
+		}
+		if len(split) != len(fused) {
+			t.Fatalf("sp=%v: class sets differ: %v vs %v", sp, split, fused)
+		}
+		// W is pure local compute: no communication ops at all.
+		for _, op := range a.LayerBackwardWeight(c, 0) {
+			if op.IsComm() {
+				t.Fatalf("weight pass contains comm op %q", op.Name)
+			}
+		}
+	}
+}

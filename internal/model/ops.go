@@ -303,6 +303,98 @@ func (a Arch) LayerBackward(c ShapeConfig, layer int) []Op {
 	return ops
 }
 
+// LayerBackwardInput returns the input-gradient half of a transformer
+// block's backward pass — the zero-bubble B pass: everything on the
+// critical path to the upstream stage (elementwise/norm backwards, dgrad
+// GEMMs, attention backward and the TP collectives on the activation-
+// gradient path), with the weight-gradient GEMMs factored out into
+// LayerBackwardWeight. The two halves together carry exactly the FLOPs and
+// HBM bytes of the fused LayerBackward, so zero-bubble schedules do the
+// same total work.
+func (a Arch) LayerBackwardInput(c ShapeConfig, layer int) []Op {
+	t := a.tokens(c)
+	h := int64(a.Hidden)
+	f := int64(a.FFN)
+	s := int64(a.SeqLen)
+	b := int64(c.MicrobatchSize)
+	tp := int64(c.TP)
+	d := a.DTypeBytes
+	actB := a.activationBytes(c)
+
+	dgrad := func(name string, m, k, n int64) Op {
+		return gemm(name, m, k, n, d, layer, trace.PassBackward)
+	}
+
+	sp := c.spShard()
+
+	ops := []Op{
+		memOp("autograd::dropout_add_residual_backward", trace.KCElementwise, 3*t*h*int64(d)/sp, layer, trace.PassBackward),
+	}
+	ops = append(ops, enterTPRegion(c, "nccl::all_gather_mlp_bwd", actB, layer, trace.PassBackward)...)
+	if !c.SequenceParallel {
+		ops = append(ops, leaveTPRegion(c, "nccl::all_reduce_mlp_bwd", actB, layer, trace.PassBackward)...)
+	}
+	ops = append(ops,
+		dgrad("autograd::mm_ffn2_dgrad", t, f/tp, h),
+		memOp("autograd::gelu_backward", trace.KCElementwise, 3*t*f/tp*int64(d), layer, trace.PassBackward),
+		dgrad("autograd::mm_ffn1_dgrad", t, h, f/tp),
+	)
+	if c.SequenceParallel {
+		ops = append(ops, tpComm("nccl::reduce_scatter_mlp_bwd", trace.CommReduceScatter, actB, layer, trace.PassBackward))
+	}
+	ops = append(ops,
+		memOp("autograd::layer_norm_backward", trace.KCNorm, 5*t*h*int64(d)/sp, layer, trace.PassBackward),
+		memOp("autograd::dropout_add_residual_backward", trace.KCElementwise, 3*t*h*int64(d)/sp, layer, trace.PassBackward),
+	)
+	ops = append(ops, enterTPRegion(c, "nccl::all_gather_attn_bwd", actB, layer, trace.PassBackward)...)
+	if !c.SequenceParallel {
+		ops = append(ops, leaveTPRegion(c, "nccl::all_reduce_attn_bwd", actB, layer, trace.PassBackward)...)
+	}
+	ops = append(ops,
+		dgrad("autograd::mm_attn_proj_dgrad", t, h/tp, h),
+		Op{
+			Name:   "flash::attention_backward",
+			Class:  trace.KCAttention,
+			Stream: StreamCompute,
+			FLOPs:  10 * b * s * s * h / tp,
+			Bytes:  6 * t * h / tp * int64(d),
+			Layer:  layer,
+			Pass:   trace.PassBackward,
+		},
+		dgrad("autograd::mm_qkv_dgrad", t, h, 3*h/tp),
+	)
+	if c.SequenceParallel {
+		ops = append(ops, tpComm("nccl::reduce_scatter_attn_bwd", trace.CommReduceScatter, actB, layer, trace.PassBackward))
+	}
+	ops = append(ops,
+		memOp("autograd::layer_norm_backward", trace.KCNorm, 5*t*h*int64(d)/sp, layer, trace.PassBackward),
+	)
+	return ops
+}
+
+// LayerBackwardWeight returns the weight-gradient half of a transformer
+// block's backward pass — the zero-bubble W pass: the four wgrad GEMMs in
+// backward order, pure local compute with no communication, so a schedule
+// can defer them into pipeline bubbles. (The small norm-weight gradients
+// stay fused into the norm backward kernels of the input half.)
+func (a Arch) LayerBackwardWeight(c ShapeConfig, layer int) []Op {
+	t := a.tokens(c)
+	h := int64(a.Hidden)
+	f := int64(a.FFN)
+	tp := int64(c.TP)
+	d := a.DTypeBytes
+
+	wgrad := func(name string, m, k, n int64) Op {
+		return gemm(name, m, k, n, d, layer, trace.PassBackward)
+	}
+	return []Op{
+		wgrad("autograd::mm_ffn2_wgrad", t, f/tp, h),
+		wgrad("autograd::mm_ffn1_wgrad", t, h, f/tp),
+		wgrad("autograd::mm_attn_proj_wgrad", t, h/tp, h),
+		wgrad("autograd::mm_qkv_wgrad", t, h, 3*h/tp),
+	}
+}
+
 // EmbeddingForward returns the first pipeline stage's pre-layer ops for one
 // microbatch: token+position embedding lookup (vocab-parallel under TP).
 func (a Arch) EmbeddingForward(c ShapeConfig) []Op {

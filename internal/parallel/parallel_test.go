@@ -24,8 +24,8 @@ func TestBuildScheduleGPipe(t *testing.T) {
 		t.Fatal(err)
 	}
 	want := []Slot{
-		{SlotForward, 0}, {SlotForward, 1}, {SlotForward, 2},
-		{SlotBackward, 0}, {SlotBackward, 1}, {SlotBackward, 2},
+		{Kind: SlotForward, Microbatch: 0}, {Kind: SlotForward, Microbatch: 1}, {Kind: SlotForward, Microbatch: 2},
+		{Kind: SlotBackward, Microbatch: 0}, {Kind: SlotBackward, Microbatch: 1}, {Kind: SlotBackward, Microbatch: 2},
 	}
 	if len(slots) != len(want) {
 		t.Fatalf("got %v", slots)
@@ -50,12 +50,12 @@ func TestBuildSchedule1F1B(t *testing.T) {
 	if slots[0].Kind != SlotForward || slots[1].Kind != SlotForward || slots[2].Kind != SlotForward {
 		t.Fatal("warmup should be forwards")
 	}
-	if slots[3] != (Slot{SlotForward, 3}) || slots[4] != (Slot{SlotBackward, 0}) {
+	if slots[3] != (Slot{Kind: SlotForward, Microbatch: 3}) || slots[4] != (Slot{Kind: SlotBackward, Microbatch: 0}) {
 		t.Fatalf("steady state starts wrong: %v", slots[3:5])
 	}
 	// Last stage alternates immediately.
 	last, _ := BuildSchedule(OneFOneB, 3, 4, 8)
-	if last[0] != (Slot{SlotForward, 0}) || last[1] != (Slot{SlotBackward, 0}) {
+	if last[0] != (Slot{Kind: SlotForward, Microbatch: 0}) || last[1] != (Slot{Kind: SlotBackward, Microbatch: 0}) {
 		t.Fatalf("last stage should be strictly 1F1B: %v", last[:2])
 	}
 }

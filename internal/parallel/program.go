@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"lumos/internal/model"
+	"lumos/internal/schedule"
 	"lumos/internal/topology"
 	"lumos/internal/trace"
 )
@@ -20,6 +21,11 @@ type Config struct {
 	MicrobatchSize int
 	// Schedule is the pipeline schedule policy.
 	Schedule SchedulePolicy
+	// VirtualStages is the number of model chunks each rank hosts under the
+	// Interleaved schedule (virtual pipeline stages, Narayanan et al.):
+	// stage s runs chunks at virtual stages s, s+PP, ..., s+(v-1)·PP. Must
+	// be >= 2 when Schedule is Interleaved; ignored by other schedules.
+	VirtualStages int
 	// BucketBytes is the data-parallel gradient bucket size (Megatron/DDP
 	// default is 25 MB).
 	BucketBytes int64
@@ -64,8 +70,20 @@ func (c Config) Validate() error {
 	if c.Map.TP < 1 || c.Map.PP < 1 || c.Map.DP < 1 {
 		return fmt.Errorf("parallel: invalid mapping %dx%dx%d", c.Map.TP, c.Map.PP, c.Map.DP)
 	}
-	if c.Arch.Layers%c.Map.PP != 0 {
-		return fmt.Errorf("parallel: layers (%d) not divisible by PP (%d)", c.Arch.Layers, c.Map.PP)
+	gen, err := c.generator()
+	if err != nil {
+		return err
+	}
+	chunks := gen.Chunks()
+	if c.Arch.Layers%(c.Map.PP*chunks) != 0 {
+		if chunks == 1 {
+			return fmt.Errorf("parallel: layers (%d) not divisible by PP (%d)", c.Arch.Layers, c.Map.PP)
+		}
+		// A typed schedule error: only the schedule's chunking makes this
+		// mapping indivisible, so the planner buckets it as
+		// schedule-rejected rather than scope-rejected.
+		return fmt.Errorf("parallel: %w: layers (%d) not divisible by PP×chunks (%d×%d)",
+			schedule.ErrIncompatible, c.Arch.Layers, c.Map.PP, chunks)
 	}
 	if c.Arch.Hidden%c.Map.TP != 0 || c.Arch.FFN%c.Map.TP != 0 {
 		return fmt.Errorf("parallel: hidden/FFN (%d/%d) not divisible by TP (%d)",
@@ -74,17 +92,19 @@ func (c Config) Validate() error {
 	if c.Microbatches < 1 || c.MicrobatchSize < 1 {
 		return fmt.Errorf("parallel: microbatches/microbatch size must be >= 1")
 	}
-	if c.Schedule == OneFOneB && c.Microbatches < c.Map.PP {
-		return fmt.Errorf("parallel: 1F1B needs microbatches (%d) >= PP (%d) to fill the pipeline",
-			c.Microbatches, c.Map.PP)
+	if err := gen.Validate(c.Map.PP, c.Microbatches); err != nil {
+		return fmt.Errorf("parallel: %w", err)
 	}
 	return nil
 }
 
-// LayersPerStage returns the per-stage layer count.
+// LayersPerStage returns the per-stage layer count (summed over the
+// stage's model chunks under interleaved schedules).
 func (c Config) LayersPerStage() int { return c.Arch.Layers / c.Map.PP }
 
-// StageLayers returns the global layer index range [lo, hi) of a stage.
+// StageLayers returns the global layer index range [lo, hi) of a stage
+// under a flat (single-chunk) layout; interleaved stages host
+// VirtualChunks disjoint ranges instead (see ChunkLayers).
 func (c Config) StageLayers(stage int) (lo, hi int) {
 	lps := c.LayersPerStage()
 	return stage * lps, (stage + 1) * lps
@@ -187,9 +207,13 @@ const (
 
 // builder accumulates a rank's program.
 type builder struct {
-	cfg   Config
-	rank  int
-	stage int
+	cfg    Config
+	rank   int
+	stage  int
+	dp, tp int
+	// curChunk is the model chunk of the slot being emitted; pipeline p2p
+	// metadata is keyed by the virtual stage curChunk*PP + stage.
+	curChunk int
 
 	threads   [][]Instr
 	nextEvent int64
@@ -239,32 +263,39 @@ func (b *builder) launch(thread int, op model.Op, mb int) {
 
 // fillP2P assigns the pair communicator and a payload-keyed sequence number
 // so that the matching send/recv on the two ranks agree regardless of their
-// local issue order. Activations of microbatch m use seq 2m; gradients use
-// 2m+1.
+// local issue order. The crossed boundary between virtual stages g and g+1
+// is identified by the upstream member's PPPairID (under interleaving the
+// boundary from the last stage wraps to stage 0's next chunk, using the
+// last-stage rank's otherwise-unused pair ID); activations of chunk c's
+// microbatch m use seq 2·(c·M+m), gradients the odd successor — for flat
+// schedules exactly the historical 2m / 2m+1 numbering.
 func (b *builder) fillP2P(in *Instr, op model.Op, mb int) {
 	m := b.cfg.Map
-	var src, dst int
-	// The channel is identified by its upstream member's PPPairID.
+	myG := b.curChunk*m.PP + b.stage
+	var boundary int // upstream virtual stage of the crossed boundary
 	switch {
 	case op.Comm == trace.CommSend && op.Group == model.GroupPPNext: // fwd act out
-		src, dst = b.rank, m.PPNeighbor(b.rank, +1)
-		in.CommID = m.PPPairID(b.rank)
+		boundary = myG
 	case op.Comm == trace.CommRecv && op.Group == model.GroupPPPrev: // fwd act in
-		src, dst = m.PPNeighbor(b.rank, -1), b.rank
-		in.CommID = m.PPPairID(src)
+		boundary = myG - 1
 	case op.Comm == trace.CommSend && op.Group == model.GroupPPPrev: // bwd grad out
-		src, dst = b.rank, m.PPNeighbor(b.rank, -1)
-		in.CommID = m.PPPairID(dst)
+		boundary = myG - 1
 	case op.Comm == trace.CommRecv && op.Group == model.GroupPPNext: // bwd grad in
-		src, dst = m.PPNeighbor(b.rank, +1), b.rank
-		in.CommID = m.PPPairID(b.rank)
+		boundary = myG
+	}
+	up := m.Rank(b.dp, boundary%m.PP, b.tp)
+	down := m.Rank(b.dp, (boundary+1)%m.PP, b.tp)
+	in.CommID = m.PPPairID(up)
+	seq := (int64(boundary/m.PP)*int64(b.cfg.Microbatches) + int64(mb)) * 2
+	if op.Pass == trace.PassBackward {
+		seq++
+	}
+	in.CommSeq = seq
+	src, dst := up, down // forward payloads flow downstream
+	if op.Pass == trace.PassBackward {
+		src, dst = down, up
 	}
 	in.CommRanks = []int{src, dst}
-	if op.Pass == trace.PassBackward {
-		in.CommSeq = int64(mb)*2 + 1
-	} else {
-		in.CommSeq = int64(mb) * 2
-	}
 	if op.Comm == trace.CommSend {
 		in.PeerRank = dst
 	} else {
@@ -310,43 +341,59 @@ func BuildProgram(cfg Config, rank int) (*Program, error) {
 	if rank < 0 || rank >= cfg.Map.WorldSize() {
 		return nil, fmt.Errorf("parallel: rank %d out of range [0,%d)", rank, cfg.Map.WorldSize())
 	}
-	_, stage, _ := cfg.Map.Coords(rank)
+	dp, stage, tp := cfg.Map.Coords(rank)
 	b := &builder{
 		cfg:     cfg,
 		rank:    rank,
 		stage:   stage,
+		dp:      dp,
+		tp:      tp,
 		threads: make([][]Instr, 2),
 		seq:     map[int64]int64{},
 		tpRanks: cfg.Map.TPGroup(rank),
 		dpRanks: cfg.Map.DPGroup(rank),
 	}
 
-	slots, err := BuildSchedule(cfg.Schedule, stage, cfg.Map.PP, cfg.Microbatches)
+	slots, err := cfg.StageSlots(stage)
 	if err != nil {
 		return nil, err
 	}
 
 	shape := cfg.shape()
-	lo, hi := cfg.StageLayers(stage)
 	buckets := cfg.bucketPlan(stage)
 
 	// Iteration preamble: dataloader + python dispatch overhead.
 	b.emit(threadMain, Instr{Kind: ICPUWork, Name: "DataLoader::next", CPUDur: 150 * trace.Microsecond, Microbatch: -1})
 
-	lastBwd := -1
+	// A chunk's gradient buckets fire in the slot that finalizes its
+	// gradients: the chunk's last backward slot, or — under zero-bubble
+	// schedules, where the W pass computes the weight gradients — its last
+	// weight slot.
+	fireKind := SlotBackward
+	if cfg.Schedule == ZBH1 {
+		fireKind = SlotWeight
+	}
+	fireAt := make([]bool, len(slots))
+	lastOf := map[int]int{}
 	for i := range slots {
-		if slots[i].Kind == SlotBackward {
-			lastBwd = slots[i].Microbatch
+		if slots[i].Kind == fireKind {
+			lastOf[slots[i].Chunk] = i
 		}
 	}
+	for _, i := range lastOf {
+		fireAt[i] = true
+	}
 
-	for _, slot := range slots {
-		mb := slot.Microbatch
+	for i, slot := range slots {
+		mb, chunk := slot.Microbatch, slot.Chunk
+		b.curChunk = chunk
 		switch slot.Kind {
 		case SlotForward:
-			b.forwardSlot(shape, mb, lo, hi)
+			b.forwardSlot(shape, mb, chunk)
 		case SlotBackward:
-			b.backwardSlot(shape, mb, lo, hi, mb == lastBwd, buckets)
+			b.backwardSlot(shape, mb, chunk, fireAt[i], buckets)
+		case SlotWeight:
+			b.weightSlot(shape, mb, chunk, fireAt[i], buckets)
 		}
 	}
 
@@ -364,13 +411,16 @@ func BuildProgram(cfg Config, rank int) (*Program, error) {
 	return &Program{Rank: rank, Threads: b.threads}, nil
 }
 
-// forwardSlot emits one microbatch's forward pass on the main thread.
-func (b *builder) forwardSlot(shape model.ShapeConfig, mb, lo, hi int) {
+// forwardSlot emits one chunk-microbatch's forward pass on the main thread.
+func (b *builder) forwardSlot(shape model.ShapeConfig, mb, chunk int) {
 	cfg := b.cfg
 	arch := cfg.Arch
+	g := chunk*cfg.Map.PP + b.stage
+	gLast := cfg.GlobalStages() - 1
+	lo, hi := cfg.ChunkLayers(b.stage, chunk)
 	b.emit(threadMain, Instr{Kind: ICPUWork, Name: "forward_step", CPUDur: 30 * trace.Microsecond, Microbatch: mb})
 
-	if b.stage > 0 {
+	if g > 0 {
 		// Receive the upstream activation, then make compute wait on it.
 		// Megatron's p2p_communication synchronizes the CPU after the
 		// batched recv, so the host does not run ahead of the pipeline;
@@ -387,7 +437,7 @@ func (b *builder) forwardSlot(shape model.ShapeConfig, mb, lo, hi int) {
 	for layer := lo; layer < hi; layer++ {
 		b.launchOps(threadMain, arch.LayerForward(shape, layer), mb)
 	}
-	if b.stage < cfg.Map.PP-1 {
+	if g < gLast {
 		b.bridge(threadMain, model.StreamCompute, model.StreamPPSend, mb)
 		b.launch(threadMain, arch.PPSend(shape, trace.PassForward), mb)
 	} else {
@@ -395,14 +445,32 @@ func (b *builder) forwardSlot(shape model.ShapeConfig, mb, lo, hi int) {
 	}
 }
 
-// backwardSlot emits one microbatch's backward pass. The main thread hands
-// off to the autograd thread (signal), which launches the backward kernels;
-// the main thread blocks until the autograd thread finishes launching,
-// reproducing PyTorch's loss.backward() thread structure and the paper's
-// inter-thread CPU dependency.
-func (b *builder) backwardSlot(shape model.ShapeConfig, mb, lo, hi int, last bool, buckets []bucket) {
+// chunkBuckets selects the chunk's gradient buckets from the stage plan.
+func chunkBuckets(buckets []bucket, chunk int) []bucket {
+	var mine []bucket
+	for _, bk := range buckets {
+		if bk.triggerChunk == chunk {
+			mine = append(mine, bk)
+		}
+	}
+	return mine
+}
+
+// backwardSlot emits one chunk-microbatch's backward pass. The main thread
+// hands off to the autograd thread (signal), which launches the backward
+// kernels; the main thread blocks until the autograd thread finishes
+// launching, reproducing PyTorch's loss.backward() thread structure and the
+// paper's inter-thread CPU dependency. Under zero-bubble schedules only the
+// input-gradient half runs here — the upstream gradient send leaves as soon
+// as it is ready — and the weight-gradient half (with the bucket fires)
+// moves to the weight slot.
+func (b *builder) backwardSlot(shape model.ShapeConfig, mb, chunk int, fire bool, buckets []bucket) {
 	cfg := b.cfg
 	arch := cfg.Arch
+	zb := cfg.Schedule == ZBH1
+	g := chunk*cfg.Map.PP + b.stage
+	gLast := cfg.GlobalStages() - 1
+	lo, hi := cfg.ChunkLayers(b.stage, chunk)
 
 	start := b.newSignal()
 	done := b.newSignal()
@@ -412,7 +480,7 @@ func (b *builder) backwardSlot(shape model.ShapeConfig, mb, lo, hi int, last boo
 	ag := threadAutograd
 	b.emit(ag, Instr{Kind: IWaitSignal, Signal: start, Microbatch: mb})
 
-	if b.stage < cfg.Map.PP-1 {
+	if g < gLast {
 		recv := arch.PPRecv(shape, trace.PassBackward)
 		b.launch(ag, recv, mb)
 		b.bridge(ag, model.StreamPPRecv, model.StreamCompute, mb)
@@ -423,30 +491,90 @@ func (b *builder) backwardSlot(shape model.ShapeConfig, mb, lo, hi int, last boo
 		b.launchOps(ag, arch.HeadBackward(shape), mb)
 	}
 
-	// Bucket triggers are stage-local layer completions in backward order.
+	// Bucket triggers are chunk-local layer completions in backward order.
+	fire = fire && !zb && cfg.Map.DP > 1
+	mine := buckets
+	if fire {
+		mine = chunkBuckets(buckets, chunk)
+	}
 	bucketIdx := 0
 	for layer := hi - 1; layer >= lo; layer-- {
+		if zb {
+			b.launchOps(ag, arch.LayerBackwardInput(shape, layer), mb)
+			continue
+		}
 		b.launchOps(ag, arch.LayerBackward(shape, layer), mb)
-		if last && cfg.Map.DP > 1 {
-			for bucketIdx < len(buckets) && buckets[bucketIdx].triggerLayer == layer {
-				b.fireBucket(ag, buckets[bucketIdx], mb)
+		if fire {
+			for bucketIdx < len(mine) && mine[bucketIdx].triggerLayer == layer {
+				b.fireBucket(ag, mine[bucketIdx], mb)
 				bucketIdx++
 			}
 		}
 	}
-	if b.stage == 0 {
+	if g == 0 && !zb {
 		b.launchOps(ag, arch.EmbeddingBackward(shape), mb)
 	}
-	if last && cfg.Map.DP > 1 {
-		for bucketIdx < len(buckets) {
-			b.fireBucket(ag, buckets[bucketIdx], mb)
+	if fire {
+		for bucketIdx < len(mine) {
+			b.fireBucket(ag, mine[bucketIdx], mb)
 			bucketIdx++
 		}
 	}
 
-	if b.stage > 0 {
+	if g > 0 {
 		b.bridge(ag, model.StreamCompute, model.StreamPPSend, mb)
 		b.launch(ag, arch.PPSend(shape, trace.PassBackward), mb)
+	}
+
+	b.emit(ag, Instr{Kind: ISignal, Signal: done, Microbatch: mb})
+	b.emit(threadMain, Instr{Kind: IWaitSignal, Signal: done, Microbatch: mb})
+}
+
+// weightSlot emits one microbatch's deferred weight-gradient pass (the
+// zero-bubble W pass) on the autograd thread. W has no cross-stage
+// dependencies — it consumes the locally stored activations and output
+// gradients the B pass left behind — so its kernels fill the compute
+// stream's cooldown gaps while the next backward's gradient recv is in
+// flight. The chunk's gradient buckets (and the first stage's embedding
+// weight gradient) fire here, once the last microbatch's weight gradients
+// are final.
+func (b *builder) weightSlot(shape model.ShapeConfig, mb, chunk int, fire bool, buckets []bucket) {
+	cfg := b.cfg
+	arch := cfg.Arch
+	g := chunk*cfg.Map.PP + b.stage
+	lo, hi := cfg.ChunkLayers(b.stage, chunk)
+
+	start := b.newSignal()
+	done := b.newSignal()
+	b.emit(threadMain, Instr{Kind: ICPUWork, Name: "weight_grad_step", CPUDur: 20 * trace.Microsecond, Microbatch: mb})
+	b.emit(threadMain, Instr{Kind: ISignal, Signal: start, Microbatch: mb})
+
+	ag := threadAutograd
+	b.emit(ag, Instr{Kind: IWaitSignal, Signal: start, Microbatch: mb})
+
+	fire = fire && cfg.Map.DP > 1
+	mine := buckets
+	if fire {
+		mine = chunkBuckets(buckets, chunk)
+	}
+	bucketIdx := 0
+	for layer := hi - 1; layer >= lo; layer-- {
+		b.launchOps(ag, arch.LayerBackwardWeight(shape, layer), mb)
+		if fire {
+			for bucketIdx < len(mine) && mine[bucketIdx].triggerLayer == layer {
+				b.fireBucket(ag, mine[bucketIdx], mb)
+				bucketIdx++
+			}
+		}
+	}
+	if g == 0 {
+		b.launchOps(ag, arch.EmbeddingBackward(shape), mb)
+	}
+	if fire {
+		for bucketIdx < len(mine) {
+			b.fireBucket(ag, mine[bucketIdx], mb)
+			bucketIdx++
+		}
 	}
 
 	b.emit(ag, Instr{Kind: ISignal, Signal: done, Microbatch: mb})
@@ -461,38 +589,45 @@ func (b *builder) fireBucket(thread int, bk bucket, mb int) {
 }
 
 // bucket is a data-parallel gradient bucket: fired when triggerLayer's
-// backward completes during the last microbatch (or at the end for the
+// backward (weight pass under zero-bubble) completes during its chunk's
+// last gradient-finalizing slot (or at that slot's end for the per-chunk
 // remainder bucket with triggerLayer == -1).
 type bucket struct {
 	index        int
 	bytes        int64
 	triggerLayer int
+	triggerChunk int
 }
 
-// bucketPlan lays gradients out into buckets in backward (high→low layer)
-// order, Megatron/DDP style.
+// bucketPlan lays gradients out into buckets in backward completion order —
+// model chunks from the highest down (interleaved backward finishes chunk
+// v-1 first), layers high→low within each chunk — Megatron/DDP style.
+// Residual gradients flush at each chunk boundary; the first virtual stage
+// adds the embedding gradient to its remainder.
 func (c Config) bucketPlan(stage int) []bucket {
 	if c.Map.DP <= 1 {
 		return nil
 	}
-	lo, hi := c.StageLayers(stage)
 	gradBytes := int64(c.Arch.GradDTypeBytes)
 	layerBytes := c.Arch.LayerParams() / int64(c.Map.TP) * gradBytes
 
 	var out []bucket
-	var acc int64
-	for layer := hi - 1; layer >= lo; layer-- {
-		acc += layerBytes
-		if acc >= c.BucketBytes {
-			out = append(out, bucket{index: len(out), bytes: acc, triggerLayer: layer})
-			acc = 0
+	for chunk := c.VirtualChunks() - 1; chunk >= 0; chunk-- {
+		lo, hi := c.ChunkLayers(stage, chunk)
+		var acc int64
+		for layer := hi - 1; layer >= lo; layer-- {
+			acc += layerBytes
+			if acc >= c.BucketBytes {
+				out = append(out, bucket{index: len(out), bytes: acc, triggerLayer: layer, triggerChunk: chunk})
+				acc = 0
+			}
 		}
-	}
-	if stage == 0 {
-		acc += c.Arch.EmbeddingParams() / int64(c.Map.TP) * gradBytes
-	}
-	if acc > 0 {
-		out = append(out, bucket{index: len(out), bytes: acc, triggerLayer: -1})
+		if stage == 0 && chunk == 0 {
+			acc += c.Arch.EmbeddingParams() / int64(c.Map.TP) * gradBytes
+		}
+		if acc > 0 {
+			out = append(out, bucket{index: len(out), bytes: acc, triggerLayer: -1, triggerChunk: chunk})
+		}
 	}
 	return out
 }

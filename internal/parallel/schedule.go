@@ -1,157 +1,151 @@
 // Package parallel composes model ops into per-rank training programs under
 // 3D parallelism: tensor-parallel shapes (delegated to model), pipeline
-// schedules (1F1B per the paper's Figure 4, plus GPipe), data-parallel
-// gradient bucketing, and the CPU-thread / CUDA-stream / event-sync
-// structure that the ground-truth cluster simulator executes.
+// schedules (delegated to internal/schedule: GPipe, 1F1B per the paper's
+// Figure 4, interleaved 1F1B and zero-bubble ZB-H1), data-parallel gradient
+// bucketing, and the CPU-thread / CUDA-stream / event-sync structure that
+// the ground-truth cluster simulator executes.
 package parallel
 
-import "fmt"
+import (
+	"fmt"
 
-// SchedulePolicy selects the pipeline schedule.
-type SchedulePolicy uint8
+	"lumos/internal/schedule"
+)
+
+// SchedulePolicy selects the pipeline schedule. It is an alias of the
+// schedule subsystem's Policy; the historical OneFOneB/GPipe constants keep
+// their values.
+type SchedulePolicy = schedule.Policy
 
 const (
 	// OneFOneB is the memory-efficient interleaving from Narayanan et al.
 	// 2021, used throughout the paper.
-	OneFOneB SchedulePolicy = iota
+	OneFOneB = schedule.OneFOneB
 	// GPipe runs all forwards then all backwards.
-	GPipe
+	GPipe = schedule.GPipe
+	// Interleaved is interleaved 1F1B with Config.VirtualStages model
+	// chunks per rank (virtual pipeline stages).
+	Interleaved = schedule.Interleaved
+	// ZBH1 is the zero-bubble ZB-H1 schedule (split B/W backward).
+	ZBH1 = schedule.ZBH1
 )
 
-// String names the policy.
-func (p SchedulePolicy) String() string {
-	switch p {
-	case OneFOneB:
-		return "1F1B"
-	case GPipe:
-		return "GPipe"
-	}
-	return fmt.Sprintf("policy(%d)", uint8(p))
-}
-
-// SlotKind is a schedule slot type.
-type SlotKind uint8
+// SlotKind is a schedule slot type (alias of schedule.Kind).
+type SlotKind = schedule.Kind
 
 const (
-	SlotForward SlotKind = iota
-	SlotBackward
+	SlotForward  = schedule.Forward
+	SlotBackward = schedule.Backward
+	// SlotWeight is the zero-bubble deferred weight-gradient pass.
+	SlotWeight = schedule.Weight
 )
 
-// Slot is one schedule entry: run the forward or backward pass of a
-// microbatch on this stage.
-type Slot struct {
-	Kind       SlotKind
-	Microbatch int
-}
+// Slot is one schedule entry: run the given pass of a microbatch (and model
+// chunk) on this stage.
+type Slot = schedule.Slot
 
-// BuildSchedule returns the slot sequence for one pipeline stage.
-// stage is in [0, stages); microbatches must be >= 1. For 1F1B the result
-// is the standard warmup / steady 1F1B / cooldown structure; Figure 4 of
-// the paper is exactly this sequence for stage 0.
+// BuildSchedule returns the slot sequence for one pipeline stage of a flat
+// (single-chunk) schedule, delegating to the schedule subsystem's
+// generators; 1F1B output is bit-identical to the pre-subsystem
+// implementation. Error paths return the typed schedule errors
+// (schedule.ErrStage, schedule.ErrMicrobatches, schedule.ErrPolicy,
+// schedule.ErrIncompatible), so callers can classify infeasible-schedule
+// configurations. Interleaved schedules need a virtual-stage count: use
+// Config.StageSlots, which carries it.
 func BuildSchedule(policy SchedulePolicy, stage, stages, microbatches int) ([]Slot, error) {
-	if stage < 0 || stage >= stages {
-		return nil, fmt.Errorf("parallel: stage %d out of range [0,%d)", stage, stages)
+	if policy == Interleaved {
+		return nil, fmt.Errorf("%w: interleaved schedules need a virtual-stage count; use Config.StageSlots", schedule.ErrIncompatible)
 	}
-	if microbatches < 1 {
-		return nil, fmt.Errorf("parallel: microbatches must be >= 1, got %d", microbatches)
+	gen, err := schedule.New(policy, 0)
+	if err != nil {
+		return nil, fmt.Errorf("parallel: %w", err)
 	}
-	slots := make([]Slot, 0, 2*microbatches)
-	switch policy {
-	case GPipe:
-		for m := 0; m < microbatches; m++ {
-			slots = append(slots, Slot{SlotForward, m})
-		}
-		for m := 0; m < microbatches; m++ {
-			slots = append(slots, Slot{SlotBackward, m})
-		}
-	case OneFOneB:
-		warmup := stages - stage - 1
-		if warmup > microbatches {
-			warmup = microbatches
-		}
-		steady := microbatches - warmup
-		for m := 0; m < warmup; m++ {
-			slots = append(slots, Slot{SlotForward, m})
-		}
-		for i := 0; i < steady; i++ {
-			slots = append(slots, Slot{SlotForward, warmup + i})
-			slots = append(slots, Slot{SlotBackward, i})
-		}
-		for m := steady; m < microbatches; m++ {
-			slots = append(slots, Slot{SlotBackward, m})
-		}
-	default:
-		return nil, fmt.Errorf("parallel: unknown schedule policy %v", policy)
+	slots, err := gen.Slots(stage, stages, microbatches)
+	if err != nil {
+		return nil, fmt.Errorf("parallel: %w", err)
 	}
 	return slots, nil
 }
 
-// ValidateSchedule checks the invariants every correct pipeline schedule
-// must satisfy: each microbatch appears exactly once per kind, and a
-// microbatch's backward never precedes its forward.
+// ValidateSchedule checks the invariants every correct flat pipeline
+// schedule must satisfy: each microbatch appears exactly once per kind, and
+// a microbatch's backward never precedes its forward (weight passes, if
+// present, follow their backward).
 func ValidateSchedule(slots []Slot, microbatches int) error {
-	fwdAt := make([]int, microbatches)
-	bwdAt := make([]int, microbatches)
-	for i := range fwdAt {
-		fwdAt[i], bwdAt[i] = -1, -1
-	}
-	for i, s := range slots {
-		if s.Microbatch < 0 || s.Microbatch >= microbatches {
-			return fmt.Errorf("parallel: slot %d references microbatch %d outside [0,%d)", i, s.Microbatch, microbatches)
-		}
-		switch s.Kind {
-		case SlotForward:
-			if fwdAt[s.Microbatch] != -1 {
-				return fmt.Errorf("parallel: duplicate forward for microbatch %d", s.Microbatch)
-			}
-			fwdAt[s.Microbatch] = i
-		case SlotBackward:
-			if bwdAt[s.Microbatch] != -1 {
-				return fmt.Errorf("parallel: duplicate backward for microbatch %d", s.Microbatch)
-			}
-			bwdAt[s.Microbatch] = i
-		}
-	}
-	for m := 0; m < microbatches; m++ {
-		if fwdAt[m] == -1 {
-			return fmt.Errorf("parallel: missing forward for microbatch %d", m)
-		}
-		if bwdAt[m] == -1 {
-			return fmt.Errorf("parallel: missing backward for microbatch %d", m)
-		}
-		if bwdAt[m] < fwdAt[m] {
-			return fmt.Errorf("parallel: backward of microbatch %d at slot %d precedes its forward at %d", m, bwdAt[m], fwdAt[m])
-		}
-	}
-	return nil
+	return schedule.ValidateSlots(slots, microbatches, 1)
 }
 
-// PeakInFlight returns the peak number of in-flight microbatches on the
-// given pipeline stage under the config's schedule — the activation-memory
-// pressure the memory model charges for. For 1F1B this is min(PP-stage,
-// microbatches) on stage `stage`; for GPipe it is the full microbatch count.
+// ScheduleSpec returns the deployment's schedule choice as a parseable
+// spec (policy + virtual-stage count).
+func (c Config) ScheduleSpec() schedule.Spec {
+	return schedule.Spec{Policy: c.Schedule, Virtual: c.VirtualStages}
+}
+
+// generator resolves the deployment's schedule generator.
+func (c Config) generator() (schedule.Generator, error) {
+	gen, err := schedule.New(c.Schedule, c.VirtualStages)
+	if err != nil {
+		return nil, fmt.Errorf("parallel: %w", err)
+	}
+	return gen, nil
+}
+
+// VirtualChunks returns the number of model chunks each rank hosts: the
+// interleaved schedule's virtual-stage count, 1 for flat schedules.
+func (c Config) VirtualChunks() int {
+	if c.Schedule == Interleaved && c.VirtualStages > 1 {
+		return c.VirtualStages
+	}
+	return 1
+}
+
+// GlobalStages returns the virtual pipeline depth PP × chunks.
+func (c Config) GlobalStages() int { return c.Map.PP * c.VirtualChunks() }
+
+// LayersPerChunk returns the layer count of one model chunk — the
+// activation granularity one in-flight schedule slot holds resident.
+func (c Config) LayersPerChunk() int { return c.Arch.Layers / c.GlobalStages() }
+
+// ChunkLayers returns the global layer index range [lo, hi) hosted by the
+// given (stage, chunk): chunk c on stage s is virtual pipeline stage
+// c·PP + s.
+func (c Config) ChunkLayers(stage, chunk int) (lo, hi int) {
+	lpc := c.LayersPerChunk()
+	g := chunk*c.Map.PP + stage
+	return g * lpc, (g + 1) * lpc
+}
+
+// StageSlots returns the deployment's slot sequence for one pipeline stage
+// under its configured schedule.
+func (c Config) StageSlots(stage int) ([]Slot, error) {
+	gen, err := c.generator()
+	if err != nil {
+		return nil, err
+	}
+	slots, err := gen.Slots(stage, c.Map.PP, c.Microbatches)
+	if err != nil {
+		return nil, fmt.Errorf("parallel: %w", err)
+	}
+	return slots, nil
+}
+
+// PeakInFlight returns the peak number of in-flight chunk-microbatches on
+// the given pipeline stage under the config's schedule — the
+// activation-memory pressure the memory model charges, in units of one
+// model chunk's layer activations (LayersPerChunk layers each). For 1F1B
+// this is min(PP-stage, microbatches); GPipe holds the full microbatch
+// count; interleaved holds the deeper virtual warmup; ZB-H1 matches 1F1B
+// (the B pass releases the bulk activations, only the W pass's small
+// weight-gradient inputs outlive it).
 func (c Config) PeakInFlight(stage int) (int, error) {
-	slots, err := BuildSchedule(c.Schedule, stage, c.Map.PP, c.Microbatches)
+	slots, err := c.StageSlots(stage)
 	if err != nil {
 		return 0, err
 	}
-	return InFlight(slots), nil
+	return schedule.InFlight(slots), nil
 }
 
-// InFlight returns the maximum number of microbatches whose forward has run
-// but whose backward has not, i.e. the peak activation-memory pressure of
-// the schedule in microbatches.
-func InFlight(slots []Slot) int {
-	cur, peak := 0, 0
-	for _, s := range slots {
-		if s.Kind == SlotForward {
-			cur++
-			if cur > peak {
-				peak = cur
-			}
-		} else {
-			cur--
-		}
-	}
-	return peak
-}
+// InFlight returns the maximum number of chunk-microbatches whose forward
+// has run but whose backward has not, i.e. the peak activation-memory
+// pressure of the schedule in chunk-microbatches.
+func InFlight(slots []Slot) int { return schedule.InFlight(slots) }

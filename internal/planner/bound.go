@@ -17,6 +17,7 @@ import (
 	"lumos/internal/memcost"
 	"lumos/internal/model"
 	"lumos/internal/parallel"
+	"lumos/internal/schedule"
 	"lumos/internal/topology"
 	"lumos/internal/trace"
 )
@@ -37,6 +38,10 @@ type Candidate struct {
 	Infeasible string
 	// OOM marks an Infeasible verdict that came from the memory model.
 	OOM bool
+	// BadSchedule marks an Infeasible verdict that came from the pipeline
+	// schedule (unknown spec name or a schedule the mapping cannot run),
+	// classified like OOM points in the rejection tables.
+	BadSchedule bool
 }
 
 // Bounder derives candidates: it owns the campaign context the analytic
@@ -77,8 +82,19 @@ func (b *Bounder) Candidate(p Point) Candidate {
 		c.Infeasible = fmt.Sprintf("tensor-parallel changes are not supported (TP %d → %d)", b.Base.Map.TP, p.TP)
 		return c
 	}
+	if p.Schedule != "" {
+		// Unknown spec names fail here with the full schedule menu; Config
+		// keeps the base's schedule for such points, so they must never
+		// reach the memory model or the bound.
+		if _, err := schedule.Parse(p.Schedule); err != nil {
+			c.Infeasible = err.Error()
+			c.BadSchedule = true
+			return c
+		}
+	}
 	if err := c.Target.Validate(); err != nil {
 		c.Infeasible = err.Error()
+		c.BadSchedule = schedule.IsScheduleError(err)
 		return c
 	}
 	_, pricer, err := b.resolveFabric(p)
@@ -167,10 +183,13 @@ func (b *Bounder) opsTime(ops []model.Op, pricer collective.Pricer, commRanks []
 // bound estimates the candidate's iteration time from first principles:
 // per-microbatch stage work (transformer layers plus the heavier of the
 // embedding and head stages, with tensor-parallel collectives priced on
-// the fabric), pipelined over microbatches with the (PP-1)-slot fill/drain
-// bubble, plus the data-parallel gradient all-reduce and the optimizer
-// step. Overlap is ignored, so the bound is pessimistic but ranks
-// configurations by the same forces the simulator resolves exactly.
+// the fabric), pipelined over microbatches with the schedule's fill/drain
+// bubble term — (PP-1) slots for GPipe/1F1B, shrunk ~1/v by interleaving
+// (which also multiplies the P2P handoffs by v), and reduced to the
+// input-gradient share by ZB-H1's bubble-filling weight passes — plus the
+// data-parallel gradient all-reduce and the optimizer step. Overlap is
+// ignored, so the bound is pessimistic but ranks configurations by the
+// same forces the simulator resolves exactly.
 func (b *Bounder) bound(cfg parallel.Config, pricer collective.Pricer) trace.Dur {
 	m := cfg.Map
 	shape := model.ShapeConfig{
@@ -188,30 +207,48 @@ func (b *Bounder) bound(cfg parallel.Config, pricer collective.Pricer) trace.Dur
 		tpRanks[i] = i
 	}
 
-	layer := b.opsTime(arch.LayerForward(shape, 0), pricer, tpRanks) +
-		b.opsTime(arch.LayerBackward(shape, 0), pricer, tpRanks)
-	embed := b.opsTime(arch.EmbeddingForward(shape), pricer, tpRanks) +
-		b.opsTime(arch.EmbeddingBackward(shape), pricer, tpRanks)
-	head := b.opsTime(arch.HeadForward(shape), pricer, tpRanks) +
-		b.opsTime(arch.HeadBackward(shape), pricer, tpRanks)
-
-	perMB := layer * trace.Dur(cfg.LayersPerStage())
-	if m.PP == 1 {
-		perMB += embed + head
-	} else {
-		// Pipelined stages run concurrently; the bottleneck stage carries
-		// the heavier edge plus the activation/gradient handoffs.
-		edge := embed
-		if head > edge {
-			edge = head
-		}
-		perMB += edge
-		send := arch.PPSend(shape, trace.PassForward)
-		ppRanks := []int{0, m.TP}
-		perMB += 2 * pricer.Cost(send.Comm, send.CommBytes, ppRanks)
+	// cfg is validated by the pre-filter, so the generator resolves; fall
+	// back to 1F1B economics if a hand-built caller skipped validation.
+	gen, genErr := schedule.New(cfg.Schedule, cfg.VirtualStages)
+	if genErr != nil {
+		gen, _ = schedule.New(schedule.OneFOneB, 0)
 	}
 
-	iter := perMB * trace.Dur(cfg.Microbatches+m.PP-1)
+	// Forward and backward per-microbatch stage work are tracked apart so
+	// zero-bubble schedules can discount the weight-gradient share of the
+	// bubble; their sum is the classic combined per-microbatch cost.
+	lps := trace.Dur(cfg.LayersPerStage())
+	fwd := b.opsTime(arch.LayerForward(shape, 0), pricer, tpRanks) * lps
+	bwd := b.opsTime(arch.LayerBackward(shape, 0), pricer, tpRanks) * lps
+	wgrad := b.opsTime(arch.LayerBackwardWeight(shape, 0), pricer, nil) * lps
+	embedF := b.opsTime(arch.EmbeddingForward(shape), pricer, tpRanks)
+	embedB := b.opsTime(arch.EmbeddingBackward(shape), pricer, tpRanks)
+	headF := b.opsTime(arch.HeadForward(shape), pricer, tpRanks)
+	headB := b.opsTime(arch.HeadBackward(shape), pricer, tpRanks)
+
+	if m.PP == 1 {
+		fwd += embedF + headF
+		bwd += embedB + headB
+	} else {
+		// Pipelined stages run concurrently; the bottleneck stage carries
+		// the heavier edge plus the activation/gradient handoffs (one per
+		// direction per model chunk — interleaving crosses ranks v times).
+		if embedF+embedB >= headF+headB {
+			fwd += embedF
+			bwd += embedB
+		} else {
+			fwd += headF
+			bwd += headB
+		}
+		send := arch.PPSend(shape, trace.PassForward)
+		ppRanks := []int{0, m.TP}
+		p2p := trace.Dur(gen.P2PFactor()) * pricer.Cost(send.Comm, send.CommBytes, ppRanks)
+		fwd += p2p
+		bwd += p2p
+	}
+
+	iter := (fwd+bwd)*trace.Dur(cfg.Microbatches) +
+		trace.Dur(gen.BubbleCost(int64(fwd), int64(bwd), int64(wgrad), m.PP))
 
 	if m.DP > 1 {
 		dpRanks := make([]int, m.DP)

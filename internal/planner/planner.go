@@ -360,8 +360,10 @@ type Stats struct {
 	// Feasible is how many points survived the analytic pre-filters.
 	Feasible int
 	// MemRejected counts points the memory model ruled out (no simulation
-	// spent); ScopeRejected counts invalid or out-of-scope points.
-	MemRejected, ScopeRejected int
+	// spent); ScheduleRejected counts points whose pipeline schedule was
+	// unknown or cannot run on the mapping; ScopeRejected counts the
+	// remaining invalid or out-of-scope points.
+	MemRejected, ScheduleRejected, ScopeRejected int
 	// Simulated is the number of unique points promoted to full graph
 	// simulation; SimRequests the total point-evaluations requested —
 	// the difference re-visited the sweep engine's scenario cache.
@@ -424,9 +426,12 @@ func Plan(ctx context.Context, base parallel.Config, space Space,
 			feasible = append(feasible, c)
 			return true
 		}
-		if c.OOM {
+		switch {
+		case c.OOM:
 			stats.MemRejected++
-		} else {
+		case c.BadSchedule:
+			stats.ScheduleRejected++
+		default:
 			stats.ScopeRejected++
 		}
 		if len(infeasible) < maxInfeasible {

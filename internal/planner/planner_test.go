@@ -3,6 +3,7 @@ package planner
 import (
 	"context"
 	"reflect"
+	"strings"
 	"testing"
 
 	"lumos/internal/memcost"
@@ -316,5 +317,96 @@ func TestMemPruningReported(t *testing.T) {
 	}
 	if res.Stats.Simulated != res.Stats.Feasible {
 		t.Fatal("pre-filtered points must not be simulated")
+	}
+}
+
+func TestScheduleAxisExpansion(t *testing.T) {
+	base := baseCfg(t)
+	s := Space{PP: []int{2, 4}, Schedules: []string{"", "interleaved2", "zb-h1"}}
+	if got, want := s.Size(base), 6; got != want {
+		t.Fatalf("Size = %d, want %d", got, want)
+	}
+	var keys []string
+	s.ForEach(base, func(p Point) bool {
+		keys = append(keys, p.Key())
+		return true
+	})
+	if keys[0] != "2x2x2/mb8" || keys[1] != "2x2x2/mb8/interleaved2" || keys[2] != "2x2x2/mb8/zb-h1" {
+		t.Fatalf("schedule keys wrong: %v", keys[:3])
+	}
+	// The schedule flows into the derived deployment.
+	p := Point{TP: 2, PP: 2, DP: 2, Microbatches: 8, Schedule: "interleaved2"}
+	target := p.Config(base)
+	if target.Schedule != parallel.Interleaved || target.VirtualStages != 2 {
+		t.Fatalf("schedule not applied: %+v", target)
+	}
+	if p := (Point{TP: 2, PP: 2, DP: 2, Microbatches: 8, Schedule: "zb-h1"}); p.Config(base).Schedule != parallel.ZBH1 {
+		t.Fatal("zb-h1 not applied")
+	}
+}
+
+func TestScheduleCandidateClassification(t *testing.T) {
+	base := baseCfg(t)
+	b := NewBounder(base, nil, nil, memcost.Model{})
+
+	// Unknown spec names are rejected with the full schedule menu.
+	c := b.Candidate(Point{TP: 2, PP: 2, DP: 2, Microbatches: 8, Schedule: "zb-v"})
+	if c.Infeasible == "" || !c.BadSchedule {
+		t.Fatalf("unknown schedule must be BadSchedule-infeasible: %+v", c)
+	}
+	if !strings.Contains(c.Infeasible, "1f1b") || !strings.Contains(c.Infeasible, "interleaved") {
+		t.Fatalf("rejection must spell the schedule menu: %q", c.Infeasible)
+	}
+
+	// A known schedule the mapping cannot run (interleaved needs
+	// microbatches divisible by PP) classifies as BadSchedule too.
+	c = b.Candidate(Point{TP: 2, PP: 2, DP: 2, Microbatches: 7, Schedule: "interleaved2"})
+	if c.Infeasible == "" || !c.BadSchedule {
+		t.Fatalf("incompatible schedule must be BadSchedule-infeasible: %+v", c)
+	}
+
+	// Layers indivisible only because of the schedule's chunking (48 layers
+	// fit PP=2 but not 2×32 chunks): still a schedule rejection, not scope.
+	c = b.Candidate(Point{TP: 2, PP: 2, DP: 2, Microbatches: 8, Schedule: "interleaved32"})
+	if c.Infeasible == "" || !c.BadSchedule {
+		t.Fatalf("chunk-indivisible layers must be BadSchedule-infeasible: %+v", c)
+	}
+
+	// Plan-level stats bucket them separately from scope rejections.
+	sim := newFakeSim()
+	res, err := Plan(context.Background(), base,
+		Space{Schedules: []string{"", "zb-v", "interleaved2", "zb-h1"}},
+		nil, nil, sim.fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.ScheduleRejected != 1 {
+		t.Fatalf("ScheduleRejected = %d, want 1 (zb-v): %+v", res.Stats.ScheduleRejected, res.Stats)
+	}
+	if res.Stats.Feasible != 3 {
+		t.Fatalf("Feasible = %d, want 3", res.Stats.Feasible)
+	}
+}
+
+func TestScheduleBoundEconomics(t *testing.T) {
+	base := baseCfg(t)
+	b := NewBounder(base, nil, nil, memcost.Model{})
+	bound := func(sched string) trace.Dur {
+		c := b.Candidate(Point{TP: 2, PP: 2, DP: 2, Microbatches: 8, Schedule: sched})
+		if c.Infeasible != "" {
+			t.Fatalf("%s: %s", sched, c.Infeasible)
+		}
+		return c.Bound
+	}
+	fb := bound("1f1b")
+	if il := bound("interleaved2"); il >= fb {
+		t.Fatalf("interleaved2 bound %v not < 1F1B %v", il, fb)
+	}
+	if zb := bound("zb-h1"); zb >= fb {
+		t.Fatalf("zb-h1 bound %v not < 1F1B %v", zb, fb)
+	}
+	// The empty schedule inherits the base (1F1B here): identical bound.
+	if inherit := bound(""); inherit != fb {
+		t.Fatalf("inherited bound %v != explicit 1f1b %v", inherit, fb)
 	}
 }

@@ -1,8 +1,9 @@
 // Space: the declarative search domain of a deployment plan. A Space is a
 // set of ranges over the deployment knobs — parallelism degrees,
-// microbatch count, fabric presets, link-degradation factors — whose cross
-// product is enumerated lazily: points stream through the planner's
-// analytic filters one at a time, and the full grid is never materialized.
+// microbatch count, pipeline schedules, fabric presets, link-degradation
+// factors — whose cross product is enumerated lazily: points stream
+// through the planner's analytic filters one at a time, and the full grid
+// is never materialized.
 package planner
 
 import (
@@ -11,15 +12,21 @@ import (
 	"strings"
 
 	"lumos/internal/parallel"
+	"lumos/internal/schedule"
 	"lumos/internal/topology"
 )
 
-// Point is one deployment candidate: a parallelism × microbatch × fabric
-// coordinate of a Space.
+// Point is one deployment candidate: a parallelism × microbatch × schedule
+// × fabric coordinate of a Space.
 type Point struct {
 	// TP, PP, DP are the parallel degrees; Microbatches the per-rank
 	// microbatch count.
 	TP, PP, DP, Microbatches int
+	// Schedule is the pipeline-schedule spec name ("1f1b", "gpipe",
+	// "interleaved2", "zb-h1"); empty keeps the base deployment's schedule.
+	// Unknown names are rejected by the analytic pre-filter with the full
+	// menu of valid options.
+	Schedule string
 	// Fabric is the target interconnect; nil reuses the campaign's bound
 	// fabric.
 	Fabric topology.Fabric
@@ -40,6 +47,9 @@ func (p Point) World() int { return p.TP * p.PP * p.DP }
 func (p Point) Key() string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "%dx%dx%d/mb%d", p.TP, p.PP, p.DP, p.Microbatches)
+	if p.Schedule != "" {
+		fmt.Fprintf(&sb, "/%s", strings.ToLower(strings.TrimSpace(p.Schedule)))
+	}
 	if p.Fabric != nil {
 		h := fnv.New32a()
 		fmt.Fprintf(h, "%T|%+v", p.Fabric, p.Fabric)
@@ -56,13 +66,21 @@ func (p Point) Key() string {
 }
 
 // Config derives the point's deployment from the campaign base: the base's
-// architecture and execution knobs with the point's mapping and microbatch
-// count.
+// architecture and execution knobs with the point's mapping, microbatch
+// count and pipeline schedule. An unparseable schedule name leaves the
+// base's schedule in place — the bounder rejects such points before they
+// can reach a simulation, so the fallback is never simulated.
 func (p Point) Config(base parallel.Config) parallel.Config {
 	target := base
 	target.Map = topology.Mapping{TP: p.TP, PP: p.PP, DP: p.DP}
 	if p.Microbatches > 0 {
 		target.Microbatches = p.Microbatches
+	}
+	if p.Schedule != "" {
+		if spec, err := schedule.Parse(p.Schedule); err == nil {
+			target.Schedule = spec.Policy
+			target.VirtualStages = spec.Virtual
+		}
 	}
 	return target
 }
@@ -75,6 +93,10 @@ type Space struct {
 	TP, PP, DP []int
 	// Microbatch enumerates per-rank microbatch counts. Empty = the base's.
 	Microbatch []int
+	// Schedules enumerates pipeline-schedule spec names ("1f1b", "gpipe",
+	// "interleaved2", "zb-h1"); empty strings (and an empty list) keep the
+	// base deployment's schedule.
+	Schedules []string
 	// Fabrics enumerates target interconnects; nil entries (and an empty
 	// list) select the campaign's bound fabric.
 	Fabrics []topology.Fabric
@@ -97,6 +119,9 @@ func (s Space) withBase(base parallel.Config) Space {
 	if len(s.Microbatch) == 0 {
 		s.Microbatch = []int{base.Microbatches}
 	}
+	if len(s.Schedules) == 0 {
+		s.Schedules = []string{""}
+	}
 	if len(s.Fabrics) == 0 {
 		s.Fabrics = []topology.Fabric{nil}
 	}
@@ -109,7 +134,7 @@ func (s Space) withBase(base parallel.Config) Space {
 // Size returns the number of points the space expands to.
 func (s Space) Size(base parallel.Config) int {
 	r := s.withBase(base)
-	return len(r.TP) * len(r.PP) * len(r.DP) * len(r.Microbatch) * len(r.Fabrics) * len(r.Degrade)
+	return len(r.TP) * len(r.PP) * len(r.DP) * len(r.Microbatch) * len(r.Schedules) * len(r.Fabrics) * len(r.Degrade)
 }
 
 // ForEach streams every point of the space in deterministic order without
@@ -120,11 +145,13 @@ func (s Space) ForEach(base parallel.Config, yield func(Point) bool) {
 		for _, pp := range r.PP {
 			for _, dp := range r.DP {
 				for _, mb := range r.Microbatch {
-					for _, f := range r.Fabrics {
-						for _, deg := range r.Degrade {
-							p := Point{TP: tp, PP: pp, DP: dp, Microbatches: mb, Fabric: f, Degrade: deg}
-							if !yield(p) {
-								return
+					for _, sched := range r.Schedules {
+						for _, f := range r.Fabrics {
+							for _, deg := range r.Degrade {
+								p := Point{TP: tp, PP: pp, DP: dp, Microbatches: mb, Schedule: sched, Fabric: f, Degrade: deg}
+								if !yield(p) {
+									return
+								}
 							}
 						}
 					}

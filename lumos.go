@@ -140,6 +140,12 @@ type (
 	PredictGraphResult = manip.GraphResult
 )
 
+// Task kinds, re-exported for graph analyses.
+const (
+	TaskCPU = execgraph.TaskCPU
+	TaskGPU = execgraph.TaskGPU
+)
+
 // Kernel classes, re-exported for scenario predicates.
 const (
 	KCGEMM        = trace.KCGEMM

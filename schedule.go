@@ -1,0 +1,121 @@
+// Pipeline-schedule façade: the schedule is a first-class, sweepable axis.
+//
+//	tk := lumos.New()
+//	base, _ := lumos.DeploymentConfig(lumos.GPT3_15B(), 2, 2, 2)
+//	sweep, _ := tk.Evaluate(ctx, base,
+//		lumos.BaselineScenario(),
+//		lumos.ScheduleScenario("interleaved2"),
+//		lumos.ScheduleScenario("zb-h1"),
+//	)
+//
+// Schedules are named by spec: "1f1b" (the paper's default), "gpipe",
+// "interleaved[V]" (interleaved 1F1B with V model chunks per rank), and
+// "zb-h1" (zero-bubble with split B/W backward). The same names drive the
+// planner's Space.Schedules axis, `lumos sweep -schedule` and
+// `lumos plan -schedule`.
+package lumos
+
+import (
+	"fmt"
+	"strings"
+
+	"lumos/internal/core"
+	"lumos/internal/parallel"
+	"lumos/internal/schedule"
+)
+
+// SchedulePolicy selects the pipeline schedule of a Config.
+type SchedulePolicy = parallel.SchedulePolicy
+
+// Pipeline-schedule policies for Config.Schedule. ScheduleInterleaved also
+// needs Config.VirtualStages >= 2 (model chunks per rank).
+const (
+	Schedule1F1B        = parallel.OneFOneB
+	ScheduleGPipe       = parallel.GPipe
+	ScheduleInterleaved = parallel.Interleaved
+	ScheduleZBH1        = parallel.ZBH1
+)
+
+// ScheduleSpec is a parseable schedule choice (policy + virtual-stage
+// count).
+type ScheduleSpec = schedule.Spec
+
+// ParseSchedule resolves a schedule spec name ("1f1b", "gpipe",
+// "interleaved2", "zb-h1"); unknown names error with the full menu of
+// valid options.
+func ParseSchedule(name string) (ScheduleSpec, error) { return schedule.Parse(name) }
+
+// ScheduleNames lists the valid schedule spec names, for menus and help
+// text.
+func ScheduleNames() []string { return schedule.Names() }
+
+// WithScheduleSpec returns the deployment reconfigured to run under the
+// named pipeline schedule.
+func WithScheduleSpec(cfg Config, name string) (Config, error) {
+	spec, err := schedule.Parse(name)
+	if err != nil {
+		return Config{}, err
+	}
+	cfg.Schedule = spec.Policy
+	cfg.VirtualStages = spec.Virtual
+	return cfg, nil
+}
+
+// ScheduleScenario re-predicts the base deployment under a different
+// pipeline schedule — "would interleaving or a zero-bubble schedule shrink
+// my bubble?" — regenerating the execution graph with the schedule's slot
+// structure while sharing the campaign's kernel calibration. Unknown spec
+// names evaluate as infeasible with the full menu.
+func ScheduleScenario(spec string) Scenario { return core.ScheduleScenario(spec) }
+
+// ScheduleSweep enumerates schedule scenarios — the pipeline-schedule
+// analogue of FabricSweep; it composes with GridSweep and FabricSweep
+// points in one campaign.
+func ScheduleSweep(specs []string) []Scenario { return core.ScheduleSweep(specs) }
+
+// GridSweepSchedules is GridSweep with a pipeline-schedule axis: one
+// deployment scenario per TP×PP×DP×schedule combination. Empty schedule
+// strings keep the base deployment's schedule; passing a nil or empty
+// schedules list is exactly GridSweep.
+func GridSweepSchedules(arch Arch, tpRange, ppRange, dpRange []int, schedules []string) []Scenario {
+	if len(schedules) == 0 {
+		return GridSweep(arch, tpRange, ppRange, dpRange)
+	}
+	var scenarios []Scenario
+	for _, tp := range tpRange {
+		for _, pp := range ppRange {
+			for _, dp := range dpRange {
+				for _, spec := range schedules {
+					if spec == "" {
+						scenarios = append(scenarios, DeploymentScenario(arch, tp, pp, dp))
+						continue
+					}
+					scenarios = append(scenarios, scheduleDeployment(arch, tp, pp, dp, spec))
+				}
+			}
+		}
+	}
+	return scenarios
+}
+
+// scheduleDeployment is DeploymentScenario with an explicit schedule.
+func scheduleDeployment(arch Arch, tp, pp, dp int, spec string) Scenario {
+	s, err := schedule.Parse(spec)
+	if err != nil {
+		// Infeasible with the menu, named by its grid coordinates so every
+		// cell of a bad-spec grid stays distinguishable in ranked output.
+		return core.InfeasibleScenario(
+			fmt.Sprintf("%s %dx%dx%d/%s", arch.Name, tp, pp, dp, strings.ToLower(strings.TrimSpace(spec))),
+			"schedule", err.Error())
+	}
+	return DeployScenario(
+		fmt.Sprintf("%s %dx%dx%d/%s", arch.Name, tp, pp, dp, s.Name()),
+		func(base Config) Config {
+			target := base
+			target.Arch = arch
+			target.Map = Mapping{TP: tp, PP: pp, DP: dp}
+			target.Schedule = s.Policy
+			target.VirtualStages = s.Virtual
+			return target
+		})
+}
