@@ -3,14 +3,15 @@ GO ?= go
 # SWEEP_BENCH selects the sweep/planner hot-path benchmarks (shared
 # calibration, uncached throughput, fabric binding, schedule campaigns,
 # strategy-labeled plan search) shared by bench and bench-smoke.
-SWEEP_BENCH = BenchmarkSweep_SharedCalibration$$|BenchmarkSweepThroughput$$|BenchmarkSweep_FabricCampaign|BenchmarkSweep_ScheduleCampaign|BenchmarkPlan_BeamVsExhaustive
+SWEEP_BENCH = BenchmarkSweep_SharedCalibration$$|BenchmarkSweepThroughput$$|BenchmarkSweep_FabricCampaign|BenchmarkSweep_ScheduleCampaign|BenchmarkSweep_DiskCacheWarmStart|BenchmarkPlan_BeamVsExhaustive
 
-.PHONY: check fmt vet build test bench bench-smoke benchsmoke plan-smoke schedule-smoke
+.PHONY: check fmt vet build test race bench bench-smoke benchsmoke plan-smoke schedule-smoke serve-smoke
 
-# check is the CI gate: formatting, static analysis, full build, tests, a
-# one-iteration benchmark smoke pass, and the planner and schedule
-# acceptance smokes.
-check: fmt vet build test benchsmoke plan-smoke schedule-smoke
+# check is the CI gate: formatting, static analysis, full build, tests,
+# the race detector on the concurrent service/cache packages, a
+# one-iteration benchmark smoke pass, and the planner, schedule and
+# planning-service acceptance smokes.
+check: fmt vet build test race benchsmoke plan-smoke schedule-smoke serve-smoke
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -24,6 +25,11 @@ build:
 
 test:
 	$(GO) test ./...
+
+# race runs the packages with real request-level concurrency — the lumosd
+# service and the shared disk cache — under the race detector.
+race:
+	$(GO) test -race ./internal/server/ ./internal/scache/
 
 # benchsmoke runs every benchmark once as a regression canary.
 benchsmoke:
@@ -59,3 +65,11 @@ plan-smoke:
 # 1F1B's within tolerance.
 schedule-smoke:
 	$(GO) run ./examples/schedules
+
+# serve-smoke is the planning-service acceptance gate: examples/serveplan
+# starts lumosd over a shared disk cache, uploads the fig7 traces, plans
+# twice (two server instances, no shared memory), and exits non-zero
+# unless the second run reports disk-cache hits and a byte-identical plan
+# with the same best point.
+serve-smoke:
+	$(GO) run ./examples/serveplan

@@ -534,6 +534,80 @@ func BenchmarkSweep_FabricCampaign(b *testing.B) {
 	}
 }
 
+// BenchmarkSweep_DiskCacheWarmStart measures what the disk-backed scenario
+// cache buys a fresh process: each iteration is one full "process" — load
+// the persisted rank traces, build campaign state, evaluate the grid —
+// against either an empty cache directory (cache=cold: pays calibration,
+// simulation, and the cache writes) or one populated by a previous run
+// (cache=warm: calibration and every scenario served off disk). The
+// sub-benchmark cache=<cold|warm> labels land in BENCH_sweep.json via
+// cmd/benchjson, so the warm-start speedup is tracked release over
+// release.
+func BenchmarkSweep_DiskCacheWarmStart(b *testing.B) {
+	ctx := context.Background()
+	cfg, err := DeploymentConfig(GPT3_15B(), 2, 2, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg.Microbatches = 4
+	traceDir := b.TempDir()
+	m, err := New(WithSeed(42)).Profile(ctx, cfg, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := SaveTraces(m, traceDir); err != nil {
+		b.Fatal(err)
+	}
+	scenarios := append(GridSweep(GPT3_15B(), []int{2}, []int{1, 2}, []int{1, 2}),
+		BaselineScenario())
+
+	// run is one cold-started process sharing only the cache directory.
+	run := func(b *testing.B, cacheDir string) *BaseState {
+		traces, err := LoadTraces(traceDir)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tk := New(WithSeed(42), WithConcurrency(4), WithDiskCache(cacheDir))
+		st, err := tk.PrepareTraces(ctx, cfg, traces)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sweep, err := tk.EvaluateState(ctx, st, scenarios...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(sweep.Results) != len(scenarios) {
+			b.Fatal("scenario lost")
+		}
+		return st
+	}
+
+	b.Run("cache=cold", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			dir := b.TempDir()
+			b.StartTimer()
+			run(b, dir)
+		}
+	})
+	b.Run("cache=warm", func(b *testing.B) {
+		dir := b.TempDir()
+		run(b, dir) // populate the cache once, untimed
+		b.ResetTimer()
+		b.ReportAllocs()
+		var hits int64
+		for i := 0; i < b.N; i++ {
+			st := run(b, dir)
+			hits = st.CacheStats().DiskHits
+		}
+		if hits == 0 {
+			b.Fatal("warm run served nothing from disk")
+		}
+		b.ReportMetric(float64(hits), "disk-hits")
+	})
+}
+
 // BenchmarkSweep_ScheduleCampaign measures the schedule what-if hot path
 // per pipeline schedule: one shared profile/calibration, each sub-benchmark
 // re-predicting the base deployment under one schedule (regenerated slot

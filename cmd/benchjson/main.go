@@ -29,7 +29,11 @@ type result struct {
 	// Schedule is the pipeline-schedule label for schedule-campaign
 	// benchmarks (sub-benchmark names containing "schedule=<name>"), so
 	// entries are comparable across 1f1b/gpipe/interleaved/zb-h1 runs.
-	Schedule   string             `json:"schedule,omitempty"`
+	Schedule string `json:"schedule,omitempty"`
+	// Cache is the cache-temperature label for disk-cache benchmarks
+	// (sub-benchmark names containing "cache=<cold|warm>"), so the
+	// warm-start speedup is directly readable from BENCH_sweep.json.
+	Cache      string             `json:"cache,omitempty"`
 	NsPerOp    float64            `json:"ns_per_op,omitempty"`
 	BytesPerOp float64            `json:"bytes_per_op,omitempty"`
 	AllocsOp   float64            `json:"allocs_per_op,omitempty"`
@@ -44,6 +48,7 @@ var (
 	fabricRe   = regexp.MustCompile(`fabric=([^/]+?)(?:-\d+)?$`)
 	strategyRe = regexp.MustCompile(`strategy=([^/]+?)(?:-\d+)?$`)
 	scheduleRe = regexp.MustCompile(`schedule=([^/]+?)(?:-\d+)?$`)
+	cacheRe    = regexp.MustCompile(`cache=([^/]+?)(?:-\d+)?$`)
 )
 
 func parseLine(line string) (result, bool) {
@@ -64,6 +69,9 @@ func parseLine(line string) (result, bool) {
 	}
 	if m := scheduleRe.FindStringSubmatch(fields[0]); m != nil {
 		r.Schedule = m[1]
+	}
+	if m := cacheRe.FindStringSubmatch(fields[0]); m != nil {
+		r.Cache = m[1]
 	}
 	// The remainder alternates value / unit.
 	for i := 2; i+1 < len(fields); i += 2 {

@@ -103,25 +103,7 @@ func main() {
 }
 
 func archByName(name string) (lumos.Arch, error) {
-	switch strings.ToLower(name) {
-	case "15b":
-		return lumos.GPT3_15B(), nil
-	case "44b":
-		return lumos.GPT3_44B(), nil
-	case "117b":
-		return lumos.GPT3_117B(), nil
-	case "175b":
-		return lumos.GPT3_175B(), nil
-	case "v1":
-		return lumos.GPT3_V1(), nil
-	case "v2":
-		return lumos.GPT3_V2(), nil
-	case "v3":
-		return lumos.GPT3_V3(), nil
-	case "v4":
-		return lumos.GPT3_V4(), nil
-	}
-	return lumos.Arch{}, fmt.Errorf("unknown model %q (want 15b|44b|117b|175b|v1..v4)", name)
+	return lumos.ArchPreset(name)
 }
 
 // deployFlags registers the deployment flag set shared by tracegen/predict/sweep.
@@ -331,36 +313,11 @@ func cmdWhatIf(ctx context.Context, args []string) error {
 	return nil
 }
 
-// fabricPresets lists every valid -fabric preset name, so errors can spell
-// out the whole menu instead of failing bare.
-var fabricPresets = []string{
-	"flat (alias h100) — the paper's two-tier H100/RoCE testbed",
-	"nvl72 — rack-scale 72-GPU NVLink domains under a rail/spine fabric",
-	"spine[N] — 8-GPU NVLink servers under a leaf/spine network with an N:1 oversubscribed spine (e.g. spine4)",
-}
-
-// fabricByName resolves a fabric preset for the given world size:
-// "flat" (the two-tier H100 cluster), "nvl72" (rack-scale NVLink domains),
-// or "spineN" (leaf/spine with an N:1 oversubscribed spine, e.g. spine4).
+// fabricByName resolves a fabric preset for the given world size via the
+// shared lumos.FabricPreset resolver, so the CLI and the planning service
+// accept identical names and print identical menus.
 func fabricByName(name string, world int) (lumos.Fabric, error) {
-	n := strings.ToLower(strings.TrimSpace(name))
-	switch {
-	case n == "flat" || n == "h100":
-		return lumos.H100Cluster(world), nil
-	case n == "nvl72":
-		return lumos.NVLDomainFabric(world), nil
-	case strings.HasPrefix(n, "spine"):
-		factor := 1.0
-		if rest := strings.TrimPrefix(n, "spine"); rest != "" {
-			f, err := strconv.ParseFloat(rest, 64)
-			if err != nil || f < 1 {
-				return nil, fmt.Errorf("bad oversubscription factor in %q (want spine[N] with N >= 1, e.g. spine4)", name)
-			}
-			factor = f
-		}
-		return lumos.OversubscribedFabric(world, factor), nil
-	}
-	return nil, fmt.Errorf("unknown fabric %q; valid presets:\n  %s", name, strings.Join(fabricPresets, "\n  "))
+	return lumos.FabricPreset(name, world)
 }
 
 // parseScheduleList validates a comma-separated -schedule list, resolving
@@ -427,6 +384,7 @@ func cmdSweep(ctx context.Context, args []string) error {
 	whatIf := fs.Bool("whatif", false, "include kernel counterfactuals (2x GEMM/attention/comm, operator fusion)")
 	top := fs.Int("top", 10, "print only the K best-ranked scenarios (0 = all)")
 	workers := fs.Int("workers", 0, "sweep worker pool size (0 = auto)")
+	cacheDir := fs.String("cache-dir", "", "disk-backed scenario cache shared across runs (empty = in-memory only)")
 	fs.Parse(args)
 
 	base, err := buildConfig(*mdl, *tp, *pp, *dp, *mb)
@@ -499,9 +457,9 @@ func cmdSweep(ctx context.Context, args []string) error {
 		)
 	}
 
-	tk := lumos.New(lumos.WithConcurrency(*workers), lumos.WithSeed(*seed))
+	tk := lumos.New(toolkitOptions(*workers, *seed, *cacheDir)...)
 	t0 := time.Now()
-	var sweep *lumos.SweepResult
+	var st *lumos.BaseState
 	if *in != "" {
 		traces, err := lumos.LoadTraces(*in)
 		if err != nil {
@@ -509,17 +467,21 @@ func cmdSweep(ctx context.Context, args []string) error {
 		}
 		fmt.Printf("base %s %dx%dx%d: %d profiled ranks loaded from %s\n", base.Arch.Name,
 			base.Map.TP, base.Map.PP, base.Map.DP, traces.NumRanks(), *in)
-		sweep, err = tk.EvaluateTraces(ctx, base, traces, scenarios...)
+		st, err = tk.PrepareTraces(ctx, base, traces)
 		if err != nil {
 			return sweepErr(err)
 		}
 	} else {
 		fmt.Printf("base %s %dx%dx%d: profiling %d GPUs (seed %d)...\n", base.Arch.Name,
 			base.Map.TP, base.Map.PP, base.Map.DP, base.Map.WorldSize(), *seed)
-		sweep, err = tk.Evaluate(ctx, base, scenarios...)
+		st, err = tk.Prepare(ctx, base, *seed)
 		if err != nil {
 			return sweepErr(err)
 		}
+	}
+	sweep, err := tk.EvaluateState(ctx, st, scenarios...)
+	if err != nil {
+		return sweepErr(err)
 	}
 
 	fmt.Printf("base iteration %.1fms; %d scenarios evaluated in %v (profile-once, shared calibration)\n\n",
@@ -555,7 +517,30 @@ func cmdSweep(ctx context.Context, args []string) error {
 		fmt.Printf("\nbest: %s — %.1fms/iter (%.2fx vs base)\n",
 			best.Name, analysis.Millis(best.Iteration), best.Speedup)
 	}
+	printCacheStats(*cacheDir, st)
 	return nil
+}
+
+// toolkitOptions assembles the common sweep/plan toolkit options,
+// including the disk-backed scenario cache when -cache-dir is set.
+func toolkitOptions(workers int, seed uint64, cacheDir string) []lumos.Option {
+	opts := []lumos.Option{lumos.WithConcurrency(workers), lumos.WithSeed(seed)}
+	if cacheDir != "" {
+		opts = append(opts, lumos.WithDiskCache(cacheDir))
+	}
+	return opts
+}
+
+// printCacheStats reports two-level cache activity when a disk cache is
+// configured, so warm re-runs explain where their speed came from.
+func printCacheStats(cacheDir string, st *lumos.BaseState) {
+	if cacheDir == "" {
+		return
+	}
+	cs := st.CacheStats()
+	fmt.Printf("\ncache: %d memo hits, %d disk hits, %d disk misses (store: %d entries, %.1f MiB, %d puts, %d discards)\n",
+		cs.MemoHits, cs.DiskHits, cs.DiskMisses,
+		cs.Disk.Entries, float64(cs.Disk.Bytes)/(1<<20), cs.Disk.Puts, cs.Disk.Discards)
 }
 
 func cmdPlan(ctx context.Context, args []string) error {
@@ -577,6 +562,7 @@ func cmdPlan(ctx context.Context, args []string) error {
 	zero := fs.Int("zero", 0, "ZeRO sharding stage for the memory model: 0 (none), 1 (optimizer), 2 (+gradients)")
 	top := fs.Int("top", 10, "print only the K best dominated points (0 = all)")
 	workers := fs.Int("workers", 0, "sweep worker pool size (0 = auto)")
+	cacheDir := fs.String("cache-dir", "", "disk-backed scenario cache shared across runs (empty = in-memory only)")
 	fs.Parse(args)
 
 	base, err := buildConfig(*mdl, *tp, *pp, *dp, *mb)
@@ -653,7 +639,7 @@ func cmdPlan(ctx context.Context, args []string) error {
 	}
 	opts = append(opts, lumos.WithMemoryModel(mem))
 
-	tk := lumos.New(lumos.WithConcurrency(*workers), lumos.WithSeed(*seed))
+	tk := lumos.New(toolkitOptions(*workers, *seed, *cacheDir)...)
 	t0 := time.Now()
 	var st *lumos.BaseState
 	if *in != "" {
@@ -722,6 +708,7 @@ func cmdPlan(ctx context.Context, args []string) error {
 		fmt.Printf("\nbest: %s — %.1fms/iter on %d GPUs, %s\n",
 			best.Point.Key(), analysis.Millis(best.Iteration), best.Point.World(), best.Mem)
 	}
+	printCacheStats(*cacheDir, st)
 	return nil
 }
 

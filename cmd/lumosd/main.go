@@ -1,0 +1,69 @@
+// lumosd is the Lumos planning service: a long-lived daemon that holds a
+// registry of named, immutable profiles (calibrated once, shared
+// read-only), serves concurrent sweep/plan campaigns over HTTP/JSON, and
+// layers a disk-backed content-addressed scenario cache under the
+// in-memory memo so campaigns survive restarts warm.
+//
+//	lumosd -addr :8344 -cache-dir /var/cache/lumos
+//
+//	curl -s localhost:8344/v1/profiles -d '{"name":"fig7","deployment":{"model":"15b","tp":2,"pp":2,"dp":1,"microbatches":4},"seed":42}'
+//	curl -s localhost:8344/v1/plan -d '{"profile":"fig7","pp_range":[1,2],"dp_range":[1,2],"mb_range":[4,8]}'
+//	curl -s localhost:8344/v1/stats
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"lumos/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8344", "listen address")
+	cacheDir := flag.String("cache-dir", "", "disk-backed scenario cache directory (empty = in-memory only)")
+	cacheCap := flag.Int64("cache-cap-mib", 0, "disk cache size cap in MiB (0 = default)")
+	workers := flag.Int("workers", 0, "sweep worker pool size shared by all requests (0 = auto)")
+	seed := flag.Uint64("seed", 42, "simulation seed for seed-sourced profiles")
+	flag.Parse()
+
+	srv := server.New(server.Config{
+		CacheDir: *cacheDir,
+		CacheCap: *cacheCap << 20,
+		Workers:  *workers,
+		Seed:     *seed,
+	})
+	httpSrv := &http.Server{Addr: *addr, Handler: srv}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	cache := "in-memory scenario cache only"
+	if *cacheDir != "" {
+		cache = fmt.Sprintf("disk cache at %s", *cacheDir)
+	}
+	log.Printf("lumosd listening on %s (%s)", *addr, cache)
+
+	select {
+	case <-ctx.Done():
+		log.Printf("lumosd shutting down")
+		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutCtx); err != nil {
+			log.Fatalf("shutdown: %v", err)
+		}
+	case err := <-errc:
+		if !errors.Is(err, http.ErrServerClosed) {
+			log.Fatalf("lumosd: %v", err)
+		}
+	}
+}

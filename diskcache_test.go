@@ -1,0 +1,268 @@
+package lumos
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// saveSweepTraces profiles the sweep base once and persists it as a
+// rank_*.json trace dir, the same artifact the CLI consumes — so these
+// tests exercise the exact path two `lumos sweep -traces DIR` processes
+// share.
+func saveSweepTraces(t *testing.T, cfg Config) string {
+	t.Helper()
+	dir := t.TempDir()
+	m, err := New(WithSeed(42)).Profile(context.Background(), cfg, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveTraces(m, dir); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func loadTraces(t *testing.T, dir string) *Multi {
+	t.Helper()
+	m, err := LoadTraces(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestDiskCacheColdWarmBitIdentity is the tentpole acceptance test for the
+// disk layer: a second process (fresh toolkit) pointed at the same cache
+// dir serves the campaign from disk — zero kernel-library rebuilds, disk
+// hits > 0 — and its results are bit-identical to both the cold run and a
+// fully uncached run.
+func TestDiskCacheColdWarmBitIdentity(t *testing.T) {
+	ctx := context.Background()
+	cfg := sweepBase(t)
+	traceDir := saveSweepTraces(t, cfg)
+	cacheDir := t.TempDir()
+	scenarios := campaignScenarios()
+
+	// Cold process: populates the cache.
+	cold := New(WithSeed(42), WithDiskCache(cacheDir))
+	stCold, err := cold.PrepareTraces(ctx, cfg, loadTraces(t, traceDir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := cold.EvaluateState(ctx, stCold, scenarios...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, libs := cold.Counters(); libs != 1 {
+		t.Fatalf("cold run calibrated %d times, want 1", libs)
+	}
+	coldStats := stCold.CacheStats()
+	if coldStats.DiskHits != 0 {
+		t.Fatalf("cold run reported %d disk hits, want 0", coldStats.DiskHits)
+	}
+	if coldStats.Disk.Puts == 0 {
+		t.Fatal("cold run persisted nothing")
+	}
+
+	// Warm process: a fresh toolkit (no shared memory) at the same dir.
+	warm := New(WithSeed(42), WithDiskCache(cacheDir))
+	stWarm, err := warm.PrepareTraces(ctx, cfg, loadTraces(t, traceDir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := warm.EvaluateState(ctx, stWarm, scenarios...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, libs := warm.Counters(); libs != 0 {
+		t.Fatalf("warm run rebuilt the kernel library %d times, want 0 (cached calibration)", libs)
+	}
+	warmStats := stWarm.CacheStats()
+	if warmStats.DiskHits == 0 {
+		t.Fatal("warm run served no scenarios from disk")
+	}
+	if !reflect.DeepEqual(first.Results, second.Results) {
+		t.Fatal("disk-cache-served sweep diverged from the cold run")
+	}
+	if !reflect.DeepEqual(first.Base, second.Base) {
+		t.Fatal("warm base point diverged from the cold run")
+	}
+
+	// Ground truth: a toolkit with no cache at all agrees exactly.
+	plain := New(WithSeed(42))
+	stPlain, err := plain.PrepareTraces(ctx, cfg, loadTraces(t, traceDir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	uncached, err := plain.EvaluateState(ctx, stPlain, scenarios...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(uncached.Results, second.Results) {
+		t.Fatal("disk-cache-served sweep diverged from an uncached run")
+	}
+}
+
+// TestPlanDiskCacheWarmStart reproduces the ISSUE acceptance criterion: a
+// second plan process at the same -cache-dir reports memo/disk hits > 0 and
+// returns a bit-identical frontier, without re-fitting the kernel model.
+func TestPlanDiskCacheWarmStart(t *testing.T) {
+	ctx := context.Background()
+	cfg := sweepBase(t)
+	traceDir := saveSweepTraces(t, cfg)
+	cacheDir := t.TempDir()
+	space := Space{
+		PP:         []int{1, 2},
+		DP:         []int{1, 2},
+		Microbatch: []int{4, 8},
+	}
+
+	cold := New(WithSeed(42), WithDiskCache(cacheDir))
+	stCold, err := cold.PrepareTraces(ctx, cfg, loadTraces(t, traceDir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := cold.PlanState(ctx, stCold, space, WithPlanStrategy(ExhaustiveStrategy()))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	warm := New(WithSeed(42), WithDiskCache(cacheDir))
+	stWarm, err := warm.PrepareTraces(ctx, cfg, loadTraces(t, traceDir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := warm.PlanState(ctx, stWarm, space, WithPlanStrategy(ExhaustiveStrategy()))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, libs := warm.Counters(); libs != 0 {
+		t.Fatalf("warm plan rebuilt the kernel library %d times, want 0", libs)
+	}
+	stats := stWarm.CacheStats()
+	if stats.MemoHits+stats.DiskHits == 0 {
+		t.Fatal("warm plan reported no cache hits")
+	}
+	if stats.DiskHits == 0 {
+		t.Fatal("warm plan served nothing from disk")
+	}
+	if !reflect.DeepEqual(first.Frontier, second.Frontier) {
+		t.Fatal("warm plan frontier diverged from the cold run")
+	}
+	if !reflect.DeepEqual(first.Dominated, second.Dominated) {
+		t.Fatal("warm plan dominated set diverged from the cold run")
+	}
+}
+
+// TestDiskCacheCorruptionRecovery truncates and garbles every cache entry
+// after a cold run; the warm run must detect, discard and recompute —
+// yielding identical results — rather than crash or serve garbage.
+func TestDiskCacheCorruptionRecovery(t *testing.T) {
+	ctx := context.Background()
+	cfg := sweepBase(t)
+	traceDir := saveSweepTraces(t, cfg)
+	cacheDir := t.TempDir()
+	scenarios := campaignScenarios()
+
+	cold := New(WithSeed(42), WithDiskCache(cacheDir))
+	stCold, err := cold.PrepareTraces(ctx, cfg, loadTraces(t, traceDir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := cold.EvaluateState(ctx, stCold, scenarios...)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Corrupt every entry: truncate half of them, garble the rest.
+	var entries []string
+	err = filepath.Walk(filepath.Join(cacheDir, "objects"), func(p string, info os.FileInfo, err error) error {
+		if err != nil || info.IsDir() {
+			return err
+		}
+		entries = append(entries, p)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("cold run wrote no cache entries")
+	}
+	for i, p := range entries {
+		if i%2 == 0 {
+			data, err := os.ReadFile(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(p, data[:len(data)/3], 0o644); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			if err := os.WriteFile(p, []byte("{corrupt"), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	warm := New(WithSeed(42), WithDiskCache(cacheDir))
+	stWarm, err := warm.PrepareTraces(ctx, cfg, loadTraces(t, traceDir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := warm.EvaluateState(ctx, stWarm, scenarios...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(first.Results, second.Results) {
+		t.Fatal("results diverged after cache corruption")
+	}
+	stats := stWarm.CacheStats()
+	if stats.Disk.Discards == 0 {
+		t.Fatal("corrupted entries were not detected and discarded")
+	}
+	if stats.DiskHits != 0 {
+		t.Fatalf("%d corrupt entries served as hits", stats.DiskHits)
+	}
+	if _, libs := warm.Counters(); libs != 1 {
+		t.Fatalf("warm run after corruption calibrated %d times, want 1 (recomputed)", libs)
+	}
+}
+
+// TestDiskCacheKeyedByBindings ensures entries never leak across bindings:
+// the same traces under a different fabric must miss everything.
+func TestDiskCacheKeyedByBindings(t *testing.T) {
+	ctx := context.Background()
+	cfg := sweepBase(t)
+	traceDir := saveSweepTraces(t, cfg)
+	cacheDir := t.TempDir()
+	scenarios := campaignScenarios()
+
+	cold := New(WithSeed(42), WithDiskCache(cacheDir))
+	stCold, err := cold.PrepareTraces(ctx, cfg, loadTraces(t, traceDir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cold.EvaluateState(ctx, stCold, scenarios...); err != nil {
+		t.Fatal(err)
+	}
+
+	other := New(WithSeed(42), WithDiskCache(cacheDir), WithFabric(OversubscribedFabric(8, 4)))
+	stOther, err := other.PrepareTraces(ctx, cfg, loadTraces(t, traceDir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := other.EvaluateState(ctx, stOther, scenarios...); err != nil {
+		t.Fatal(err)
+	}
+	if hits := stOther.CacheStats().DiskHits; hits != 0 {
+		t.Fatalf("a different fabric binding served %d entries from the cache", hits)
+	}
+	if _, libs := other.Counters(); libs != 1 {
+		t.Fatalf("a different fabric binding reused the calibration (%d builds, want 1)", libs)
+	}
+}

@@ -1,0 +1,198 @@
+// Serveplan: the lumosd planning service end-to-end — and the `make
+// serve-smoke` CI gate. It stands up a lumosd server over a shared disk
+// cache, uploads the Figure 7 base profile as rank traces, and runs the
+// same plan campaign twice the way two operators (or one operator across
+// a restart) would: once against the fresh server, then again against a
+// second server instance pointed at the same cache directory.
+//
+// The smoke exits non-zero unless the second run (a) reports disk-cache
+// hits — the calibration and every simulated scenario came off disk, not
+// recomputed — and (b) returns a byte-identical plan with the same best
+// point. That is the service-level statement of the paper's determinism
+// claim: what-if analysis is a pure function of the profile and the
+// campaign, so a warm cache is indistinguishable from a cold one except
+// in time.
+//
+//	go run ./examples/serveplan
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+
+	"lumos"
+	"lumos/internal/server"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	work, err := os.MkdirTemp("", "lumos-serveplan")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(work)
+	traceDir := filepath.Join(work, "traces")
+	cacheDir := filepath.Join(work, "cache")
+
+	// Profile the Figure 7 base once and persist it as the rank_*.json
+	// artifact an operator would upload.
+	cfg, err := lumos.DeploymentConfig(lumos.GPT3_15B(), 2, 2, 1)
+	if err != nil {
+		return err
+	}
+	cfg.Microbatches = 4
+	traces, err := lumos.New(lumos.WithSeed(42)).Profile(context.Background(), cfg, 42)
+	if err != nil {
+		return err
+	}
+	if err := lumos.SaveTraces(traces, traceDir); err != nil {
+		return err
+	}
+	fmt.Printf("profiled fig7 base (%d ranks) to %s\n", traces.NumRanks(), traceDir)
+
+	profileReq := map[string]any{
+		"name": "fig7",
+		"deployment": map[string]any{
+			"model": "15b", "tp": 2, "pp": 2, "dp": 1, "microbatches": 4,
+		},
+		"trace_dir": traceDir,
+	}
+	planReq := map[string]any{
+		"profile":  "fig7",
+		"pp_range": []int{1, 2},
+		"dp_range": []int{1, 2},
+		"mb_range": []int{4, 8},
+		"strategy": "exhaustive",
+	}
+
+	type runResult struct {
+		plan     []byte
+		best     string
+		diskHits int64
+	}
+	// runOnce is one "process": a fresh server (no shared memory with any
+	// previous one) over the shared cache directory.
+	runOnce := func(label string) (runResult, error) {
+		srv := server.New(server.Config{CacheDir: cacheDir, Seed: 42})
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return runResult{}, err
+		}
+		httpSrv := &http.Server{Handler: srv}
+		go httpSrv.Serve(ln)
+		defer httpSrv.Close()
+		base := "http://" + ln.Addr().String()
+
+		var info struct {
+			Fingerprint string `json:"fingerprint"`
+			Created     bool   `json:"created"`
+		}
+		if err := postJSON(base+"/v1/profiles", profileReq, &info); err != nil {
+			return runResult{}, fmt.Errorf("%s: uploading profile: %w", label, err)
+		}
+		planBody, err := postRaw(base+"/v1/plan", planReq)
+		if err != nil {
+			return runResult{}, fmt.Errorf("%s: plan: %w", label, err)
+		}
+		var plan struct {
+			Best *struct {
+				Point       string  `json:"point"`
+				IterationMs float64 `json:"iteration_ms"`
+			} `json:"best"`
+		}
+		if err := json.Unmarshal(planBody, &plan); err != nil {
+			return runResult{}, err
+		}
+		if plan.Best == nil {
+			return runResult{}, fmt.Errorf("%s: plan returned no best point", label)
+		}
+		var stats struct {
+			Profiles []struct {
+				DiskHits int64 `json:"disk_hits"`
+			} `json:"profiles"`
+		}
+		if err := getJSON(base+"/v1/stats", &stats); err != nil {
+			return runResult{}, err
+		}
+		var hits int64
+		for _, p := range stats.Profiles {
+			hits += p.DiskHits
+		}
+		fmt.Printf("%s: best %s at %.1fms/iter (profile created=%v, disk hits %d)\n",
+			label, plan.Best.Point, plan.Best.IterationMs, info.Created, hits)
+		return runResult{plan: planBody, best: plan.Best.Point, diskHits: hits}, nil
+	}
+
+	cold, err := runOnce("cold server")
+	if err != nil {
+		return err
+	}
+	warm, err := runOnce("warm server")
+	if err != nil {
+		return err
+	}
+
+	if warm.diskHits == 0 {
+		return fmt.Errorf("serve-smoke FAILED: warm server reported no disk-cache hits")
+	}
+	if warm.best != cold.best {
+		return fmt.Errorf("serve-smoke FAILED: best point diverged (%s cold vs %s warm)", cold.best, warm.best)
+	}
+	if !bytes.Equal(cold.plan, warm.plan) {
+		return fmt.Errorf("serve-smoke FAILED: warm plan body diverged from cold")
+	}
+	fmt.Printf("serve-smoke OK: warm server served %d scenarios from disk with a byte-identical plan\n", warm.diskHits)
+	return nil
+}
+
+func postRaw(url string, body any) ([]byte, error) {
+	buf, err := json.Marshal(body)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var out bytes.Buffer
+	if _, err := out.ReadFrom(resp.Body); err != nil {
+		return nil, err
+	}
+	if resp.StatusCode >= 300 {
+		return nil, fmt.Errorf("%s: %s: %s", url, resp.Status, out.String())
+	}
+	return out.Bytes(), nil
+}
+
+func postJSON(url string, body, v any) error {
+	raw, err := postRaw(url, body)
+	if err != nil {
+		return err
+	}
+	return json.Unmarshal(raw, v)
+}
+
+func getJSON(url string, v any) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		return fmt.Errorf("%s: %s", url, resp.Status)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}

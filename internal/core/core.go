@@ -34,6 +34,7 @@ import (
 	"lumos/internal/manip"
 	"lumos/internal/parallel"
 	"lumos/internal/replay"
+	"lumos/internal/scache"
 	"lumos/internal/topology"
 	"lumos/internal/trace"
 )
@@ -61,7 +62,14 @@ type Options struct {
 	Seed uint64
 	// NoScenarioCache disables sweep-level memoization of fingerprintable
 	// scenario results (see WithScenarioCache). The zero value caches.
+	// Disabling memoization also disables the disk cache layer.
 	NoScenarioCache bool
+	// CacheDir roots the disk-backed scenario and calibration cache (see
+	// WithDiskCache). Empty disables disk caching.
+	CacheDir string
+	// CacheCap is the disk cache eviction size cap in bytes; <= 0 selects
+	// the scache default.
+	CacheCap int64
 }
 
 // Option configures a Toolkit.
@@ -132,6 +140,12 @@ type Toolkit struct {
 	// simPool recycles replay simulators (with their preallocated per-task
 	// state) across sweep workers and what-if calls.
 	simPool sync.Pool
+
+	// cacheOnce lazily opens the disk cache configured by CacheDir; every
+	// campaign and prediction on this toolkit shares one handle.
+	cacheOnce sync.Once
+	cache     *scache.Cache
+	cacheErr  error
 }
 
 // New returns a toolkit configured by the given options.
@@ -348,18 +362,22 @@ func (tk *Toolkit) PredictGraph(ctx context.Context, req manip.Request, profiled
 
 // calibrate builds one-shot calibration state (kernel library and fitted
 // model) for a prediction request, honoring the toolkit's fabric and pricer
-// bindings — the same artifacts a campaign's BaseState holds.
+// bindings — the same artifacts a campaign's BaseState holds. With a disk
+// cache configured, a previously calibrated (trace set, fabric, pricer)
+// triple is reloaded instead of re-extracted and refit.
 func (tk *Toolkit) calibrate(req manip.Request, profiled *trace.Multi) (*manip.Library, *kernelmodel.Fitted, topology.Fabric, error) {
 	world := req.Target.Map.WorldSize()
 	if base := req.Base.Map.WorldSize(); base > world {
 		world = base
 	}
-	tk.libraryBuilds.Add(1)
 	f := tk.fabricFor(world)
-	lib := manip.BuildLibrary(profiled, f)
-	fitted, err := kernelmodel.Fit([]*trace.Multi{profiled}, f, kernelmodel.NewOracleFabric(f, tk.pricerFor(f)))
+	var traceFP string
+	if tk.opts.CacheDir != "" {
+		traceFP = trace.Fingerprint(profiled)
+	}
+	lib, fitted, err := tk.calibrationFor(profiled, f, traceFP)
 	if err != nil {
-		return nil, nil, nil, fmt.Errorf("core: fitting kernel model: %w", err)
+		return nil, nil, nil, err
 	}
 	return lib, fitted, f, nil
 }

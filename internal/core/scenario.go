@@ -26,6 +26,7 @@ import (
 	"lumos/internal/model"
 	"lumos/internal/parallel"
 	"lumos/internal/replay"
+	"lumos/internal/scache"
 	"lumos/internal/schedule"
 	"lumos/internal/topology"
 	"lumos/internal/trace"
@@ -67,12 +68,55 @@ type BaseState struct {
 	memo     sync.Map // string → ScenarioResult
 	memoHits atomic.Int64
 	memoSize atomic.Int64
+
+	// fingerprint digests the profile and every binding scenario results
+	// depend on; it is the profile half of scenario disk-cache keys. Empty
+	// when no disk cache is configured.
+	fingerprint string
+	// disk is the toolkit's content-addressed cache, layered under the
+	// memo: the memo serves within-process repeats, the disk serves
+	// cross-process ones. Nil when disabled.
+	disk     *scache.Cache
+	diskHits atomic.Int64
+	diskMiss atomic.Int64
 }
 
 // MemoStats reports sweep-level memoization activity against this campaign
 // state: cache hits served and entries stored.
 func (b *BaseState) MemoStats() (hits, entries int64) {
 	return b.memoHits.Load(), b.memoSize.Load()
+}
+
+// Fingerprint identifies the profile and bindings this campaign state was
+// built from; empty when no disk cache is configured.
+func (b *BaseState) Fingerprint() string { return b.fingerprint }
+
+// CacheStats is the two-level cache activity of one campaign state plus the
+// process-wide disk store it shares.
+type CacheStats struct {
+	// MemoHits and MemoEntries are the in-memory layer (see MemoStats).
+	MemoHits, MemoEntries int64
+	// DiskHits and DiskMisses count this campaign state's scenario lookups
+	// served by / absent from the disk layer.
+	DiskHits, DiskMisses int64
+	// Disk reports the shared on-disk store (all campaigns and calibration
+	// entries in this process); zero when no disk cache is configured.
+	Disk scache.Stats
+}
+
+// CacheStats reports the full two-level cache counters for this campaign
+// state.
+func (b *BaseState) CacheStats() CacheStats {
+	s := CacheStats{
+		MemoHits:    b.memoHits.Load(),
+		MemoEntries: b.memoSize.Load(),
+		DiskHits:    b.diskHits.Load(),
+		DiskMisses:  b.diskMiss.Load(),
+	}
+	if b.disk != nil {
+		s.Disk = b.disk.Stats()
+	}
+	return s
 }
 
 // acquireSim returns a pooled simulator (or a fresh one for a hand-built
@@ -629,7 +673,11 @@ func (tk *Toolkit) Prepare(ctx context.Context, cfg parallel.Config, seed uint64
 }
 
 // PrepareTraces builds the shared campaign state from an existing profile
-// (e.g. loaded Kineto JSON) of the base deployment.
+// (e.g. loaded Kineto JSON) of the base deployment. With a disk cache
+// configured (WithDiskCache), the kernel calibration is reloaded from disk
+// when an earlier process already calibrated the same (trace set, fabric,
+// pricer) triple, and the returned state serves fingerprintable scenarios
+// through the disk layer as well as the in-memory memo.
 func (tk *Toolkit) PrepareTraces(ctx context.Context, cfg parallel.Config, m *trace.Multi) (*BaseState, error) {
 	g, err := tk.BuildGraph(ctx, m)
 	if err != nil {
@@ -643,22 +691,33 @@ func (tk *Toolkit) PrepareTraces(ctx context.Context, cfg parallel.Config, m *tr
 		return nil, err
 	}
 	f := tk.fabricFor(cfg.Map.WorldSize())
-	tk.libraryBuilds.Add(1)
-	lib := manip.BuildLibrary(m, f)
-	fitted, err := kernelmodel.Fit([]*trace.Multi{m}, f, kernelmodel.NewOracleFabric(f, tk.pricerFor(f)))
+
+	var traceFP, profileFP string
+	var disk *scache.Cache
+	if tk.opts.CacheDir != "" {
+		disk, err = tk.diskCache()
+		if err != nil {
+			return nil, fmt.Errorf("core: opening disk cache: %w", err)
+		}
+		traceFP = trace.Fingerprint(m)
+		profileFP = tk.profileFingerprint(cfg, traceFP, f)
+	}
+	lib, fitted, err := tk.calibrationFor(m, f, traceFP)
 	if err != nil {
-		return nil, fmt.Errorf("core: fitting kernel model: %w", err)
+		return nil, err
 	}
 	return &BaseState{
-		Config:    cfg,
-		Traces:    m,
-		Graph:     g,
-		Iteration: rep.Iteration,
-		Breakdown: rep.Breakdown,
-		Library:   lib,
-		Fitted:    fitted,
-		Fabric:    f,
-		tk:        tk,
+		Config:      cfg,
+		Traces:      m,
+		Graph:       g,
+		Iteration:   rep.Iteration,
+		Breakdown:   rep.Breakdown,
+		Library:     lib,
+		Fitted:      fitted,
+		Fabric:      f,
+		tk:          tk,
+		fingerprint: profileFP,
+		disk:        disk,
 	}, nil
 }
 
@@ -752,15 +811,18 @@ dispatch:
 
 // runScenario evaluates one scenario, converting panics-free hard errors
 // into infeasible results so a single bad point cannot sink the campaign.
-// Fingerprintable scenarios are memoized on the campaign state: duplicate
-// grid points — within one Evaluate call or across calls sharing the same
-// BaseState — return the cached result without re-predicting.
+// Fingerprintable scenarios are served through two cache levels on the
+// campaign state: the in-memory memo (duplicate grid points within one
+// process) and, when configured, the content-addressed disk cache
+// (duplicate points across processes, users and restarts). A disk hit
+// seeds the memo so subsequent repeats stay in memory; fresh feasible
+// results are written through to both levels.
 func runScenario(ctx context.Context, sc Scenario, base *BaseState, useCache bool) ScenarioResult {
 	if err := ctx.Err(); err != nil {
 		return ScenarioResult{Name: sc.Name(), Err: err.Error()}
 	}
 
-	var key string
+	var key, diskKey string
 	if useCache {
 		if fp, ok := sc.(Fingerprinter); ok {
 			if k, ok := fp.Fingerprint(base); ok {
@@ -773,6 +835,18 @@ func runScenario(ctx context.Context, sc Scenario, base *BaseState, useCache boo
 					// same target); keep this scenario's.
 					res.Name = sc.Name()
 					return res
+				}
+				if base.disk != nil && base.fingerprint != "" {
+					diskKey = scenarioDiskKey(base.fingerprint, key)
+					if res, ok := diskLoad(base.disk, diskKey); ok {
+						base.diskHits.Add(1)
+						if _, loaded := base.memo.LoadOrStore(key, res); !loaded {
+							base.memoSize.Add(1)
+						}
+						res.Name = sc.Name()
+						return res
+					}
+					base.diskMiss.Add(1)
 				}
 			}
 		}
@@ -788,6 +862,9 @@ func runScenario(ctx context.Context, sc Scenario, base *BaseState, useCache boo
 	if key != "" && res.Feasible() {
 		if _, loaded := base.memo.LoadOrStore(key, res); !loaded {
 			base.memoSize.Add(1)
+		}
+		if diskKey != "" {
+			diskStore(base.disk, diskKey, res)
 		}
 	}
 	return res

@@ -1,0 +1,97 @@
+// Library persistence: a calibrated kernel library is a pure function of
+// the profiled traces and the fabric, so it can be snapshotted once and
+// reloaded by later processes instead of being re-extracted per invocation.
+// The snapshot is a deterministic, JSON-stable value: entries are sorted,
+// and durations are integers, so encode(snapshot(lib)) is byte-identical
+// across runs — a requirement for content-addressed caching.
+
+package manip
+
+import (
+	"sort"
+
+	"lumos/internal/topology"
+	"lumos/internal/trace"
+)
+
+// ComputeEntry is one measured compute-kernel duration in a snapshot.
+type ComputeEntry struct {
+	Class trace.KernelClass `json:"class"`
+	FLOPs int64             `json:"flops"`
+	Bytes int64             `json:"bytes"`
+	Dur   trace.Dur         `json:"dur"`
+}
+
+// CommEntry is one measured collective duration in a snapshot.
+type CommEntry struct {
+	Kind  trace.CommKind `json:"kind"`
+	Bytes int64          `json:"bytes"`
+	N     int            `json:"n"`
+	Tier  int            `json:"tier"`
+	Dur   trace.Dur      `json:"dur"`
+}
+
+// LibrarySnapshot is the serializable form of a Library, minus the fabric
+// (the loader re-binds it, and the cache key already pins it).
+type LibrarySnapshot struct {
+	Compute []ComputeEntry `json:"compute"`
+	Comm    []CommEntry    `json:"comm"`
+}
+
+// Snapshot extracts the library's measured durations in deterministic
+// (sorted) order.
+func (l *Library) Snapshot() LibrarySnapshot {
+	s := LibrarySnapshot{
+		Compute: make([]ComputeEntry, 0, len(l.compute)),
+		Comm:    make([]CommEntry, 0, len(l.comm)),
+	}
+	for k, d := range l.compute {
+		s.Compute = append(s.Compute, ComputeEntry{Class: k.class, FLOPs: k.flops, Bytes: k.bytes, Dur: d})
+	}
+	sort.Slice(s.Compute, func(i, j int) bool {
+		a, b := s.Compute[i], s.Compute[j]
+		if a.Class != b.Class {
+			return a.Class < b.Class
+		}
+		if a.FLOPs != b.FLOPs {
+			return a.FLOPs < b.FLOPs
+		}
+		return a.Bytes < b.Bytes
+	})
+	for k, d := range l.comm {
+		s.Comm = append(s.Comm, CommEntry{Kind: k.kind, Bytes: k.bytes, N: k.n, Tier: k.tier, Dur: d})
+	}
+	sort.Slice(s.Comm, func(i, j int) bool {
+		a, b := s.Comm[i], s.Comm[j]
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		if a.Bytes != b.Bytes {
+			return a.Bytes < b.Bytes
+		}
+		if a.N != b.N {
+			return a.N < b.N
+		}
+		return a.Tier < b.Tier
+	})
+	return s
+}
+
+// LibraryFromSnapshot reconstructs a Library over the given fabric. The
+// fabric must structurally match the one the snapshot was calibrated
+// against (tier classification feeds the comm keys); content-addressed
+// cache keys enforce that by construction.
+func LibraryFromSnapshot(s LibrarySnapshot, f topology.Fabric) *Library {
+	lib := &Library{
+		fabric:  f,
+		compute: make(map[computeKey]trace.Dur, len(s.Compute)),
+		comm:    make(map[commKey]trace.Dur, len(s.Comm)),
+	}
+	for _, e := range s.Compute {
+		lib.compute[computeKey{e.Class, e.FLOPs, e.Bytes}] = e.Dur
+	}
+	for _, e := range s.Comm {
+		lib.comm[commKey{e.Kind, e.Bytes, e.N, e.Tier}] = e.Dur
+	}
+	return lib
+}

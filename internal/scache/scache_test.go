@@ -1,0 +1,327 @@
+package scache
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func TestRoundTrip(t *testing.T) {
+	c, err := Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte(`{"iteration":1234,"name":"baseline"}`)
+	if err := c.Put("profile|scenario|v1", payload); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c.Get("profile|scenario|v1")
+	if !ok {
+		t.Fatal("expected hit after Put")
+	}
+	if string(got) != string(payload) {
+		t.Fatalf("payload mismatch: got %s want %s", got, payload)
+	}
+	if _, ok := c.Get("profile|other|v1"); ok {
+		t.Fatal("unexpected hit for absent key")
+	}
+	s := c.Stats()
+	if s.Hits != 1 || s.Misses != 1 || s.Puts != 1 || s.Entries != 1 {
+		t.Fatalf("unexpected stats: %+v", s)
+	}
+	if s.Bytes <= 0 {
+		t.Fatalf("expected positive byte occupancy, got %d", s.Bytes)
+	}
+}
+
+func TestReopenPersists(t *testing.T) {
+	dir := t.TempDir()
+	c, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put("k", []byte(`"v"`)); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c2.Get("k")
+	if !ok || string(got) != `"v"` {
+		t.Fatalf("reopened cache: ok=%v payload=%s", ok, got)
+	}
+	if s := c2.Stats(); s.Entries != 1 {
+		t.Fatalf("reopened cache should index existing entry: %+v", s)
+	}
+}
+
+// entryFile locates the on-disk file backing a key.
+func entryFile(t *testing.T, c *Cache, key string) string {
+	t.Helper()
+	a := addr(key)
+	p := c.path(a)
+	if _, err := os.Stat(p); err != nil {
+		t.Fatalf("entry file for %q: %v", key, err)
+	}
+	return p
+}
+
+func TestCorruptEntryDiscarded(t *testing.T) {
+	cases := []struct {
+		name    string
+		corrupt func(p string) error
+	}{
+		{"truncated", func(p string) error {
+			data, err := os.ReadFile(p)
+			if err != nil {
+				return err
+			}
+			return os.WriteFile(p, data[:len(data)/2], 0o644)
+		}},
+		{"garbage", func(p string) error {
+			return os.WriteFile(p, []byte("not json at all"), 0o644)
+		}},
+		{"bit-flip", func(p string) error {
+			data, err := os.ReadFile(p)
+			if err != nil {
+				return err
+			}
+			// Flip a byte inside the payload region without breaking the
+			// JSON framing: payloads here are digit runs, so swap a digit.
+			for i := range data {
+				if data[i] == '7' {
+					data[i] = '9'
+					break
+				}
+			}
+			return os.WriteFile(p, data, 0o644)
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c, err := Open(t.TempDir(), 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := c.Put("key", []byte(`777`)); err != nil {
+				t.Fatal(err)
+			}
+			p := entryFile(t, c, "key")
+			if err := tc.corrupt(p); err != nil {
+				t.Fatal(err)
+			}
+			if _, ok := c.Get("key"); ok {
+				t.Fatal("corrupt entry served as a hit")
+			}
+			if _, err := os.Stat(p); !os.IsNotExist(err) {
+				t.Fatalf("corrupt entry not removed: %v", err)
+			}
+			s := c.Stats()
+			if s.Discards != 1 || s.Misses != 1 {
+				t.Fatalf("expected 1 discard + 1 miss, got %+v", s)
+			}
+			// The cache keeps working after a discard.
+			if err := c.Put("key", []byte(`777`)); err != nil {
+				t.Fatal(err)
+			}
+			if _, ok := c.Get("key"); !ok {
+				t.Fatal("re-put after discard should hit")
+			}
+		})
+	}
+}
+
+func TestVersionMismatchRejected(t *testing.T) {
+	c, err := Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put("key", []byte(`1`)); err != nil {
+		t.Fatal(err)
+	}
+	p := entryFile(t, c, "key")
+
+	// Rewrite the entry as a future envelope version: valid JSON, valid
+	// checksum, wrong version. It must be rejected, not crashed on.
+	data, err := os.ReadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var env map[string]any
+	if err := json.Unmarshal(data, &env); err != nil {
+		t.Fatal(err)
+	}
+	env["version"] = FormatVersion + 1
+	out, err := json.Marshal(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(p, out, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get("key"); ok {
+		t.Fatal("future-version entry served as a hit")
+	}
+	if s := c.Stats(); s.Discards != 1 {
+		t.Fatalf("expected version-mismatch discard, got %+v", s)
+	}
+
+	// Foreign format tag likewise.
+	if err := c.Put("key2", []byte(`2`)); err != nil {
+		t.Fatal(err)
+	}
+	p2 := entryFile(t, c, "key2")
+	data, err = os.ReadFile(p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &env); err != nil {
+		t.Fatal(err)
+	}
+	env["format"] = "someone-elses-cache"
+	out, err = json.Marshal(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(p2, out, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get("key2"); ok {
+		t.Fatal("foreign-format entry served as a hit")
+	}
+}
+
+func TestEvictionUnderCap(t *testing.T) {
+	// Each entry is ~300 bytes of envelope; cap at ~3 entries.
+	c, err := Open(t.TempDir(), 900)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := c.Put(fmt.Sprintf("key-%d", i), []byte(`"0123456789abcdef"`)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := c.Stats()
+	if s.Evictions == 0 {
+		t.Fatalf("expected evictions under a %d-byte cap, got %+v", 900, s)
+	}
+	if s.Bytes > 900 {
+		t.Fatalf("occupancy %d exceeds cap: %+v", s.Bytes, s)
+	}
+	// The most recent entry survives.
+	if _, ok := c.Get("key-9"); !ok {
+		t.Fatal("most recent entry was evicted")
+	}
+	// The oldest is gone.
+	if _, ok := c.Get("key-0"); ok {
+		t.Fatal("oldest entry survived eviction")
+	}
+}
+
+func TestEvictionIsLRU(t *testing.T) {
+	c, err := Open(t.TempDir(), 700)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := c.Put(fmt.Sprintf("key-%d", i), []byte(`"payload"`)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Touch key-0 so key-1 becomes the LRU victim.
+	if _, ok := c.Get("key-0"); !ok {
+		t.Fatal("key-0 should be present")
+	}
+	for i := 3; i < 6; i++ {
+		if err := c.Put(fmt.Sprintf("key-%d", i), []byte(`"payload"`)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, ok := c.Get("key-1"); ok {
+		t.Fatal("LRU entry key-1 should have been evicted before touched key-0")
+	}
+}
+
+func TestOversizedEntrySurvivesOwnPut(t *testing.T) {
+	c, err := Open(t.TempDir(), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := []byte(`"` + string(make([]byte, 0, 0)) + fmt.Sprintf("%0512d", 1) + `"`)
+	if err := c.Put("big", big); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get("big"); !ok {
+		t.Fatal("oversized entry should survive its own Put")
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	c, err := Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				key := fmt.Sprintf("key-%d", i%10)
+				payload := []byte(fmt.Sprintf(`{"v":%d}`, i%10))
+				if err := c.Put(key, payload); err != nil {
+					t.Error(err)
+					return
+				}
+				if got, ok := c.Get(key); ok {
+					if string(got) != string(payload) {
+						t.Errorf("payload mismatch under concurrency: %s vs %s", got, payload)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := c.Stats()
+	if s.Entries != 10 {
+		t.Fatalf("expected 10 distinct entries, got %+v", s)
+	}
+	if s.Discards != 0 {
+		t.Fatalf("no entry should be discarded under clean concurrent use: %+v", s)
+	}
+}
+
+func TestStrayTempFilesIgnored(t *testing.T) {
+	dir := t.TempDir()
+	c, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put("k", []byte(`1`)); err != nil {
+		t.Fatal(err)
+	}
+	// A crashed writer leaves a temp file behind; reopening must not index it.
+	fan := filepath.Dir(entryFile(t, c, "k"))
+	if err := os.WriteFile(filepath.Join(fan, "put-crashed.tmp"), []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := c2.Stats(); s.Entries != 1 {
+		t.Fatalf("stray temp file was indexed: %+v", s)
+	}
+}
+
+func TestOpenValidation(t *testing.T) {
+	if _, err := Open("", 0); err == nil {
+		t.Fatal("Open with empty dir should fail")
+	}
+}

@@ -1,0 +1,531 @@
+// Package server implements lumosd, the long-lived planning service: a
+// registry of named, immutable, fingerprinted profiles (each a calibrated
+// campaign BaseState built once and shared read-only), multi-tenant
+// sweep/plan campaign endpoints fanning over the toolkit's bounded worker
+// pool with per-request cancellation, and the two-level scenario-cache
+// counters surfaced over HTTP.
+//
+//	POST /v1/profiles  register (or idempotently re-register) a profile
+//	GET  /v1/profiles  list registered profiles
+//	POST /v1/sweep     run a scenario campaign against a profile
+//	POST /v1/plan      run the deployment planner against a profile
+//	GET  /v1/stats     cache + request counters
+//	GET  /v1/healthz   liveness probe
+//
+// Responses are deterministic: the same campaign against the same profile
+// yields byte-identical bodies regardless of worker count, request
+// interleaving, or cache temperature — the property the in-process API
+// guarantees, carried over the wire.
+package server
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lumos"
+	"lumos/internal/analysis"
+	"lumos/internal/trace"
+)
+
+// maxBodyBytes bounds request bodies; inline trace uploads dominate.
+const maxBodyBytes = 1 << 30
+
+// Config configures a Server.
+type Config struct {
+	// CacheDir enables the disk-backed scenario cache (empty = memory
+	// only); CacheCap bounds it in bytes (0 = the scache default).
+	CacheDir string
+	CacheCap int64
+	// Workers sizes the sweep worker pool shared by every request
+	// (0 = auto).
+	Workers int
+	// Seed seeds substrate profiling for seed-sourced profiles.
+	Seed uint64
+}
+
+// profile is one registry entry: a named, immutable, calibrated campaign
+// state shared read-only by every request that references it.
+type profile struct {
+	name        string
+	fingerprint string
+	cfg         lumos.Config
+	state       *lumos.BaseState
+	events      int
+}
+
+func (p *profile) info(created bool) ProfileInfo {
+	return ProfileInfo{
+		Name:        p.name,
+		Fingerprint: p.fingerprint,
+		World:       p.cfg.Map.WorldSize(),
+		Ranks:       p.state.Traces.NumRanks(),
+		Events:      p.events,
+		IterationMs: analysis.Millis(p.state.Iteration),
+		Created:     created,
+	}
+}
+
+// Server is the lumosd planning service. It is an http.Handler; all
+// methods are safe for concurrent use.
+type Server struct {
+	cfg Config
+	tk  *lumos.Toolkit
+	mux *http.ServeMux
+
+	mu       sync.RWMutex
+	profiles map[string]*profile
+
+	nProfiles atomic.Int64
+	nSweeps   atomic.Int64
+	nPlans    atomic.Int64
+	nErrors   atomic.Int64
+	start     time.Time
+}
+
+// New builds a Server around one shared Toolkit: one worker pool, one
+// disk cache, one calibration per distinct profile.
+func New(cfg Config) *Server {
+	opts := []lumos.Option{
+		lumos.WithSeed(cfg.Seed),
+		lumos.WithConcurrency(cfg.Workers),
+	}
+	if cfg.CacheDir != "" {
+		opts = append(opts, lumos.WithDiskCache(cfg.CacheDir))
+		if cfg.CacheCap > 0 {
+			opts = append(opts, lumos.WithDiskCacheCap(cfg.CacheCap))
+		}
+	}
+	s := &Server{
+		cfg:      cfg,
+		tk:       lumos.New(opts...),
+		mux:      http.NewServeMux(),
+		profiles: make(map[string]*profile),
+		start:    time.Now(),
+	}
+	s.mux.HandleFunc("POST /v1/profiles", s.handleCreateProfile)
+	s.mux.HandleFunc("GET /v1/profiles", s.handleListProfiles)
+	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	s.mux.HandleFunc("POST /v1/plan", s.handlePlan)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /v1/healthz", s.handleHealth)
+	return s
+}
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// Toolkit exposes the server's shared toolkit (tests and the smoke
+// harness inspect its counters).
+func (s *Server) Toolkit() *lumos.Toolkit { return s.tk }
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.Encode(v)
+}
+
+func (s *Server) fail(w http.ResponseWriter, code int, format string, args ...any) {
+	s.nErrors.Add(1)
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// failRun maps a campaign-execution error: client cancellations get 499
+// (the response is moot anyway), everything else 500.
+func (s *Server) failRun(w http.ResponseWriter, r *http.Request, err error) {
+	if errors.Is(err, context.Canceled) || r.Context().Err() != nil {
+		s.fail(w, 499, "request canceled")
+		return
+	}
+	s.fail(w, http.StatusInternalServerError, "%v", err)
+}
+
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, v any) bool {
+	body := http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	if err := json.NewDecoder(body).Decode(v); err != nil {
+		s.fail(w, http.StatusBadRequest, "bad request body: %v", err)
+		return false
+	}
+	return true
+}
+
+// registryFingerprint is a profile's content address: the trace digest
+// plus every deployment field. Two uploads with the same name must match
+// on it or the second is rejected — profiles are immutable.
+func registryFingerprint(cfg lumos.Config, m *lumos.Multi) string {
+	h := sha256.New()
+	io.WriteString(h, "lumosd-profile|")
+	io.WriteString(h, trace.Fingerprint(m))
+	fmt.Fprintf(h, "|%+v", cfg)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+func validProfileName(name string) error {
+	if name == "" {
+		return fmt.Errorf("profile name required")
+	}
+	if len(name) > 128 {
+		return fmt.Errorf("profile name too long (%d > 128)", len(name))
+	}
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+		case r == '-' || r == '_' || r == '.':
+		default:
+			return fmt.Errorf("bad profile name %q (want [a-zA-Z0-9._-]+)", name)
+		}
+	}
+	return nil
+}
+
+// loadProfileTraces resolves the request's trace source.
+func (s *Server) loadProfileTraces(ctx context.Context, req *ProfileRequest, cfg lumos.Config) (*lumos.Multi, error) {
+	sources := 0
+	if req.TraceDir != "" {
+		sources++
+	}
+	if len(req.Traces) > 0 {
+		sources++
+	}
+	if req.Seed != nil {
+		sources++
+	}
+	if sources != 1 {
+		return nil, fmt.Errorf("exactly one trace source required: trace_dir (server-local rank_*.json directory), traces (inline per-rank Kineto JSON), or seed (profile on the simulated substrate)")
+	}
+	switch {
+	case req.TraceDir != "":
+		return lumos.LoadTraces(req.TraceDir)
+	case len(req.Traces) > 0:
+		m := &lumos.Multi{Ranks: make([]*lumos.Trace, len(req.Traces))}
+		for i, raw := range req.Traces {
+			t, err := trace.DecodeJSON(bytes.NewReader(raw))
+			if err != nil {
+				return nil, fmt.Errorf("inline trace %d: %w", i, err)
+			}
+			t.Rank = i
+			m.Ranks[i] = t
+		}
+		return m, nil
+	default:
+		return s.tk.Profile(ctx, cfg, *req.Seed)
+	}
+}
+
+func (s *Server) handleCreateProfile(w http.ResponseWriter, r *http.Request) {
+	var req ProfileRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if err := validProfileName(req.Name); err != nil {
+		s.fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	cfg, err := req.Deployment.config()
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "bad deployment: %v", err)
+		return
+	}
+	m, err := s.loadProfileTraces(r.Context(), &req, cfg)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "loading traces: %v", err)
+		return
+	}
+	fp := registryFingerprint(cfg, m)
+
+	// Fast path: an identical profile already exists (idempotent
+	// re-upload) or the name is taken by different content (immutable).
+	s.mu.RLock()
+	existing := s.profiles[req.Name]
+	s.mu.RUnlock()
+	if existing != nil {
+		if existing.fingerprint == fp {
+			writeJSON(w, http.StatusOK, existing.info(false))
+			return
+		}
+		s.fail(w, http.StatusConflict,
+			"profile %q already registered with different content (profiles are immutable; pick a new name)", req.Name)
+		return
+	}
+
+	// Build the shared campaign state outside the registry lock — this is
+	// the expensive calibration step, done once per profile.
+	st, err := s.tk.PrepareTraces(r.Context(), cfg, m)
+	if err != nil {
+		s.failRun(w, r, err)
+		return
+	}
+	p := &profile{
+		name:        req.Name,
+		fingerprint: fp,
+		cfg:         cfg,
+		state:       st,
+		events:      m.Events(),
+	}
+
+	s.mu.Lock()
+	if cur := s.profiles[req.Name]; cur != nil {
+		// A concurrent request registered the name first.
+		s.mu.Unlock()
+		if cur.fingerprint == fp {
+			writeJSON(w, http.StatusOK, cur.info(false))
+			return
+		}
+		s.fail(w, http.StatusConflict,
+			"profile %q already registered with different content (profiles are immutable; pick a new name)", req.Name)
+		return
+	}
+	s.profiles[req.Name] = p
+	s.mu.Unlock()
+
+	s.nProfiles.Add(1)
+	writeJSON(w, http.StatusCreated, p.info(true))
+}
+
+func (s *Server) handleListProfiles(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	list := make([]*profile, 0, len(s.profiles))
+	for _, p := range s.profiles {
+		list = append(list, p)
+	}
+	s.mu.RUnlock()
+	sort.Slice(list, func(i, j int) bool { return list[i].name < list[j].name })
+	resp := ProfileList{Profiles: make([]ProfileInfo, len(list))}
+	for i, p := range list {
+		resp.Profiles[i] = p.info(false)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) lookup(w http.ResponseWriter, name string) *profile {
+	if name == "" {
+		s.fail(w, http.StatusBadRequest, "profile name required")
+		return nil
+	}
+	s.mu.RLock()
+	p := s.profiles[name]
+	s.mu.RUnlock()
+	if p == nil {
+		s.fail(w, http.StatusNotFound, "unknown profile %q (register it via POST /v1/profiles)", name)
+	}
+	return p
+}
+
+func scenarioJSON(r lumos.ScenarioResult, rank int) ScenarioResult {
+	out := ScenarioResult{
+		Rank:   rank,
+		Name:   r.Name,
+		Kind:   r.Kind,
+		Detail: r.Detail,
+		Err:    r.Err,
+	}
+	if r.Err == "" {
+		out.World = r.World
+		out.IterationMs = analysis.Millis(r.Iteration)
+		out.Speedup = r.Speedup
+		out.CostDelta = r.CostDelta
+		out.KernelsMeasured = r.LibraryHits
+		out.KernelsModeled = r.LibraryMisses
+	}
+	return out
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var req SweepRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	p := s.lookup(w, req.Profile)
+	if p == nil {
+		return
+	}
+	scenarios, err := req.scenarios(p.cfg)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	sweep, err := s.tk.EvaluateState(r.Context(), p.state, scenarios...)
+	if err != nil {
+		s.failRun(w, r, err)
+		return
+	}
+	s.nSweeps.Add(1)
+
+	results := sweep.Results
+	if req.Top > 0 {
+		ranked := sweep.Top(req.Top)
+		// Keep infeasible points visible below the cut, as the CLI does.
+		n := 0
+		for _, res := range results {
+			if !res.Feasible() {
+				n++
+			}
+		}
+		infeasible := results[len(results)-n:]
+		results = append(append([]lumos.ScenarioResult{}, ranked...), infeasible...)
+	}
+	resp := SweepResponse{
+		Profile:   p.name,
+		Base:      scenarioJSON(sweep.Base, 0),
+		Scenarios: len(sweep.Results),
+		Results:   make([]ScenarioResult, len(results)),
+	}
+	rank := 1
+	for i, res := range results {
+		if res.Feasible() {
+			resp.Results[i] = scenarioJSON(res, rank)
+			rank++
+		} else {
+			resp.Results[i] = scenarioJSON(res, 0)
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
+	var req PlanRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	p := s.lookup(w, req.Profile)
+	if p == nil {
+		return
+	}
+	space, err := req.space(p.cfg)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	opts, err := req.options()
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	res, err := s.tk.PlanState(r.Context(), p.state, space, opts...)
+	if err != nil {
+		s.failRun(w, r, err)
+		return
+	}
+	s.nPlans.Add(1)
+
+	baseIter := p.state.Iteration
+	point := func(rank int, e lumos.PlanEvaluated) PlanPoint {
+		speedup := 0.0
+		if e.Iteration > 0 {
+			speedup = float64(baseIter) / float64(e.Iteration)
+		}
+		return PlanPoint{
+			Rank:        rank,
+			Point:       e.Point.Key(),
+			World:       e.Point.World(),
+			IterationMs: analysis.Millis(e.Iteration),
+			Speedup:     speedup,
+			MemGiB:      e.Mem.GiB(),
+			BoundMs:     analysis.Millis(e.Bound),
+		}
+	}
+	resp := PlanResponse{
+		Profile:         p.name,
+		Strategy:        res.Strategy,
+		BaseIterationMs: analysis.Millis(baseIter),
+		Frontier:        make([]PlanPoint, len(res.Frontier)),
+		Stats: PlanStats{
+			SpaceSize:         res.Stats.SpaceSize,
+			Feasible:          res.Stats.Feasible,
+			MemRejected:       res.Stats.MemRejected,
+			ScheduleRejected:  res.Stats.ScheduleRejected,
+			ScopeRejected:     res.Stats.ScopeRejected,
+			Simulated:         res.Stats.Simulated,
+			SimRequests:       res.Stats.SimRequests,
+			Rounds:            res.Stats.Rounds,
+			DominatedRetained: len(res.Dominated),
+		},
+	}
+	for i, e := range res.Frontier {
+		resp.Frontier[i] = point(i+1, e)
+	}
+	dominated := res.Dominated
+	if req.Top > 0 && len(dominated) > req.Top {
+		dominated = dominated[:req.Top]
+	}
+	for i, e := range dominated {
+		resp.Dominated = append(resp.Dominated, point(len(res.Frontier)+i+1, e))
+	}
+	for _, c := range res.Infeasible {
+		resp.Infeasible = append(resp.Infeasible, InfeasiblePoint{
+			Point:  c.Point.Key(),
+			Reason: c.Infeasible,
+		})
+	}
+	if best, ok := res.Best(); ok {
+		bp := point(1, best)
+		resp.Best = &bp
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	list := make([]*profile, 0, len(s.profiles))
+	for _, p := range s.profiles {
+		list = append(list, p)
+	}
+	s.mu.RUnlock()
+	sort.Slice(list, func(i, j int) bool { return list[i].name < list[j].name })
+
+	resp := StatsResponse{
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Workers:       s.cfg.Workers,
+		Seed:          s.cfg.Seed,
+		Requests: RequestStats{
+			Profiles: s.nProfiles.Load(),
+			Sweeps:   s.nSweeps.Load(),
+			Plans:    s.nPlans.Load(),
+			Errors:   s.nErrors.Load(),
+		},
+		Profiles: make([]ProfileStats, len(list)),
+	}
+	for i, p := range list {
+		cs := p.state.CacheStats()
+		resp.Profiles[i] = ProfileStats{
+			Name:        p.name,
+			Fingerprint: p.fingerprint,
+			World:       p.cfg.Map.WorldSize(),
+			MemoHits:    cs.MemoHits,
+			MemoEntries: cs.MemoEntries,
+			DiskHits:    cs.DiskHits,
+			DiskMisses:  cs.DiskMisses,
+		}
+	}
+	if ds, ok := s.tk.DiskCacheStats(); ok {
+		resp.Disk = &DiskStats{
+			Dir:       strings.TrimSpace(s.cfg.CacheDir),
+			Hits:      ds.Hits,
+			Misses:    ds.Misses,
+			Puts:      ds.Puts,
+			Evictions: ds.Evictions,
+			Discards:  ds.Discards,
+			Entries:   ds.Entries,
+			Bytes:     ds.Bytes,
+			Cap:       ds.Cap,
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}

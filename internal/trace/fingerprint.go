@@ -1,0 +1,75 @@
+package trace
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"hash"
+	"sort"
+)
+
+// Fingerprint returns a stable hex digest of a trace set's full content:
+// every rank, every event, every field, plus trace metadata. Two trace sets
+// fingerprint equal iff they would calibrate identical kernel libraries and
+// build identical execution graphs, so the digest is a sound cache key for
+// everything derived from a profile — across processes, machines and
+// restarts (the hash has no in-memory or pointer dependence).
+func Fingerprint(m *Multi) string {
+	h := sha256.New()
+	buf := make([]byte, 8)
+	put := func(v int64) {
+		binary.LittleEndian.PutUint64(buf, uint64(v))
+		h.Write(buf)
+	}
+	puts := func(s string) {
+		put(int64(len(s)))
+		h.Write([]byte(s))
+	}
+	put(int64(len(m.Ranks)))
+	for _, t := range m.Ranks {
+		put(int64(t.Rank))
+		keys := make([]string, 0, len(t.Meta))
+		for k := range t.Meta {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		put(int64(len(keys)))
+		for _, k := range keys {
+			puts(k)
+			puts(t.Meta[k])
+		}
+		put(int64(len(t.Events)))
+		for i := range t.Events {
+			hashEvent(h, put, puts, &t.Events[i])
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// hashEvent feeds every Event field into the digest. New Event fields must
+// be added here; the length-prefixed layout makes omissions a silent cache
+// aliasing bug, so the field order mirrors the struct declaration to keep
+// the audit mechanical.
+func hashEvent(h hash.Hash, put func(int64), puts func(string), e *Event) {
+	puts(e.Name)
+	put(int64(e.Cat))
+	put(int64(e.Ts))
+	put(int64(e.Dur))
+	put(int64(e.PID))
+	put(int64(e.TID))
+	put(e.Correlation)
+	put(int64(e.Stream))
+	put(int64(e.Runtime))
+	put(e.CUDAEvent)
+	put(int64(e.Class))
+	put(int64(e.Comm))
+	put(e.CommID)
+	put(e.CommSeq)
+	put(e.CommBytes)
+	put(int64(e.PeerRank))
+	put(int64(e.Layer))
+	put(int64(e.Microbatch))
+	put(int64(e.Pass))
+	put(e.FLOPs)
+	put(e.Bytes)
+}

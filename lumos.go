@@ -92,7 +92,27 @@ func WithSeed(seed uint64) Option { return core.WithSeed(seed) }
 // WithScenarioCache enables or disables sweep-level memoization of
 // fingerprintable scenario results (default on): duplicate grid points
 // across Evaluate calls on one campaign state return cached results.
+// Disabling memoization also disables the disk cache layer.
 func WithScenarioCache(enabled bool) Option { return core.WithScenarioCache(enabled) }
+
+// WithDiskCache enables the disk-backed, content-addressed scenario and
+// calibration cache rooted at dir (created on first use). Sweeps and plans
+// warm-start from entries written by earlier processes at the same dir —
+// the kernel calibration is reloaded instead of refit and previously
+// simulated points are served from disk — with results bit-identical to
+// uncached runs. Entries are schema-versioned, checksummed, written
+// atomically, and evicted least-recently-used beyond the size cap.
+func WithDiskCache(dir string) Option { return core.WithDiskCache(dir) }
+
+// WithDiskCacheCap sets the disk cache eviction size cap in bytes; n <= 0
+// selects the default (512 MiB).
+func WithDiskCacheCap(n int64) Option { return core.WithDiskCacheCap(n) }
+
+// CacheStats is the two-level scenario cache activity of a campaign state:
+// in-memory memo hits/entries, this state's disk hits/misses, and the
+// shared on-disk store's counters (hits, misses, puts, evictions, discards,
+// occupancy). Retrieve it with BaseState.CacheStats.
+type CacheStats = core.CacheStats
 
 // Workload and deployment types.
 type (
