@@ -711,6 +711,67 @@ func BenchmarkPlan_BeamVsExhaustive(b *testing.B) {
 	}
 }
 
+// BenchmarkPlan_BranchAndBound measures exact search at scale: one
+// fig7-style profile and a ~1.3×10⁵-point space over pipeline/data
+// degrees, microbatch count, pipeline schedule, and network degrade
+// factors, with branch-and-bound required to return the provably optimal
+// point. The sub-benchmark carries strategy=/space= labels that
+// cmd/benchjson records in BENCH_sweep.json; the simulated-points and
+// bound-pruned metrics show how little of the space pays for full
+// simulation, and best-ms pins the answer so quality regressions fail
+// loudly alongside throughput ones.
+func BenchmarkPlan_BranchAndBound(b *testing.B) {
+	ctx := context.Background()
+	cfg, err := DeploymentConfig(GPT3_15B(), 2, 2, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg.Microbatches = 4
+	mbs := make([]int, 128)
+	for i := range mbs {
+		mbs[i] = 4 + i
+	}
+	degrade := make([][]float64, 16)
+	for i := range degrade {
+		degrade[i] = NetworkDegradeFactors(1 - 0.05*float64(i))
+	}
+	space := Space{
+		PP:         []int{1, 2, 4, 8},
+		DP:         []int{1, 2, 4, 8},
+		Microbatch: mbs,
+		Schedules:  []string{"1f1b", "gpipe", "interleaved2", "zb-h1"},
+		Degrade:    degrade,
+	}
+	mem := MemoryModel{GPUMemBytes: 192 << 30, ZeRO: ZeROOptimizer}
+	tk := New(WithConcurrency(4), WithScenarioCache(false))
+	base, err := tk.Prepare(ctx, cfg, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run(fmt.Sprintf("strategy=bnb/space=%d", space.Size(cfg)), func(b *testing.B) {
+		b.ResetTimer()
+		b.ReportAllocs()
+		var stats PlanStats
+		var bestMS float64
+		for i := 0; i < b.N; i++ {
+			res, err := tk.PlanState(ctx, base, space,
+				WithPlanStrategy(BranchAndBoundStrategy(0)), WithMemoryModel(mem))
+			if err != nil {
+				b.Fatal(err)
+			}
+			best, ok := res.Best()
+			if !ok {
+				b.Fatal("no feasible point")
+			}
+			stats = res.Stats
+			bestMS = analysis.Millis(best.Iteration)
+		}
+		b.ReportMetric(float64(stats.Simulated), "simulated-points")
+		b.ReportMetric(float64(stats.BoundPruned), "bound-pruned")
+		b.ReportMetric(bestMS, "best-ms")
+	})
+}
+
 // BenchmarkMultiIterationProfile measures the multi-step profiling window
 // and iteration splitting path.
 func BenchmarkMultiIterationProfile(b *testing.B) {

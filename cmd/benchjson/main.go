@@ -24,8 +24,12 @@ type result struct {
 	Fabric string `json:"fabric,omitempty"`
 	// Strategy is the search-strategy label for planner benchmarks
 	// (sub-benchmark names containing "strategy=<name>"), so entries are
-	// comparable across exhaustive/beam/halving runs.
+	// comparable across exhaustive/beam/halving/bnb runs.
 	Strategy string `json:"strategy,omitempty"`
+	// Space is the search-space-size label for planner benchmarks
+	// (sub-benchmark names containing "space=<points>"), so large-space
+	// branch-and-bound entries carry the space they searched.
+	Space string `json:"space,omitempty"`
 	// Schedule is the pipeline-schedule label for schedule-campaign
 	// benchmarks (sub-benchmark names containing "schedule=<name>"), so
 	// entries are comparable across 1f1b/gpipe/interleaved/zb-h1 runs.
@@ -43,12 +47,16 @@ type result struct {
 // fabricRe extracts the fabric label from a sub-benchmark name like
 // "BenchmarkSweep_FabricCampaign/fabric=nvl72-8" (the trailing -N is the
 // GOMAXPROCS suffix go test appends); strategyRe does the same for planner
-// benchmarks like "BenchmarkPlan_BeamVsExhaustive/strategy=beam4-8".
+// benchmarks like "BenchmarkPlan_BeamVsExhaustive/strategy=beam4-8". The
+// labels may be followed by further /label=value segments (e.g.
+// "strategy=bnb/space=131072-8"), so each match ends at a segment boundary
+// or end of name, not only at end of name.
 var (
-	fabricRe   = regexp.MustCompile(`fabric=([^/]+?)(?:-\d+)?$`)
-	strategyRe = regexp.MustCompile(`strategy=([^/]+?)(?:-\d+)?$`)
-	scheduleRe = regexp.MustCompile(`schedule=([^/]+?)(?:-\d+)?$`)
-	cacheRe    = regexp.MustCompile(`cache=([^/]+?)(?:-\d+)?$`)
+	fabricRe   = regexp.MustCompile(`fabric=([^/]+?)(?:-\d+)?(?:/|$)`)
+	strategyRe = regexp.MustCompile(`strategy=([^/]+?)(?:-\d+)?(?:/|$)`)
+	spaceRe    = regexp.MustCompile(`space=([^/]+?)(?:-\d+)?(?:/|$)`)
+	scheduleRe = regexp.MustCompile(`schedule=([^/]+?)(?:-\d+)?(?:/|$)`)
+	cacheRe    = regexp.MustCompile(`cache=([^/]+?)(?:-\d+)?(?:/|$)`)
 )
 
 func parseLine(line string) (result, bool) {
@@ -66,6 +74,9 @@ func parseLine(line string) (result, bool) {
 	}
 	if m := strategyRe.FindStringSubmatch(fields[0]); m != nil {
 		r.Strategy = m[1]
+	}
+	if m := spaceRe.FindStringSubmatch(fields[0]); m != nil {
+		r.Space = m[1]
 	}
 	if m := scheduleRe.FindStringSubmatch(fields[0]); m != nil {
 		r.Schedule = m[1]

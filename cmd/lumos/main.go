@@ -554,9 +554,10 @@ func cmdPlan(ctx context.Context, args []string) error {
 	schedList := fs.String("schedule", "", "comma-separated pipeline schedules to search over (1f1b|gpipe|interleaved[V]|zb-h1; default: the base schedule)")
 	fabricList := fs.String("fabric", "", "comma-separated fabric presets to search over (flat|nvl72|spine[N]; default: the profiled fabric)")
 	degradeList := fs.String("degrade", "", "comma-separated network bandwidth factors beyond the NVLink domain (e.g. 1,0.75,0.5)")
-	strategy := fs.String("strategy", "auto", "search strategy: auto|exhaustive|beam|halving")
+	strategy := fs.String("strategy", "auto", "search strategy: auto|exhaustive|beam|halving|bnb")
 	beam := fs.Int("beam", 8, "beam width for -strategy beam")
 	eta := fs.Int("eta", 3, "promotion rate for -strategy halving")
+	batch := fs.Int("batch", 0, "simulation batch size for -strategy bnb (0 = default)")
 	budget := fs.Int("budget", 0, "max points promoted to full simulation (0 = no cap)")
 	gpuMem := fs.Float64("gpu-mem-gib", 80, "device memory capacity in GiB for the feasibility model")
 	zero := fs.Int("zero", 0, "ZeRO sharding stage for the memory model: 0 (none), 1 (optimizer), 2 (+gradients)")
@@ -621,8 +622,10 @@ func cmdPlan(ctx context.Context, args []string) error {
 		opts = append(opts, lumos.WithPlanStrategy(lumos.BeamStrategy(*beam)))
 	case "halving":
 		opts = append(opts, lumos.WithPlanStrategy(lumos.HalvingStrategy(*eta)))
+	case "bnb":
+		opts = append(opts, lumos.WithPlanStrategy(lumos.BranchAndBoundStrategy(*batch)))
 	default:
-		return fmt.Errorf("unknown strategy %q (want auto|exhaustive|beam|halving)", *strategy)
+		return fmt.Errorf("unknown strategy %q (want auto|exhaustive|beam|halving|bnb)", *strategy)
 	}
 	if *budget > 0 {
 		opts = append(opts, lumos.WithPlanBudget(*budget))
@@ -667,8 +670,11 @@ func cmdPlan(ctx context.Context, args []string) error {
 	s := res.Stats
 	fmt.Printf("base iteration %.1fms; strategy=%s space=%d feasible=%d mem-rejected=%d schedule-rejected=%d scope-rejected=%d\n",
 		analysis.Millis(st.Iteration), res.Strategy, s.SpaceSize, s.Feasible, s.MemRejected, s.ScheduleRejected, s.ScopeRejected)
-	fmt.Printf("simulated %d unique points in %d rounds (%d requests, %d served by the scenario cache) in %v\n\n",
-		s.Simulated, s.Rounds, s.SimRequests, s.SimRequests-s.Simulated, time.Since(t0).Round(time.Millisecond))
+	if s.BoundPruned > 0 || s.DominatedPruned > 0 {
+		fmt.Printf("pruned without simulating: %d by bound, %d dominated\n", s.BoundPruned, s.DominatedPruned)
+	}
+	fmt.Printf("simulated %d unique points (%d re-timed a shared graph) in %d rounds (%d requests, %d served by the scenario cache) in %v\n\n",
+		s.Simulated, s.SharedStructure, s.Rounds, s.SimRequests, s.SimRequests-s.Simulated, time.Since(t0).Round(time.Millisecond))
 
 	printPlanPoint := func(rank int, e lumos.PlanEvaluated) {
 		speedup := 0.0

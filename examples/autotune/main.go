@@ -8,9 +8,10 @@
 // full graph simulation.
 //
 // The example doubles as the planner's acceptance check (the `make
-// plan-smoke` CI gate): both guided strategies must find the same best
-// configuration as an exhaustive sweep of the same space while simulating
-// strictly fewer points — it exits non-zero otherwise.
+// plan-smoke` CI gate): every guided strategy — beam, successive halving,
+// and exact branch-and-bound — must find the same best configuration as
+// an exhaustive sweep of the same space while simulating strictly fewer
+// points — it exits non-zero otherwise.
 //
 //	go run ./examples/autotune
 package main
@@ -87,6 +88,7 @@ func main() {
 		for _, strat := range []lumos.PlanStrategy{
 			lumos.BeamStrategy(4),
 			lumos.HalvingStrategy(3),
+			lumos.BranchAndBoundStrategy(0),
 		} {
 			res, err := tk.PlanState(ctx, st, space,
 				lumos.WithPlanStrategy(strat), lumos.WithMemoryModel(mem))
@@ -95,7 +97,7 @@ func main() {
 			}
 			best, found := res.Best()
 			verdict := "MATCH"
-			if !found || best.Point.Key() != exBest.Point.Key() {
+			if !found || best.Point.Key() != exBest.Point.Key() || best.Iteration != exBest.Iteration {
 				verdict = "MISMATCH"
 				ok = false
 			}
@@ -103,9 +105,13 @@ func main() {
 				verdict += " (but no simulation savings)"
 				ok = false
 			}
-			fmt.Printf("%-11s %2d/%d simulated, best %s — %s\n",
+			extra := ""
+			if pruned := res.Stats.BoundPruned + res.Stats.DominatedPruned; pruned > 0 {
+				extra = fmt.Sprintf(" (%d subtree points pruned without simulating)", pruned)
+			}
+			fmt.Printf("%-11s %2d/%d simulated, best %s — %s%s\n",
 				res.Strategy+":", res.Stats.Simulated, exhaustive.Stats.Simulated,
-				best.Point.Key(), verdict)
+				best.Point.Key(), verdict, extra)
 		}
 		fmt.Println()
 	}
@@ -114,5 +120,5 @@ func main() {
 		fmt.Println("FAIL: a guided strategy disagreed with the exhaustive sweep")
 		os.Exit(1)
 	}
-	fmt.Println("OK: beam and successive halving found the exhaustive best with fewer simulations")
+	fmt.Println("OK: beam, successive halving, and branch-and-bound found the exhaustive best with fewer simulations")
 }

@@ -38,7 +38,10 @@ import (
 // prediction semantics change (graph construction, replay, calibration,
 // pricing), so upgraded binaries never serve results computed under the old
 // model.
-const CacheSchemaVersion = "lumos-cache-v1"
+// v2: planner fabric/degrade points re-time a structurally shared graph
+// (replayed makespan) instead of re-synthesizing, shifting their
+// predictions within ~1% of the v1 synthesis path.
+const CacheSchemaVersion = "lumos-cache-v2"
 
 // WithDiskCache enables the disk-backed scenario and calibration cache
 // rooted at dir (created on first use). Campaigns and predictions

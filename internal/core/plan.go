@@ -10,13 +10,52 @@ package core
 import (
 	"context"
 	"fmt"
+	"sync"
 
 	"lumos/internal/analysis"
 	"lumos/internal/collective"
+	"lumos/internal/execgraph"
 	"lumos/internal/manip"
 	"lumos/internal/parallel"
 	"lumos/internal/planner"
 )
+
+// structEntry is one structurally keyed synthesized graph: built once
+// (under once) and then shared read-only by every sibling point.
+type structEntry struct {
+	once sync.Once
+	out  *manip.GraphResult
+	err  error
+}
+
+// structCacheCap bounds how many synthesized graphs a campaign state keeps
+// alive for structural sharing. Past the cap, points synthesize privately —
+// the prediction is bit-identical either way (synthesis is deterministic),
+// only the sharing is lost, so cache pressure can never change a result.
+const structCacheCap = 64
+
+// synthesizeStructural returns the campaign-fabric synthesized graph for
+// the target, shared across every point with the same structure (the
+// planner's fabric/degrade axis varies only durations, never the DAG).
+func (b *BaseState) synthesizeStructural(req manip.Request) (*manip.GraphResult, error) {
+	key := fmt.Sprintf("%+v", req.Target)
+	v, ok := b.structs.Load(key)
+	if !ok {
+		if b.structCount.Load() >= structCacheCap {
+			return manip.PredictGraphWith(req, b.Library, b.Fitted, b.Fabric)
+		}
+		var loaded bool
+		v, loaded = b.structs.LoadOrStore(key, &structEntry{})
+		if !loaded {
+			b.structCount.Add(1)
+		}
+	}
+	e := v.(*structEntry)
+	e.once.Do(func() {
+		e.out, e.err = manip.PredictGraphWith(req, b.Library, b.Fitted, b.Fabric)
+	})
+	return e.out, e.err
+}
 
 // planScenario evaluates one planner candidate: the target deployment
 // predicted via direct graph synthesis, on the campaign fabric or on the
@@ -49,35 +88,53 @@ func (s *planScenario) Run(_ context.Context, b *BaseState) (ScenarioResult, err
 		return res, nil
 	}
 
-	var out *manip.GraphResult
-	var err error
 	if p.Fabric == nil && len(p.Degrade) == 0 {
-		// The campaign's own fabric: the plain deploy-prediction path.
-		out, err = manip.PredictGraphWith(req, b.Library, b.Fitted, b.Fabric)
-	} else {
-		// The same resolution chain the planner's analytic bound used.
-		f, rerr := planner.ResolveFabric(p, b.Fabric)
-		if rerr != nil {
-			res.Err = rerr.Error()
+		// The campaign's own fabric: the plain deploy-prediction path,
+		// served from (and seeding) the structural graph cache.
+		out, err := b.synthesizeStructural(req)
+		if err != nil {
+			res.Err = err.Error()
 			return res, nil
 		}
-		var basePricer collective.Pricer
-		if b.Fabric != nil {
-			basePricer = b.pricerFor(b.Fabric)
-		}
-		out, err = manip.PredictGraphOnFabric(req, b.Library, b.Fitted, f, b.pricerFor(f), basePricer)
+		res.Iteration = out.Iteration
+		res.Breakdown = analysis.GraphBreakdown(out.Graph)
+		res.LibraryHits = out.LibraryHits
+		res.LibraryMisses = out.LibraryMisses
+		return res, nil
 	}
+
+	// A fabric or degradation override varies only durations, never the
+	// DAG: re-time the structurally shared graph for the point's resolved
+	// fabric and replay it, instead of re-synthesizing and re-binding.
+	// The same resolution chain the planner's analytic bound used.
+	f, rerr := planner.ResolveFabric(p, b.Fabric)
+	if rerr != nil {
+		res.Err = rerr.Error()
+		return res, nil
+	}
+	out, err := b.synthesizeStructural(req)
 	if err != nil {
 		res.Err = err.Error()
 		return res, nil
 	}
-	res.Iteration = out.Iteration
-	res.Breakdown = analysis.GraphBreakdown(out.Graph)
+	var basePricer collective.Pricer
+	if b.Fabric != nil {
+		basePricer = b.pricerFor(b.Fabric)
+	}
+	v := execgraph.NewRetimed(out.Graph)
+	repriced := manip.RetimeCommOnFabric(v, b.Library, b.pricerFor(f), basePricer)
+	sim := b.acquireSim()
+	rres, err := sim.RunRetimed(v)
+	b.releaseSim(sim)
+	if err != nil {
+		res.Err = err.Error()
+		return res, nil
+	}
+	res.Iteration = rres.Makespan
 	res.LibraryHits = out.LibraryHits
 	res.LibraryMisses = out.LibraryMisses
-	if out.CommRepriced > 0 {
-		res.Detail = fmt.Sprintf("%d comm kernels repriced", out.CommRepriced)
-	}
+	res.SharedStructure = true
+	res.Detail = fmt.Sprintf("shared structure, %d comm groups repriced", repriced)
 	return res, nil
 }
 
@@ -119,7 +176,7 @@ func (tk *Toolkit) PlanState(ctx context.Context, st *BaseState, space planner.S
 				outs[i] = planner.Outcome{Err: "internal: scenario result missing"}
 				continue
 			}
-			outs[i] = planner.Outcome{Iteration: r.Iteration, Err: r.Err}
+			outs[i] = planner.Outcome{Iteration: r.Iteration, SharedStructure: r.SharedStructure, Err: r.Err}
 		}
 		return outs, nil
 	}

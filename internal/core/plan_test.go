@@ -5,6 +5,7 @@ import (
 	"reflect"
 	"testing"
 
+	"lumos/internal/manip"
 	"lumos/internal/memcost"
 	"lumos/internal/planner"
 )
@@ -47,7 +48,7 @@ func TestPlanStrategiesAgreeWithExhaustive(t *testing.T) {
 		t.Fatalf("exhaustive simulated %d of %d", ex.Stats.Simulated, ex.Stats.Feasible)
 	}
 
-	for _, strat := range []planner.Strategy{planner.Beam{Width: 4}, planner.SuccessiveHalving{}} {
+	for _, strat := range []planner.Strategy{planner.Beam{Width: 4}, planner.SuccessiveHalving{}, planner.BranchAndBound{}} {
 		res, err := tk.PlanState(ctx, st, planSpace(),
 			planner.WithStrategy(strat), planner.WithMemModel(roomyMem()))
 		if err != nil {
@@ -156,6 +157,83 @@ func TestPlanFabricPoints(t *testing.T) {
 	}
 	if degraded.Iteration <= nominal.Iteration {
 		t.Fatalf("degraded links predicted faster: %v vs %v", degraded.Iteration, nominal.Iteration)
+	}
+}
+
+// TestPlanSharedStructureRetime covers the structural batch-replay path:
+// fabric/degrade points re-time one shared synthesized graph instead of
+// re-synthesizing, the sharing is counted in Stats, and the replayed
+// prediction stays within 2% of the direct per-point synthesis path.
+func TestPlanSharedStructureRetime(t *testing.T) {
+	ctx := context.Background()
+	tk := New(WithConcurrency(4))
+	base := testConfig(t)
+	st, err := tk.Prepare(ctx, base, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	space := planner.Space{
+		PP:      []int{1, 2},
+		Degrade: [][]float64{nil, {0.5}, {0.25}},
+	}
+	res, err := tk.PlanState(ctx, st, space,
+		planner.WithStrategy(planner.Exhaustive{}), planner.WithMemModel(roomyMem()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := append(append([]planner.Evaluated{}, res.Frontier...), res.Dominated...)
+	if len(all) != 6 {
+		t.Fatalf("evaluated %d points, want 6", len(all))
+	}
+	if res.Stats.SharedStructure != 4 {
+		t.Fatalf("SharedStructure = %d, want 4 (the degraded points)", res.Stats.SharedStructure)
+	}
+	for _, e := range all {
+		if len(e.Point.Degrade) == 0 {
+			continue
+		}
+		f, err := planner.ResolveFabric(e.Point, st.Fabric)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := manip.PredictGraphOnFabric(
+			manip.Request{Base: st.Config, Target: e.Point.Config(st.Config)},
+			st.Library, st.Fitted, f, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		diff := float64(e.Iteration) - float64(out.Iteration)
+		if diff < 0 {
+			diff = -diff
+		}
+		if rel := diff / float64(out.Iteration); rel > 0.02 {
+			t.Errorf("%s: retimed %v vs direct synthesis %v (%.2f%% apart)",
+				e.Point.Key(), e.Iteration, out.Iteration, 100*rel)
+		}
+	}
+}
+
+// TestPlanBnBDeterministicWithSharing: branch-and-bound over a space with
+// a degrade axis (stressing the shared-structure path) is bit-identical
+// at any worker count, including the sharing counters.
+func TestPlanBnBDeterministicWithSharing(t *testing.T) {
+	base := testConfig(t)
+	run := func(workers int) *planner.Result {
+		t.Helper()
+		tk := New(WithConcurrency(workers), WithSeed(42))
+		res, err := tk.Plan(context.Background(), base, planner.Space{
+			PP:         []int{1, 2},
+			Microbatch: []int{4, 8},
+			Degrade:    [][]float64{nil, {0.5}},
+		}, planner.WithStrategy(planner.BranchAndBound{}), planner.WithMemModel(roomyMem()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(1), run(8)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("bnb plan results differ between 1 and 8 workers:\n%+v\nvs\n%+v", a, b)
 	}
 }
 

@@ -69,6 +69,15 @@ type BaseState struct {
 	memoHits atomic.Int64
 	memoSize atomic.Int64
 
+	// structs caches synthesized execution graphs by structural identity
+	// (the full target config: same schedule, stages, microbatches ⇒ same
+	// slot DAG and base-fabric durations), so sibling planner points that
+	// differ only in fabric or degradation re-time one shared graph
+	// instead of re-synthesizing it. Bounded by structCacheCap;
+	// structCount tracks admissions.
+	structs     sync.Map // string → *structEntry
+	structCount atomic.Int64
+
 	// fingerprint digests the profile and every binding scenario results
 	// depend on; it is the profile half of scenario disk-cache keys. Empty
 	// when no disk cache is configured.
@@ -170,6 +179,10 @@ type ScenarioResult struct {
 	LibraryHits, LibraryMisses int
 	// Detail is an optional scenario-specific annotation.
 	Detail string
+	// SharedStructure reports that the prediction re-timed a structurally
+	// shared execution graph (same slot DAG, different durations) instead
+	// of synthesizing and binding its own.
+	SharedStructure bool
 	// Err is non-empty when the scenario is infeasible (e.g. a
 	// tensor-parallel change, which the paper's manipulation scope
 	// rejects) or failed; infeasible scenarios rank last.

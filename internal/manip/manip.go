@@ -377,6 +377,47 @@ func PredictGraphOnFabric(req Request, lib *Library, fitted *kernelmodel.Fitted,
 	}, nil
 }
 
+// RetimeCommOnFabric transfers a synthesized graph's collective kernels to
+// a different fabric on a copy-on-write duration view, leaving the shared
+// structure untouched — the structural-batch-replay half of the fabric
+// what-if. Each collective group is re-priced with the same transfer math
+// Predictor.Comm applies at synthesis time (measured × target/base for
+// library-calibrated shapes, the target pricer's analytic cost otherwise),
+// so sibling planner points that differ only in fabric or degradation can
+// re-time one shared graph instead of re-synthesizing it. A nil basePricer
+// selects the library fabric's default backend. Returns the number of
+// collective groups repriced.
+func RetimeCommOnFabric(v *execgraph.Retimed, lib *Library, pricer, basePricer collective.Pricer) int {
+	if basePricer == nil {
+		basePricer = collective.For(lib.fabric)
+	}
+	count := 0
+	for _, members := range v.Graph.Groups {
+		if len(members) < 2 {
+			continue
+		}
+		t0 := &v.Graph.Tasks[members[0]]
+		ranks := make([]int, len(members))
+		for i, id := range members {
+			ranks[i] = int(v.Graph.Tasks[id].Rank)
+		}
+		sort.Ints(ranks)
+		target := pricer.Cost(t0.Comm, t0.CommBytes, ranks)
+		d := target
+		if m, ok := lib.comm[commKey{t0.Comm, t0.CommBytes, len(ranks), lib.fabric.TierOf(ranks)}]; ok {
+			if base := basePricer.Cost(t0.Comm, t0.CommBytes, ranks); base > 0 && target > 0 {
+				d = trace.Dur(float64(m) * (float64(target) / float64(base)))
+			}
+		}
+		for _, id := range members {
+			v.SetDur(id, d)
+			v.SetGroupDur(id, d)
+		}
+		count++
+	}
+	return count
+}
+
 // deterministicSim returns simulator settings with all stochastic and
 // contention effects disabled: the generator must be a pure function of the
 // graph and the duration assignments, exactly like the paper's simulator.

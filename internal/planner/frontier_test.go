@@ -1,0 +1,101 @@
+package planner
+
+import (
+	"context"
+	"testing"
+
+	"lumos/internal/memcost"
+	"lumos/internal/trace"
+)
+
+// synthCand builds a hand-shaped candidate for frontier-promotion tests.
+func synthCand(mb int, bound trace.Dur, memGiB int64) Candidate {
+	return Candidate{
+		Point: Point{TP: 2, PP: 2, DP: 2, Microbatches: mb},
+		Bound: bound,
+		Mem:   memcost.Estimate{Activations: memGiB << 30},
+	}
+}
+
+// TestFrontierPicksCoverage: the helper promotes exactly the deeper-ranked
+// points no picked candidate dominates on (bound, GPU count, memory).
+func TestFrontierPicksCoverage(t *testing.T) {
+	picked := []Candidate{synthCand(1, 100, 40), synthCand(2, 110, 38)}
+	pool := []Candidate{
+		synthCand(3, 120, 39), // dominated by picked[1] (slower, more memory)
+		synthCand(4, 130, 10), // memory-cheap: frontier coverage
+		synthCand(5, 140, 9),  // cheaper still: second pick
+		synthCand(6, 150, 12), // dominated by pick mb4
+	}
+	picks, rest := frontierPicks(picked, pool, 4)
+	if len(picks) != 2 || picks[0].Point.Microbatches != 4 || picks[1].Point.Microbatches != 5 {
+		t.Fatalf("picks = %+v, want the mb4 and mb5 memory-frontier points", picks)
+	}
+	if len(rest) != 2 {
+		t.Fatalf("rest = %d points, want 2", len(rest))
+	}
+	// k caps the draft.
+	one, rest1 := frontierPicks(picked, pool, 1)
+	if len(one) != 1 || len(rest1) != 3 {
+		t.Fatalf("k=1 drafted %d picks, %d rest", len(one), len(rest1))
+	}
+}
+
+// TestBeamPromotesMemoryFrontier: a memory-cheap candidate ranked outside
+// the beam width is still simulated, and lands on the final frontier.
+func TestBeamPromotesMemoryFrontier(t *testing.T) {
+	cands := []Candidate{
+		synthCand(1, 100, 40),
+		synthCand(2, 105, 41),
+		synthCand(3, 110, 42),
+		synthCand(4, 115, 43),
+		synthCand(5, 200, 5), // would be culled by bound-only ranking
+	}
+	sim := admissibleSim()
+	es, err := Beam{Width: 4}.Search(context.Background(), cands, 0, sim.fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, e := range es {
+		if e.Point.Microbatches == 5 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("beam culled the memory-frontier point: evaluated %d candidates", len(es))
+	}
+	// Budget still caps the batch, extras included.
+	sim2 := admissibleSim()
+	es2, err := Beam{Width: 4}.Search(context.Background(), cands, 4, sim2.fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(es2) > 4 {
+		t.Fatalf("budget 4 but beam simulated %d", len(es2))
+	}
+}
+
+// TestHalvingPromotesMemoryFrontier: successive halving's cohorts carry
+// the same insurance.
+func TestHalvingPromotesMemoryFrontier(t *testing.T) {
+	var cands []Candidate
+	for i := 1; i <= 12; i++ {
+		cands = append(cands, synthCand(i, trace.Dur(100+i), int64(40+i)))
+	}
+	cands = append(cands, synthCand(64, 500, 2)) // slow but tiny footprint
+	sim := admissibleSim()
+	es, err := SuccessiveHalving{Explore: -1}.Search(context.Background(), cands, 0, sim.fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, e := range es {
+		if e.Point.Microbatches == 64 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("halving culled the memory-frontier point")
+	}
+}

@@ -33,6 +33,10 @@ import (
 type Outcome struct {
 	// Iteration is the predicted per-iteration time.
 	Iteration trace.Dur
+	// SharedStructure reports that the point re-timed a structurally
+	// shared execution graph instead of synthesizing its own (see
+	// Stats.SharedStructure).
+	SharedStructure bool
 	// Err is non-empty when the simulation rejected or failed the point.
 	Err string
 }
@@ -86,6 +90,40 @@ func ceilDiv(x, d int) int {
 	return (x + d - 1) / d
 }
 
+// frontierPicks drafts up to k frontier-coverage extras: candidates from
+// pool (bound order preserved) that nothing already picked analytically
+// dominates on the objectives the final frontier ranks — cost bound, GPU
+// count, peak memory. Ranking cohorts on the bound alone culls
+// memory-cheap or small-world points that would have survived the
+// multi-objective split; these picks are their insurance. Returns the
+// picks and the un-picked remainder of pool.
+func frontierPicks(picked, pool []Candidate, k int) (picks, rest []Candidate) {
+	for _, c := range pool {
+		if len(picks) >= k {
+			rest = append(rest, c)
+			continue
+		}
+		dominated := false
+		for _, lists := range [2][]Candidate{picked, picks} {
+			for _, p := range lists {
+				if p.Bound <= c.Bound && p.Point.World() <= c.Point.World() && p.Mem.Total() <= c.Mem.Total() {
+					dominated = true
+					break
+				}
+			}
+			if dominated {
+				break
+			}
+		}
+		if dominated {
+			rest = append(rest, c)
+		} else {
+			picks = append(picks, c)
+		}
+	}
+	return picks, rest
+}
+
 // --- Exhaustive -------------------------------------------------------------
 
 // Exhaustive simulates every feasible candidate (bound-ranked truncation
@@ -111,8 +149,10 @@ func (Exhaustive) Search(ctx context.Context, cands []Candidate, budget int, sim
 
 // --- Beam -------------------------------------------------------------------
 
-// Beam promotes only the Width most promising candidates by analytic bound
-// — one simulation batch, bounded cost regardless of space size.
+// Beam promotes only the Width most promising candidates by analytic
+// bound, plus up to Width/4 frontier-coverage extras no beam member
+// analytically dominates on (bound, GPU count, memory) — one simulation
+// batch, bounded cost regardless of space size.
 type Beam struct {
 	// Width is the beam size. Zero selects 8.
 	Width int
@@ -138,11 +178,20 @@ func (b Beam) Search(ctx context.Context, cands []Candidate, budget int, sim Sim
 	if budget > 0 && w > budget {
 		w = budget
 	}
-	outs, err := sim(ctx, pool[:w])
+	batch := append([]Candidate{}, pool[:w]...)
+	extra := ceilDiv(w, 4)
+	if budget > 0 && extra > budget-w {
+		extra = budget - w
+	}
+	if extra > 0 {
+		picks, _ := frontierPicks(batch, pool[w:], extra)
+		batch = append(batch, picks...)
+	}
+	outs, err := sim(ctx, batch)
 	if err != nil {
 		return nil, err
 	}
-	return zip(pool[:w], outs), nil
+	return zip(batch, outs), nil
 }
 
 // --- Successive halving -----------------------------------------------------
@@ -219,6 +268,20 @@ func (s SuccessiveHalving) Search(ctx context.Context, cands []Candidate, budget
 			break
 		}
 		batch, rest := s.draft(remaining, take, draw)
+		// Frontier-coverage insurance: promote deeper-ranked points no
+		// cohort member analytically dominates on (bound, GPU count,
+		// memory), so memory-cheap schedules survive the bound-only cull.
+		extra := ceilDiv(len(batch), 4)
+		if budget > 0 {
+			if left := budget - promoted - len(batch); extra > left {
+				extra = left
+			}
+		}
+		if extra > 0 {
+			var picks []Candidate
+			picks, rest = frontierPicks(batch, rest, extra)
+			batch = append(batch, picks...)
+		}
 		remaining = rest
 		promoted += len(batch)
 
@@ -370,6 +433,18 @@ type Stats struct {
 	Simulated, SimRequests int
 	// Rounds is the number of simulation batches the strategy ran.
 	Rounds int
+	// BoundPruned counts points branch-and-bound discarded because their
+	// subtree's admissible lower bound exceeded the incumbent simulated
+	// time; DominatedPruned the subset additionally dominated by an
+	// already simulated point on every frontier objective. Both are zero
+	// for strategies that expand the space eagerly. Under a budget the
+	// unexplored remainder is counted in neither bucket, so the partition
+	// SpaceSize = rejections + Feasible + pruned holds only budget-free.
+	BoundPruned, DominatedPruned int
+	// SharedStructure counts simulated points that re-timed a structurally
+	// shared execution graph (same slot DAG, different durations) instead
+	// of synthesizing and binding their own.
+	SharedStructure int
 }
 
 // Result is a completed plan: the Pareto frontier over (iteration time,
@@ -417,58 +492,85 @@ func Plan(ctx context.Context, base parallel.Config, space Space,
 
 	bounder := NewBounder(base, fabric, pricer, o.Mem)
 	stats := Stats{}
-	var feasible []Candidate
 	var infeasible []Candidate
-	space.ForEach(base, func(p Point) bool {
-		stats.SpaceSize++
-		c := bounder.Candidate(p)
-		if c.Infeasible == "" {
-			feasible = append(feasible, c)
-			return true
-		}
-		switch {
-		case c.OOM:
-			stats.MemRejected++
-		case c.BadSchedule:
-			stats.ScheduleRejected++
-		default:
-			stats.ScopeRejected++
-		}
+	retain := func(c Candidate) {
 		if len(infeasible) < maxInfeasible {
 			infeasible = append(infeasible, c)
-		}
-		return true
-	})
-	stats.Feasible = len(feasible)
-
-	strat := o.Strategy
-	if strat == nil {
-		if len(feasible) <= AutoThreshold {
-			strat = Exhaustive{}
-		} else {
-			strat = SuccessiveHalving{}
 		}
 	}
 
 	// The engine meters the strategy's use of the simulator: unique points
-	// promoted, total requests (the difference hit the scenario cache), and
-	// batch rounds.
+	// promoted, total requests (the difference hit the scenario cache),
+	// batch rounds, and structure sharing among fresh points.
 	seen := map[string]bool{}
 	metered := func(ctx context.Context, cands []Candidate) ([]Outcome, error) {
 		stats.Rounds++
 		stats.SimRequests += len(cands)
-		for _, c := range cands {
+		fresh := make([]bool, len(cands))
+		for i, c := range cands {
 			if k := c.Point.Key(); !seen[k] {
 				seen[k] = true
 				stats.Simulated++
+				fresh[i] = true
 			}
 		}
-		return sim(ctx, cands)
+		outs, err := sim(ctx, cands)
+		if err == nil {
+			for i := range cands {
+				if fresh[i] && i < len(outs) && outs[i].SharedStructure {
+					stats.SharedStructure++
+				}
+			}
+		}
+		return outs, err
 	}
 
-	evaluated, err := strat.Search(ctx, feasible, o.Budget, metered)
-	if err != nil {
-		return nil, err
+	var evaluated []Evaluated
+	var err error
+	strat := o.Strategy
+	if ss, ok := strat.(spaceStrategy); ok {
+		// Space-aware strategies expand lazily and keep the rejection and
+		// pruning tables themselves — the space is never materialized here.
+		evaluated, err = ss.searchSpace(ctx, &spaceSearch{
+			base: base, space: space, bounder: bounder,
+			budget: o.Budget, sim: metered, stats: &stats, retain: retain,
+		})
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		var feasible []Candidate
+		space.ForEach(base, func(p Point) bool {
+			stats.SpaceSize++
+			c := bounder.Candidate(p)
+			if c.Infeasible == "" {
+				feasible = append(feasible, c)
+				return true
+			}
+			switch {
+			case c.OOM:
+				stats.MemRejected++
+			case c.BadSchedule:
+				stats.ScheduleRejected++
+			default:
+				stats.ScopeRejected++
+			}
+			retain(c)
+			return true
+		})
+		stats.Feasible = len(feasible)
+
+		if strat == nil {
+			if len(feasible) <= AutoThreshold {
+				strat = Exhaustive{}
+			} else {
+				strat = SuccessiveHalving{}
+			}
+		}
+		evaluated, err = strat.Search(ctx, feasible, o.Budget, metered)
+		if err != nil {
+			return nil, err
+		}
 	}
 
 	var ok []Evaluated

@@ -210,9 +210,10 @@ type PlanRequest struct {
 	Schedules []string  `json:"schedules,omitempty"`
 	Fabrics   []string  `json:"fabrics,omitempty"`
 	Degrade   []float64 `json:"degrade,omitempty"`
-	Strategy  string    `json:"strategy,omitempty"` // auto|exhaustive|beam|halving
+	Strategy  string    `json:"strategy,omitempty"` // auto|exhaustive|beam|halving|bnb
 	Beam      int       `json:"beam,omitempty"`
 	Eta       int       `json:"eta,omitempty"`
+	Batch     int       `json:"batch,omitempty"` // bnb simulation batch size (0 = default)
 	Budget    int       `json:"budget,omitempty"`
 	GPUMemGiB float64   `json:"gpu_mem_gib,omitempty"`
 	ZeRO      int       `json:"zero,omitempty"`
@@ -274,8 +275,10 @@ func (req *PlanRequest) options() ([]lumos.PlanOption, error) {
 			eta = 3
 		}
 		opts = append(opts, lumos.WithPlanStrategy(lumos.HalvingStrategy(eta)))
+	case "bnb":
+		opts = append(opts, lumos.WithPlanStrategy(lumos.BranchAndBoundStrategy(req.Batch)))
 	default:
-		return nil, fmt.Errorf("unknown strategy %q (want auto|exhaustive|beam|halving)", req.Strategy)
+		return nil, fmt.Errorf("unknown strategy %q (want auto|exhaustive|beam|halving|bnb)", req.Strategy)
 	}
 	if req.Budget > 0 {
 		opts = append(opts, lumos.WithPlanBudget(req.Budget))
@@ -325,6 +328,9 @@ type PlanStats struct {
 	Simulated         int `json:"simulated"`
 	SimRequests       int `json:"sim_requests"`
 	Rounds            int `json:"rounds"`
+	BoundPruned       int `json:"bound_pruned,omitempty"`
+	DominatedPruned   int `json:"dominated_pruned,omitempty"`
+	SharedStructure   int `json:"shared_structure,omitempty"`
 	DominatedRetained int `json:"dominated_retained"`
 }
 
@@ -375,12 +381,25 @@ type RequestStats struct {
 	Errors   int64 `json:"errors"`
 }
 
+// SearchStats aggregates planner search effort across every plan request
+// served since startup: how many points were fully simulated, how many
+// subtree points branch-and-bound pruned without simulating, and how many
+// simulations re-timed a structurally shared graph instead of
+// re-synthesizing.
+type SearchStats struct {
+	Simulated       int64 `json:"simulated"`
+	BoundPruned     int64 `json:"bound_pruned"`
+	DominatedPruned int64 `json:"dominated_pruned"`
+	SharedStructure int64 `json:"shared_structure"`
+}
+
 // StatsResponse is the GET /v1/stats response.
 type StatsResponse struct {
 	UptimeSeconds float64        `json:"uptime_s"`
 	Workers       int            `json:"workers"`
 	Seed          uint64         `json:"seed"`
 	Requests      RequestStats   `json:"requests"`
+	Search        SearchStats    `json:"search"`
 	Profiles      []ProfileStats `json:"profiles"`
 	Disk          *DiskStats     `json:"disk,omitempty"`
 }

@@ -91,7 +91,14 @@ type Server struct {
 	nSweeps   atomic.Int64
 	nPlans    atomic.Int64
 	nErrors   atomic.Int64
-	start     time.Time
+
+	// Aggregate planner search effort across every plan request served.
+	nSimulated       atomic.Int64
+	nBoundPruned     atomic.Int64
+	nDominatedPruned atomic.Int64
+	nSharedStructure atomic.Int64
+
+	start time.Time
 }
 
 // New builds a Server around one shared Toolkit: one worker pool, one
@@ -420,6 +427,10 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.nPlans.Add(1)
+	s.nSimulated.Add(int64(res.Stats.Simulated))
+	s.nBoundPruned.Add(int64(res.Stats.BoundPruned))
+	s.nDominatedPruned.Add(int64(res.Stats.DominatedPruned))
+	s.nSharedStructure.Add(int64(res.Stats.SharedStructure))
 
 	baseIter := p.state.Iteration
 	point := func(rank int, e lumos.PlanEvaluated) PlanPoint {
@@ -451,6 +462,9 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 			Simulated:         res.Stats.Simulated,
 			SimRequests:       res.Stats.SimRequests,
 			Rounds:            res.Stats.Rounds,
+			BoundPruned:       res.Stats.BoundPruned,
+			DominatedPruned:   res.Stats.DominatedPruned,
+			SharedStructure:   res.Stats.SharedStructure,
 			DominatedRetained: len(res.Dominated),
 		},
 	}
@@ -495,6 +509,12 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Sweeps:   s.nSweeps.Load(),
 			Plans:    s.nPlans.Load(),
 			Errors:   s.nErrors.Load(),
+		},
+		Search: SearchStats{
+			Simulated:       s.nSimulated.Load(),
+			BoundPruned:     s.nBoundPruned.Load(),
+			DominatedPruned: s.nDominatedPruned.Load(),
+			SharedStructure: s.nSharedStructure.Load(),
 		},
 		Profiles: make([]ProfileStats, len(list)),
 	}

@@ -216,6 +216,48 @@ func TestPlanWarmStartSharedCacheDir(t *testing.T) {
 	}
 }
 
+// TestPlanBnBStats posts a branch-and-bound plan and checks the pruning
+// and shared-structure counters flow through the response and into the
+// GET /v1/stats aggregate.
+func TestPlanBnBStats(t *testing.T) {
+	s := New(Config{Seed: 42})
+	createProfile(t, s, "fig7", http.StatusCreated)
+	req := PlanRequest{
+		Profile:  "fig7",
+		PPRange:  []int{1, 2},
+		MBRange:  []int{4, 8},
+		Degrade:  []float64{0.5},
+		Strategy: "bnb",
+	}
+	resp := decodeBody[PlanResponse](t, do(t, s, "POST", "/v1/plan", req))
+	if resp.Strategy != "bnb" {
+		t.Fatalf("strategy = %q, want bnb", resp.Strategy)
+	}
+	if resp.Best == nil || resp.Stats.Simulated == 0 {
+		t.Fatalf("degenerate bnb response: %+v", resp)
+	}
+	if resp.Stats.BoundPruned+resp.Stats.DominatedPruned == 0 {
+		t.Fatalf("bnb pruned nothing: %+v", resp.Stats)
+	}
+	if resp.Stats.SharedStructure == 0 {
+		t.Fatalf("degrade points did not share structure: %+v", resp.Stats)
+	}
+
+	stats := decodeBody[StatsResponse](t, do(t, s, "GET", "/v1/stats", nil))
+	if got, want := stats.Search.Simulated, int64(resp.Stats.Simulated); got != want {
+		t.Fatalf("aggregate simulated %d, want %d", got, want)
+	}
+	if got, want := stats.Search.BoundPruned, int64(resp.Stats.BoundPruned); got != want {
+		t.Fatalf("aggregate bound-pruned %d, want %d", got, want)
+	}
+	if got, want := stats.Search.DominatedPruned, int64(resp.Stats.DominatedPruned); got != want {
+		t.Fatalf("aggregate dominated-pruned %d, want %d", got, want)
+	}
+	if got, want := stats.Search.SharedStructure, int64(resp.Stats.SharedStructure); got != want {
+		t.Fatalf("aggregate shared-structure %d, want %d", got, want)
+	}
+}
+
 func TestRequestValidation(t *testing.T) {
 	s := New(Config{Seed: 42})
 	createProfile(t, s, "fig7", http.StatusCreated)

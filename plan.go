@@ -78,6 +78,14 @@ func BeamStrategy(width int) PlanStrategy { return planner.Beam{Width: width} }
 // cache. eta <= 0 selects 3.
 func HalvingStrategy(eta int) PlanStrategy { return planner.SuccessiveHalving{Eta: eta} }
 
+// BranchAndBoundStrategy is exact search at guided-search cost: lazy
+// subspace expansion with admissible analytic lower bounds, a bound-ranked
+// priority queue, and wholesale pruning of subtrees that cannot beat the
+// incumbent. Returns the same best point as ExhaustiveStrategy while
+// simulating strictly fewer points. batch sets how many bound-minimal
+// heads are simulated per round; batch <= 0 selects the default.
+func BranchAndBoundStrategy(batch int) PlanStrategy { return planner.BranchAndBound{Batch: batch} }
+
 // WithPlanStrategy selects the search strategy. The default is exhaustive
 // for small candidate sets and successive halving beyond.
 func WithPlanStrategy(s PlanStrategy) PlanOption { return planner.WithStrategy(s) }
