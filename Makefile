@@ -3,15 +3,15 @@ GO ?= go
 # SWEEP_BENCH selects the sweep/planner hot-path benchmarks (shared
 # calibration, uncached throughput, fabric binding, schedule campaigns,
 # strategy-labeled plan search) shared by bench and bench-smoke.
-SWEEP_BENCH = BenchmarkSweep_SharedCalibration$$|BenchmarkSweepThroughput$$|BenchmarkSweep_FabricCampaign|BenchmarkSweep_ScheduleCampaign|BenchmarkSweep_DiskCacheWarmStart|BenchmarkPlan_BeamVsExhaustive|BenchmarkPlan_BranchAndBound
+SWEEP_BENCH = BenchmarkSweep_SharedCalibration$$|BenchmarkSweepThroughput$$|BenchmarkReplayEngine|BenchmarkSweep_FabricCampaign|BenchmarkSweep_ScheduleCampaign|BenchmarkSweep_DiskCacheWarmStart|BenchmarkPlan_BeamVsExhaustive|BenchmarkPlan_BranchAndBound
 
-.PHONY: check fmt vet build test race bench bench-smoke benchsmoke plan-smoke schedule-smoke serve-smoke
+.PHONY: check fmt vet build test race alloc-guard bench bench-diff bench-smoke benchsmoke plan-smoke schedule-smoke serve-smoke
 
 # check is the CI gate: formatting, static analysis, full build, tests,
-# the race detector on the concurrent service/cache packages, a
-# one-iteration benchmark smoke pass, and the planner, schedule and
-# planning-service acceptance smokes.
-check: fmt vet build test race benchsmoke plan-smoke schedule-smoke serve-smoke
+# the race detector on the concurrent service/cache/replay packages, the
+# compiled-engine allocation budget, a one-iteration benchmark smoke pass,
+# and the planner, schedule and planning-service acceptance smokes.
+check: fmt vet build test race alloc-guard benchsmoke plan-smoke schedule-smoke serve-smoke
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -27,9 +27,17 @@ test:
 	$(GO) test ./...
 
 # race runs the packages with real request-level concurrency — the lumosd
-# service and the shared disk cache — under the race detector.
+# service, the shared disk cache, the pooled replay engines, and the
+# batch-evaluating planner — under the race detector.
 race:
-	$(GO) test -race ./internal/server/ ./internal/scache/
+	$(GO) test -race ./internal/server/ ./internal/scache/ ./internal/replay/ ./internal/planner/
+
+# alloc-guard enforces the compiled replay engine's zero-allocation
+# contract: a retimed run on warm scratch must stay within a fixed
+# allocation budget (testing.AllocsPerRun), so interface boxing or map
+# churn sneaking back into the hot loop fails CI, not a profile.
+alloc-guard:
+	$(GO) test -run TestReplayAllocBudget -count 1 ./internal/replay/
 
 # benchsmoke runs every benchmark once as a regression canary.
 benchsmoke:
@@ -45,6 +53,17 @@ bench:
 	$(GO) test -run xxx -bench '$(SWEEP_BENCH)' \
 		-benchmem -benchtime 20x -count 1 . > BENCH_sweep.txt
 	$(GO) run ./cmd/benchjson < BENCH_sweep.txt > BENCH_sweep.json
+
+# bench-diff re-measures the sweep benchmarks and compares them against the
+# last archived BENCH_sweep.json: it prints Δns/op and Δallocs/op per benchmark
+# and exits non-zero when any regresses beyond 10% (override with
+# BENCH_DIFF_THRESHOLD), so perf changes land with their receipts.
+BENCH_DIFF_THRESHOLD ?= 10
+bench-diff:
+	$(GO) test -run xxx -bench '$(SWEEP_BENCH)' \
+		-benchmem -benchtime 20x -count 1 . > BENCH_new.txt
+	$(GO) run ./cmd/benchjson < BENCH_new.txt > BENCH_new.json
+	$(GO) run ./cmd/benchjson diff -threshold $(BENCH_DIFF_THRESHOLD) BENCH_sweep.json BENCH_new.json
 
 # bench-smoke runs the sweep benchmarks exactly once: a fast CI gate so
 # fabric-binding or calibration regressions in the hot path fail the build

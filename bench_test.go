@@ -490,6 +490,49 @@ func BenchmarkSweepThroughput(b *testing.B) {
 	b.ReportMetric(float64(len(scenarios)), "scenarios/sweep")
 }
 
+// BenchmarkReplayEngine measures the replay engines head to head on the
+// retimed what-if hot path: a campaign of kernel-class retimings and
+// fusion what-ifs (each a full replay of the shared base graph) under the
+// compiled structure-of-arrays engine and the reference interpreter.
+// Sub-benchmarks carry an engine=<compiled|interpreted> label that
+// cmd/benchjson records in BENCH_sweep.json, so the compiled engine's
+// speedup is tracked release over release; the engines are bit-identical
+// (TestEngineEquivalenceCampaign), so only the costs may differ.
+func BenchmarkReplayEngine(b *testing.B) {
+	ctx := context.Background()
+	cfg, err := DeploymentConfig(GPT3_15B(), 2, 2, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg.Microbatches = 4
+	scenarios := []Scenario{BaselineScenario(), FusionScenario()}
+	for _, class := range []KernelClass{KCGEMM, KCAttention, KCElementwise, KCNorm, KCComm} {
+		scenarios = append(scenarios,
+			ClassScaleScenario(class, 0.5),
+			ClassScaleScenario(class, 0.9),
+		)
+	}
+	for _, kind := range []EngineKind{EngineCompiled, EngineInterpreted} {
+		tk := New(WithConcurrency(4), WithScenarioCache(false), WithSeed(42), WithReplayEngine(kind))
+		base, err := tk.Prepare(ctx, cfg, 42)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("engine=%s", kind), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				sweep, err := tk.EvaluateState(ctx, base, scenarios...)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(sweep.Results) != len(scenarios) {
+					b.Fatal("scenario lost")
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkSweep_FabricCampaign measures the fabric-binding hot path per
 // topology: a campaign of fabric × degradation what-ifs evaluated against
 // prepared base state, with memoization disabled so every iteration pays

@@ -2,11 +2,21 @@
 // array on stdout, one object per benchmark result line, so CI and the
 // Makefile's bench target can archive machine-readable numbers (e.g.
 // BENCH_sweep.json) without external tooling.
+//
+// The diff subcommand compares two such archives:
+//
+//	benchjson diff [-threshold pct] old.json new.json
+//
+// It prints Δns/op and Δallocs/op per benchmark label and exits non-zero
+// when any benchmark regressed by more than the threshold (default 10%),
+// so `make bench-diff` can gate performance changes against the committed
+// BENCH_sweep.json.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"regexp"
@@ -37,7 +47,12 @@ type result struct {
 	// Cache is the cache-temperature label for disk-cache benchmarks
 	// (sub-benchmark names containing "cache=<cold|warm>"), so the
 	// warm-start speedup is directly readable from BENCH_sweep.json.
-	Cache      string             `json:"cache,omitempty"`
+	Cache string `json:"cache,omitempty"`
+	// Engine is the replay-engine label for engine-comparison benchmarks
+	// (sub-benchmark names containing "engine=<compiled|interpreted>"), so
+	// the compiled engine's speedup is directly readable from
+	// BENCH_sweep.json.
+	Engine     string             `json:"engine,omitempty"`
 	NsPerOp    float64            `json:"ns_per_op,omitempty"`
 	BytesPerOp float64            `json:"bytes_per_op,omitempty"`
 	AllocsOp   float64            `json:"allocs_per_op,omitempty"`
@@ -57,6 +72,7 @@ var (
 	spaceRe    = regexp.MustCompile(`space=([^/]+?)(?:-\d+)?(?:/|$)`)
 	scheduleRe = regexp.MustCompile(`schedule=([^/]+?)(?:-\d+)?(?:/|$)`)
 	cacheRe    = regexp.MustCompile(`cache=([^/]+?)(?:-\d+)?(?:/|$)`)
+	engineRe   = regexp.MustCompile(`engine=([^/]+?)(?:-\d+)?(?:/|$)`)
 )
 
 func parseLine(line string) (result, bool) {
@@ -84,6 +100,9 @@ func parseLine(line string) (result, bool) {
 	if m := cacheRe.FindStringSubmatch(fields[0]); m != nil {
 		r.Cache = m[1]
 	}
+	if m := engineRe.FindStringSubmatch(fields[0]); m != nil {
+		r.Engine = m[1]
+	}
 	// The remainder alternates value / unit.
 	for i := 2; i+1 < len(fields); i += 2 {
 		v, err := strconv.ParseFloat(fields[i], 64)
@@ -107,7 +126,108 @@ func parseLine(line string) (result, bool) {
 	return r, true
 }
 
+// canonicalName strips the GOMAXPROCS suffix go test appends, so archives
+// recorded on machines with different core counts remain comparable.
+var procSuffixRe = regexp.MustCompile(`-\d+$`)
+
+func canonicalName(name string) string { return procSuffixRe.ReplaceAllString(name, "") }
+
+// loadArchive reads one benchjson-produced JSON archive into a map keyed
+// by canonical benchmark name, last entry winning for duplicates.
+func loadArchive(path string) (map[string]result, []string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	var rs []result
+	if err := json.Unmarshal(data, &rs); err != nil {
+		return nil, nil, fmt.Errorf("%s: %w", path, err)
+	}
+	m := make(map[string]result, len(rs))
+	var order []string
+	for _, r := range rs {
+		key := canonicalName(r.Name)
+		if _, seen := m[key]; !seen {
+			order = append(order, key)
+		}
+		m[key] = r
+	}
+	return m, order, nil
+}
+
+// pctDelta is the relative change new vs old in percent; ok=false when the
+// old value is zero (no baseline to compare against).
+func pctDelta(oldV, newV float64) (float64, bool) {
+	if oldV == 0 {
+		return 0, false
+	}
+	return (newV - oldV) / oldV * 100, true
+}
+
+// diffMain implements `benchjson diff [-threshold pct] old.json new.json`.
+func diffMain(args []string) {
+	fs := flag.NewFlagSet("diff", flag.ExitOnError)
+	threshold := fs.Float64("threshold", 10, "regression threshold in percent; exceeding it on ns/op or allocs/op fails the diff")
+	_ = fs.Parse(args)
+	if fs.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchjson diff [-threshold pct] old.json new.json")
+		os.Exit(2)
+	}
+	oldM, _, err := loadArchive(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	newM, newOrder, err := loadArchive(fs.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+
+	regressions := 0
+	fmt.Printf("%-72s %14s %14s\n", "benchmark", "Δns/op", "Δallocs/op")
+	for _, key := range newOrder {
+		nw := newM[key]
+		od, ok := oldM[key]
+		if !ok {
+			fmt.Printf("%-72s %14s %14s\n", key, "new", "new")
+			continue
+		}
+		cell := func(oldV, newV float64) string {
+			d, ok := pctDelta(oldV, newV)
+			if !ok {
+				return "n/a"
+			}
+			return fmt.Sprintf("%+.1f%%", d)
+		}
+		flag := ""
+		if d, ok := pctDelta(od.NsPerOp, nw.NsPerOp); ok && d > *threshold {
+			flag = "  REGRESSION"
+		}
+		if d, ok := pctDelta(od.AllocsOp, nw.AllocsOp); ok && d > *threshold {
+			flag = "  REGRESSION"
+		}
+		if flag != "" {
+			regressions++
+		}
+		fmt.Printf("%-72s %14s %14s%s\n", key, cell(od.NsPerOp, nw.NsPerOp), cell(od.AllocsOp, nw.AllocsOp), flag)
+	}
+	for key := range oldM {
+		if _, ok := newM[key]; !ok {
+			fmt.Printf("%-72s %14s %14s\n", key, "gone", "gone")
+		}
+	}
+	if regressions > 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: %d benchmark(s) regressed beyond %.0f%%\n", regressions, *threshold)
+		os.Exit(1)
+	}
+}
+
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "diff" {
+		diffMain(os.Args[2:])
+		return
+	}
 	var results []result
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)

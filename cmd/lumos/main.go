@@ -673,8 +673,11 @@ func cmdPlan(ctx context.Context, args []string) error {
 	if s.BoundPruned > 0 || s.DominatedPruned > 0 {
 		fmt.Printf("pruned without simulating: %d by bound, %d dominated\n", s.BoundPruned, s.DominatedPruned)
 	}
-	fmt.Printf("simulated %d unique points (%d re-timed a shared graph) in %d rounds (%d requests, %d served by the scenario cache) in %v\n\n",
+	fmt.Printf("simulated %d unique points (%d re-timed a shared graph) in %d rounds (%d requests, %d served by the scenario cache) in %v\n",
 		s.Simulated, s.SharedStructure, s.Rounds, s.SimRequests, s.SimRequests-s.Simulated, time.Since(t0).Round(time.Millisecond))
+	cs := st.CacheStats()
+	fmt.Printf("replay engine: %d programs compiled, %d compiled runs, %d interpreted runs\n\n",
+		cs.CompiledPrograms, cs.CompiledRuns, cs.InterpretedRuns)
 
 	printPlanPoint := func(rank int, e lumos.PlanEvaluated) {
 		speedup := 0.0

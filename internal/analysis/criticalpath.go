@@ -102,8 +102,8 @@ func CriticalPath(g *execgraph.Graph, res *replay.Result) []PathEntry {
 // 0.5), answering the what-if questions from the paper's discussion
 // section. The retiming is a copy-on-write view — only the duration
 // columns are copied, never the task array — replayed on the given
-// simulator.
-func WhatIfScaleSim(sim *replay.Simulator, g *execgraph.Graph, match func(*execgraph.Task) bool, factor float64) (trace.Dur, error) {
+// engine (the interpreted Simulator or the compiled engine).
+func WhatIfScaleSim(sim replay.Engine, g *execgraph.Graph, match func(*execgraph.Task) bool, factor float64) (trace.Dur, error) {
 	v := execgraph.NewRetimed(g)
 	v.Scale(match, factor)
 	res, err := sim.RunRetimed(v)

@@ -107,9 +107,10 @@ func ApplyFusion(v *execgraph.Retimed, opts FusionOpts) (fusedGroups, kernelsRem
 
 // WhatIfFusionSim estimates the end-to-end effect of fusing consecutive
 // eligible kernels, replaying a retimed view of the graph on the given
-// simulator. baseline is the unfused iteration time (typically already
-// known from the campaign's base replay, so it is not recomputed here).
-func WhatIfFusionSim(sim *replay.Simulator, g *execgraph.Graph, opts FusionOpts, baseline trace.Dur) (FusionReport, error) {
+// engine (interpreted or compiled). baseline is the unfused iteration time
+// (typically already known from the campaign's base replay, so it is not
+// recomputed here).
+func WhatIfFusionSim(sim replay.Engine, g *execgraph.Graph, opts FusionOpts, baseline trace.Dur) (FusionReport, error) {
 	rep := FusionReport{Baseline: baseline}
 	v := execgraph.NewRetimed(g)
 	rep.FusedGroups, rep.KernelsRemoved = ApplyFusion(v, opts)

@@ -144,16 +144,14 @@ func (tk *Toolkit) calibrationFor(m *trace.Multi, f topology.Fabric, traceFP str
 		} else if c != nil {
 			disk = c
 			key = tk.calibrationKey(traceFP, f)
-			if payload, ok := disk.Get(key); ok {
-				var snap calibrationSnapshot
-				if err := json.Unmarshal(payload, &snap); err == nil {
-					lib := manip.LibraryFromSnapshot(snap.Library, f)
-					fitted := kernelmodel.FittedFromSnapshot(snap.Fitted, f, fallback())
-					return lib, fitted, nil
-				}
-				// A payload that validated at the envelope level but does not
-				// decode is a foreign writer at our key; fall through and
-				// overwrite it with a fresh calibration.
+			// GetInto discards payloads that validate at the envelope level
+			// but do not decode (a foreign writer at our key); we then fall
+			// through and overwrite with a fresh calibration.
+			var snap calibrationSnapshot
+			if disk.GetInto(key, &snap) {
+				lib := manip.LibraryFromSnapshot(snap.Library, f)
+				fitted := kernelmodel.FittedFromSnapshot(snap.Fitted, f, fallback())
+				return lib, fitted, nil
 			}
 		}
 	}
@@ -182,13 +180,11 @@ func scenarioDiskKey(profileFP, scenarioFP string) string {
 
 // diskLoad fetches and decodes a scenario result; ok is false on any miss,
 // decode failure, or infeasible payload (only feasible results are cached).
+// GetInto decodes the payload in place on a pooled read buffer, so a warm
+// sweep pays one struct decode per served scenario and no payload copies.
 func diskLoad(disk *scache.Cache, key string) (ScenarioResult, bool) {
-	payload, ok := disk.Get(key)
-	if !ok {
-		return ScenarioResult{}, false
-	}
 	var res ScenarioResult
-	if err := json.Unmarshal(payload, &res); err != nil || !res.Feasible() {
+	if !disk.GetInto(key, &res) || !res.Feasible() {
 		return ScenarioResult{}, false
 	}
 	return res, true

@@ -70,6 +70,32 @@ type Options struct {
 	// CacheCap is the disk cache eviction size cap in bytes; <= 0 selects
 	// the scache default.
 	CacheCap int64
+	// Engine selects the replay engine (see WithReplayEngine). The zero
+	// value is the compiled engine.
+	Engine EngineKind
+}
+
+// EngineKind selects which replay engine campaigns simulate with. The two
+// engines are bit-identical on every graph (enforced by equivalence tests);
+// they differ only in cost per run.
+type EngineKind int
+
+const (
+	// EngineCompiled lowers each graph once into a structure-of-arrays
+	// program (CSR edges, dense resource lanes) executed on pooled
+	// zero-alloc scratch state. The default.
+	EngineCompiled EngineKind = iota
+	// EngineInterpreted is the reference Algorithm 1 interpreter,
+	// retained for cross-checking the compiled engine.
+	EngineInterpreted
+)
+
+// String names the engine for stats and CLI output.
+func (k EngineKind) String() string {
+	if k == EngineInterpreted {
+		return "interpreted"
+	}
+	return "compiled"
 }
 
 // Option configures a Toolkit.
@@ -107,6 +133,14 @@ func WithReplayOptions(r replay.Options) Option {
 	return func(o *Options) { o.Replay = &r }
 }
 
+// WithReplayEngine selects the replay engine: the compiled
+// structure-of-arrays engine (the default) or the reference interpreter.
+// Predictions are bit-identical under either; the interpreter exists to
+// cross-check the compiled engine and as a debugging baseline.
+func WithReplayEngine(k EngineKind) Option {
+	return func(o *Options) { o.Engine = k }
+}
+
 // WithConcurrency bounds the number of scenarios evaluated in parallel
 // during a sweep. n <= 0 restores the default.
 func WithConcurrency(n int) Option {
@@ -137,9 +171,16 @@ type Toolkit struct {
 	profiles      atomic.Int64
 	libraryBuilds atomic.Int64
 
-	// simPool recycles replay simulators (with their preallocated per-task
-	// state) across sweep workers and what-if calls.
+	// simPool recycles replay engines (with their preallocated per-task
+	// scratch state) across sweep workers and what-if calls; the pooled
+	// kind follows opts.Engine.
 	simPool sync.Pool
+	// timingsPool recycles flat duration columns for compiled retimed runs
+	// (one buffer pair per in-flight planner point).
+	timingsPool sync.Pool
+	// engineMeter aggregates replay-engine activity (programs compiled,
+	// runs per engine) across every pooled engine and campaign state.
+	engineMeter replay.Counters
 
 	// cacheOnce lazily opens the disk cache configured by CacheDir; every
 	// campaign and prediction on this toolkit shares one handle.
@@ -157,16 +198,64 @@ func New(opts ...Option) *Toolkit {
 	return &Toolkit{opts: o}
 }
 
-// acquireSim takes a pooled simulator (allocating on first use).
-func (tk *Toolkit) acquireSim() *replay.Simulator {
-	if s, ok := tk.simPool.Get().(*replay.Simulator); ok {
+// acquireEngine takes a pooled replay engine (allocating on first use).
+func (tk *Toolkit) acquireEngine() replay.Engine {
+	if e, ok := tk.simPool.Get().(replay.Engine); ok {
+		return e
+	}
+	if tk.opts.Engine == EngineInterpreted {
+		s := replay.NewSimulator(tk.replayOpts())
+		s.Meter(&tk.engineMeter)
 		return s
 	}
-	return replay.NewSimulator(tk.replayOpts())
+	c := replay.NewCompiled(tk.replayOpts())
+	c.Meter(&tk.engineMeter)
+	return c
 }
 
-// releaseSim returns a simulator to the pool.
-func (tk *Toolkit) releaseSim(s *replay.Simulator) { tk.simPool.Put(s) }
+// releaseEngine returns an engine to the pool.
+func (tk *Toolkit) releaseEngine(e replay.Engine) { tk.simPool.Put(e) }
+
+// timingsBuf is a pooled pair of flat duration columns for a compiled
+// retimed run: seeded with the program's recorded durations, selectively
+// overwritten by a CommRetimePlan, and handed to Program.Run.
+type timingsBuf struct {
+	dur  []trace.Dur
+	gdur []trace.Dur
+}
+
+// acquireTimings returns a pooled timings buffer sized for prog, seeded
+// with its recorded task and group durations.
+func (tk *Toolkit) acquireTimings(prog *replay.Program) *timingsBuf {
+	buf, ok := tk.timingsPool.Get().(*timingsBuf)
+	if !ok {
+		buf = &timingsBuf{}
+	}
+	base, gbase := prog.BaseDur(), prog.BaseGroupDur()
+	if cap(buf.dur) < len(base) {
+		buf.dur = make([]trace.Dur, len(base))
+	}
+	buf.dur = buf.dur[:len(base)]
+	copy(buf.dur, base)
+	if cap(buf.gdur) < len(gbase) {
+		buf.gdur = make([]trace.Dur, len(gbase))
+	}
+	buf.gdur = buf.gdur[:len(gbase)]
+	copy(buf.gdur, gbase)
+	return buf
+}
+
+// releaseTimings returns a timings buffer to the pool. The caller must not
+// retain buf or its columns (Result slices never alias them).
+func (tk *Toolkit) releaseTimings(buf *timingsBuf) { tk.timingsPool.Put(buf) }
+
+// EngineStats reports replay-engine activity across every campaign on this
+// toolkit: graph lowerings performed, and simulations run per engine.
+func (tk *Toolkit) EngineStats() (compiledPrograms, compiledRuns, interpretedRuns int64) {
+	return tk.engineMeter.CompiledPrograms.Load(),
+		tk.engineMeter.CompiledRuns.Load(),
+		tk.engineMeter.InterpretedRuns.Load()
+}
 
 // Counters reports how many ground-truth profiles and kernel-library
 // calibrations this toolkit has performed.
@@ -389,8 +478,8 @@ func (tk *Toolkit) WhatIfScale(ctx context.Context, g *execgraph.Graph, match fu
 	if err := ctx.Err(); err != nil {
 		return 0, err
 	}
-	sim := tk.acquireSim()
-	defer tk.releaseSim(sim)
+	sim := tk.acquireEngine()
+	defer tk.releaseEngine(sim)
 	return analysis.WhatIfScaleSim(sim, g, match, factor)
 }
 
@@ -400,8 +489,8 @@ func (tk *Toolkit) WhatIfFusion(ctx context.Context, g *execgraph.Graph, opts an
 	if err := ctx.Err(); err != nil {
 		return analysis.FusionReport{}, err
 	}
-	sim := tk.acquireSim()
-	defer tk.releaseSim(sim)
+	sim := tk.acquireEngine()
+	defer tk.releaseEngine(sim)
 	base, err := sim.Run(g)
 	if err != nil {
 		return analysis.FusionReport{}, err

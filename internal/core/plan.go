@@ -18,14 +18,39 @@ import (
 	"lumos/internal/manip"
 	"lumos/internal/parallel"
 	"lumos/internal/planner"
+	"lumos/internal/replay"
 )
 
 // structEntry is one structurally keyed synthesized graph: built once
-// (under once) and then shared read-only by every sibling point.
+// (under once) and then shared read-only by every sibling point. The
+// compiled replay artifacts — the lowered program and the
+// fabric-independent comm retime plan — are built lazily under progOnce,
+// so campaign-fabric-only keys never pay for them.
 type structEntry struct {
 	once sync.Once
 	out  *manip.GraphResult
 	err  error
+
+	progOnce sync.Once
+	prog     *replay.Program
+	plan     *manip.CommRetimePlan
+}
+
+// compiled returns the entry's lowered program and comm retime plan,
+// building both at most once per structural key.
+func (e *structEntry) compiled(b *BaseState) (*replay.Program, *manip.CommRetimePlan) {
+	e.progOnce.Do(func() {
+		var basePricer collective.Pricer
+		if b.Fabric != nil {
+			basePricer = b.pricerFor(b.Fabric)
+		}
+		e.prog = replay.Compile(e.out.Graph, b.replayOpts())
+		e.plan = manip.NewCommRetimePlan(e.out.Graph, b.Library, basePricer)
+		if b.tk != nil {
+			b.tk.engineMeter.CompiledPrograms.Add(1)
+		}
+	})
+	return e.prog, e.plan
 }
 
 // structCacheCap bounds how many synthesized graphs a campaign state keeps
@@ -37,12 +62,15 @@ const structCacheCap = 64
 // synthesizeStructural returns the campaign-fabric synthesized graph for
 // the target, shared across every point with the same structure (the
 // planner's fabric/degrade axis varies only durations, never the DAG).
-func (b *BaseState) synthesizeStructural(req manip.Request) (*manip.GraphResult, error) {
+// The returned entry carries the shared compiled-replay artifacts; it is
+// nil on the private-synthesis overflow path past structCacheCap.
+func (b *BaseState) synthesizeStructural(req manip.Request) (*manip.GraphResult, *structEntry, error) {
 	key := fmt.Sprintf("%+v", req.Target)
 	v, ok := b.structs.Load(key)
 	if !ok {
 		if b.structCount.Load() >= structCacheCap {
-			return manip.PredictGraphWith(req, b.Library, b.Fitted, b.Fabric)
+			out, err := manip.PredictGraphWith(req, b.Library, b.Fitted, b.Fabric)
+			return out, nil, err
 		}
 		var loaded bool
 		v, loaded = b.structs.LoadOrStore(key, &structEntry{})
@@ -54,7 +82,7 @@ func (b *BaseState) synthesizeStructural(req manip.Request) (*manip.GraphResult,
 	e.once.Do(func() {
 		e.out, e.err = manip.PredictGraphWith(req, b.Library, b.Fitted, b.Fabric)
 	})
-	return e.out, e.err
+	return e.out, e, e.err
 }
 
 // planScenario evaluates one planner candidate: the target deployment
@@ -91,7 +119,7 @@ func (s *planScenario) Run(_ context.Context, b *BaseState) (ScenarioResult, err
 	if p.Fabric == nil && len(p.Degrade) == 0 {
 		// The campaign's own fabric: the plain deploy-prediction path,
 		// served from (and seeding) the structural graph cache.
-		out, err := b.synthesizeStructural(req)
+		out, _, err := b.synthesizeStructural(req)
 		if err != nil {
 			res.Err = err.Error()
 			return res, nil
@@ -112,20 +140,37 @@ func (s *planScenario) Run(_ context.Context, b *BaseState) (ScenarioResult, err
 		res.Err = rerr.Error()
 		return res, nil
 	}
-	out, err := b.synthesizeStructural(req)
+	out, entry, err := b.synthesizeStructural(req)
 	if err != nil {
 		res.Err = err.Error()
 		return res, nil
 	}
-	var basePricer collective.Pricer
-	if b.Fabric != nil {
-		basePricer = b.pricerFor(b.Fabric)
+	pricer := b.pricerFor(f)
+	var (
+		rres     *replay.Result
+		repriced int
+	)
+	eng := b.acquireEngine()
+	if c, ok := eng.(*replay.Compiled); ok && entry != nil {
+		// Compiled fast path: re-time the shared program's flat duration
+		// columns (pooled buffers seeded with the recorded durations) via
+		// the precomputed comm plan, and run on the engine's scratch — no
+		// view, no maps, no per-point graph walk.
+		prog, plan := entry.compiled(b)
+		buf := b.acquireTimings(prog)
+		repriced = plan.Retime(buf.dur, buf.gdur, pricer)
+		rres, err = c.RunProgram(prog, replay.Timings{Dur: buf.dur, GroupDur: buf.gdur})
+		b.releaseTimings(buf)
+	} else {
+		var basePricer collective.Pricer
+		if b.Fabric != nil {
+			basePricer = b.pricerFor(b.Fabric)
+		}
+		v := execgraph.NewRetimed(out.Graph)
+		repriced = manip.RetimeCommOnFabric(v, b.Library, pricer, basePricer)
+		rres, err = eng.RunRetimed(v)
 	}
-	v := execgraph.NewRetimed(out.Graph)
-	repriced := manip.RetimeCommOnFabric(v, b.Library, b.pricerFor(f), basePricer)
-	sim := b.acquireSim()
-	rres, err := sim.RunRetimed(v)
-	b.releaseSim(sim)
+	b.releaseEngine(eng)
 	if err != nil {
 		res.Err = err.Error()
 		return res, nil

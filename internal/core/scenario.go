@@ -69,6 +69,12 @@ type BaseState struct {
 	memoHits atomic.Int64
 	memoSize atomic.Int64
 
+	// baseProg is the campaign base graph lowered for the compiled replay
+	// engine, compiled at most once and shared by every worker's what-if
+	// retiming.
+	baseProgOnce sync.Once
+	baseProg     *replay.Program
+
 	// structs caches synthesized execution graphs by structural identity
 	// (the full target config: same schedule, stages, microbatches ⇒ same
 	// slot DAG and base-fabric durations), so sibling planner points that
@@ -108,6 +114,11 @@ type CacheStats struct {
 	// DiskHits and DiskMisses count this campaign state's scenario lookups
 	// served by / absent from the disk layer.
 	DiskHits, DiskMisses int64
+	// CompiledPrograms counts graph lowerings for the compiled replay
+	// engine; CompiledRuns and InterpretedRuns count simulations per
+	// engine. The counters are toolkit-wide (shared across campaign states
+	// on one toolkit, like the Disk store).
+	CompiledPrograms, CompiledRuns, InterpretedRuns int64
 	// Disk reports the shared on-disk store (all campaigns and calibration
 	// entries in this process); zero when no disk cache is configured.
 	Disk scache.Stats
@@ -125,22 +136,77 @@ func (b *BaseState) CacheStats() CacheStats {
 	if b.disk != nil {
 		s.Disk = b.disk.Stats()
 	}
+	if b.tk != nil {
+		s.CompiledPrograms, s.CompiledRuns, s.InterpretedRuns = b.tk.EngineStats()
+	}
 	return s
 }
 
-// acquireSim returns a pooled simulator (or a fresh one for a hand-built
-// BaseState); release it with releaseSim.
-func (b *BaseState) acquireSim() *replay.Simulator {
+// acquireEngine returns a pooled replay engine (or a fresh interpreter for
+// a hand-built BaseState); release it with releaseEngine.
+func (b *BaseState) acquireEngine() replay.Engine {
 	if b.tk != nil {
-		return b.tk.acquireSim()
+		return b.tk.acquireEngine()
 	}
 	return replay.NewSimulator(replay.DefaultOptions())
 }
 
-func (b *BaseState) releaseSim(s *replay.Simulator) {
+func (b *BaseState) releaseEngine(e replay.Engine) {
 	if b.tk != nil {
-		b.tk.releaseSim(s)
+		b.tk.releaseEngine(e)
 	}
+}
+
+// acquireTimings returns a pooled duration-column buffer seeded from prog;
+// hand-built BaseStates get an unpooled buffer.
+func (b *BaseState) acquireTimings(prog *replay.Program) *timingsBuf {
+	if b.tk != nil {
+		return b.tk.acquireTimings(prog)
+	}
+	buf := &timingsBuf{
+		dur:  make([]trace.Dur, len(prog.BaseDur())),
+		gdur: make([]trace.Dur, len(prog.BaseGroupDur())),
+	}
+	copy(buf.dur, prog.BaseDur())
+	copy(buf.gdur, prog.BaseGroupDur())
+	return buf
+}
+
+func (b *BaseState) releaseTimings(buf *timingsBuf) {
+	if b.tk != nil {
+		b.tk.releaseTimings(buf)
+	}
+}
+
+// replayOpts resolves simulation options for this campaign state.
+func (b *BaseState) replayOpts() replay.Options {
+	if b.tk != nil {
+		return b.tk.replayOpts()
+	}
+	return replay.DefaultOptions()
+}
+
+// program returns the campaign base graph compiled for the replay engine,
+// lowering it at most once and sharing the program across sweep workers.
+func (b *BaseState) program() *replay.Program {
+	b.baseProgOnce.Do(func() {
+		b.baseProg = replay.Compile(b.Graph, b.replayOpts())
+		if b.tk != nil {
+			b.tk.engineMeter.CompiledPrograms.Add(1)
+		}
+	})
+	return b.baseProg
+}
+
+// engineForBase returns a pooled engine primed for the campaign's base
+// graph: a compiled engine adopts the shared base program instead of
+// lowering its own copy.
+func (b *BaseState) engineForBase() replay.Engine {
+	e := b.acquireEngine()
+	if c, ok := e.(*replay.Compiled); ok {
+		c.Use(b.program())
+	}
+	return e
 }
 
 // Fingerprinter is an optional Scenario extension: scenarios whose outcome
@@ -236,8 +302,12 @@ func (s *deployScenario) Run(_ context.Context, b *BaseState) (ScenarioResult, e
 		return res, nil
 	}
 	// Direct graph synthesis: the target's execution graph is generated
-	// straight from the deployment, with no trace materialized or re-parsed.
-	out, err := manip.PredictGraphWith(req, b.Library, b.Fitted, b.Fabric)
+	// straight from the deployment, with no trace materialized or re-parsed
+	// — served from (and seeding) the structural graph cache, so repeat
+	// evaluations of one target on this campaign state share the
+	// synthesized DAG with each other and with planner points (synthesis
+	// is deterministic, so sharing is bit-identical to re-synthesizing).
+	out, _, err := b.synthesizeStructural(req)
 	if err != nil {
 		res.Err = err.Error()
 		return res, nil
@@ -342,9 +412,9 @@ func (s *kernelScaleScenario) Run(_ context.Context, b *BaseState) (ScenarioResu
 		Target: b.Config,
 		World:  b.Config.Map.WorldSize(),
 	}
-	sim := b.acquireSim()
+	sim := b.engineForBase()
 	iter, err := analysis.WhatIfScaleSim(sim, b.Graph, s.match, s.factor)
-	b.releaseSim(sim)
+	b.releaseEngine(sim)
 	if err != nil {
 		res.Err = err.Error()
 		return res, nil
@@ -391,9 +461,9 @@ func (s *fusionScenario) Run(_ context.Context, b *BaseState) (ScenarioResult, e
 	}
 	// The unfused baseline is the campaign's replayed base point; only the
 	// fused counterfactual needs a simulation here.
-	sim := b.acquireSim()
+	sim := b.engineForBase()
 	rep, err := analysis.WhatIfFusionSim(sim, b.Graph, s.opts, b.Iteration)
-	b.releaseSim(sim)
+	b.releaseEngine(sim)
 	if err != nil {
 		res.Err = err.Error()
 		return res, nil

@@ -81,6 +81,30 @@ func (v *Retimed) materialize() {
 	}
 }
 
+// Columns lowers the view to flat duration columns covering every task of
+// the current graph: (nil, nil) when nothing is overridden, otherwise the
+// materialized per-task duration and group-duration arrays. The compiled
+// replay engine indexes these directly instead of calling the wrapper's
+// Dur/GroupDur per task. The returned slices are view-owned: valid until
+// the next override or Bind, and not to be modified by callers.
+func (v *Retimed) Columns() (dur, groupDur []trace.Dur) {
+	if !v.Overridden() {
+		return nil, nil
+	}
+	v.materialize()
+	return v.dur, v.groupDur
+}
+
+// MaterializeColumns forces the override columns into existence (copying
+// the graph's durations on first call) and returns them for direct bulk
+// writes — the flat-array path retiming passes use instead of per-task
+// SetDur/SetGroupDur calls. The slices are view-owned and remain valid
+// until the next Bind.
+func (v *Retimed) MaterializeColumns() (dur, groupDur []trace.Dur) {
+	v.materialize()
+	return v.dur, v.groupDur
+}
+
 // SetDur overrides a task's duration.
 func (v *Retimed) SetDur(id int32, d trace.Dur) {
 	v.materialize()

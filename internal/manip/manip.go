@@ -388,34 +388,9 @@ func PredictGraphOnFabric(req Request, lib *Library, fitted *kernelmodel.Fitted,
 // selects the library fabric's default backend. Returns the number of
 // collective groups repriced.
 func RetimeCommOnFabric(v *execgraph.Retimed, lib *Library, pricer, basePricer collective.Pricer) int {
-	if basePricer == nil {
-		basePricer = collective.For(lib.fabric)
-	}
-	count := 0
-	for _, members := range v.Graph.Groups {
-		if len(members) < 2 {
-			continue
-		}
-		t0 := &v.Graph.Tasks[members[0]]
-		ranks := make([]int, len(members))
-		for i, id := range members {
-			ranks[i] = int(v.Graph.Tasks[id].Rank)
-		}
-		sort.Ints(ranks)
-		target := pricer.Cost(t0.Comm, t0.CommBytes, ranks)
-		d := target
-		if m, ok := lib.comm[commKey{t0.Comm, t0.CommBytes, len(ranks), lib.fabric.TierOf(ranks)}]; ok {
-			if base := basePricer.Cost(t0.Comm, t0.CommBytes, ranks); base > 0 && target > 0 {
-				d = trace.Dur(float64(m) * (float64(target) / float64(base)))
-			}
-		}
-		for _, id := range members {
-			v.SetDur(id, d)
-			v.SetGroupDur(id, d)
-		}
-		count++
-	}
-	return count
+	pl := NewCommRetimePlan(v.Graph, lib, basePricer)
+	dur, groupDur := v.MaterializeColumns()
+	return pl.Retime(dur, groupDur, pricer)
 }
 
 // deterministicSim returns simulator settings with all stochastic and

@@ -255,12 +255,21 @@ func (b BranchAndBound) searchSpace(ctx context.Context, s *spaceSearch) ([]Eval
 		}
 		var batch []Candidate
 		var popped []*bnbNode
-		for h.Len() > 0 && len(batch) < b.batch() {
+		for h.Len() > 0 {
 			top := (*h)[0]
 			if have && top.cur.Bound > incumbent {
 				break
 			}
 			if s.budget > 0 && promoted+len(batch) >= s.budget {
+				break
+			}
+			// Tie-batching: past the nominal batch size, keep taking heads
+			// whose bound ties the last one taken. Equal-bound heads are
+			// indistinguishable to the search order, so promoting the whole
+			// tie group in one round hands the sweep worker pool a wider
+			// batch; the batch composition is fixed before any simulation
+			// runs, so results stay identical at any worker count.
+			if len(batch) >= b.batch() && top.cur.Bound != batch[len(batch)-1].Bound {
 				break
 			}
 			n := heap.Pop(h).(*bnbNode)

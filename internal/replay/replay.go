@@ -127,7 +127,12 @@ type Simulator struct {
 	groupReady   [][]trace.Time
 
 	executed int
+	meter    *Counters
 }
+
+// Meter attaches shared activity counters (may be nil to detach); each run
+// counts as one interpreted simulation.
+func (s *Simulator) Meter(m *Counters) { s.meter = m }
 
 // NewSimulator returns a simulator with the given options and no bound
 // graph; the first Run binds it.
@@ -242,6 +247,9 @@ func (s *Simulator) run(g *execgraph.Graph, v *execgraph.Retimed) (*Result, erro
 	}
 	s.view = v
 	s.reset()
+	if s.meter != nil {
+		s.meter.InterpretedRuns.Add(1)
+	}
 
 	n := len(g.Tasks)
 	for i := range g.Tasks {

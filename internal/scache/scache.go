@@ -21,6 +21,7 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -184,48 +185,138 @@ func (c *Cache) path(a string) string {
 	return filepath.Join(c.dir, "objects", a[:2], a+".json")
 }
 
-// Get returns the payload stored under key. Any invalid entry — unreadable,
-// truncated, foreign format, stale envelope version, key or checksum
-// mismatch — is discarded and reported as a miss.
-func (c *Cache) Get(key string) ([]byte, bool) {
+// bufPool recycles warm-path file read buffers: a steady stream of Gets
+// against a populated cache then performs no per-read buffer allocation.
+var bufPool = sync.Pool{New: func() any { return new([]byte) }}
+
+// rawRef is a json.RawMessage that aliases the decoder's input instead of
+// copying it. Valid only while the backing read buffer is live — every use
+// below finishes with the payload before the buffer returns to bufPool.
+type rawRef []byte
+
+func (r *rawRef) UnmarshalJSON(b []byte) error { *r = b; return nil }
+
+// envelopeRef mirrors envelope for reads, with the payload aliasing the
+// read buffer rather than copied out of it.
+type envelopeRef struct {
+	Format   string `json:"format"`
+	Version  int    `json:"version"`
+	Key      string `json:"key"`
+	Checksum string `json:"checksum"`
+	Payload  rawRef `json:"payload"`
+}
+
+// readEntry reads the entry file at p into a pooled buffer. The caller
+// must return bp to bufPool when done with buf.
+func readEntry(p string) (bp *[]byte, buf []byte, err error) {
+	f, err := os.Open(p)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, nil, err
+	}
+	bp = bufPool.Get().(*[]byte)
+	n := int(st.Size())
+	if cap(*bp) < n {
+		*bp = make([]byte, n)
+	}
+	buf = (*bp)[:n]
+	if _, err := io.ReadFull(f, buf); err != nil {
+		bufPool.Put(bp)
+		return nil, nil, err
+	}
+	return bp, buf, nil
+}
+
+// loadEntry reads and validates the entry under key without touching the
+// index. It returns the pooled buffer holding the (aliased) payload; on
+// ok=false the entry has been discarded or missed and counted, and no
+// buffer is returned. File IO, decoding and checksumming all run outside
+// the cache mutex, so concurrent warm readers do not serialize.
+func (c *Cache) loadEntry(key string) (bp *[]byte, env envelopeRef, size int64, ok bool) {
 	a := addr(key)
 	p := c.path(a)
+	bp, buf, err := readEntry(p)
+	if err != nil {
+		c.mu.Lock()
+		c.misses++
+		c.mu.Unlock()
+		return nil, envelopeRef{}, 0, false
+	}
+	invalid := json.Unmarshal(buf, &env) != nil ||
+		env.Format != FormatTag || env.Version != FormatVersion || env.Key != key
+	if !invalid {
+		sum := sha256.Sum256(env.Payload)
+		invalid = hex.EncodeToString(sum[:]) != env.Checksum
+	}
+	if invalid {
+		bufPool.Put(bp)
+		c.mu.Lock()
+		c.discardLocked(a, p)
+		c.misses++
+		c.mu.Unlock()
+		return nil, envelopeRef{}, 0, false
+	}
+	return bp, env, int64(len(buf)), true
+}
 
+// touch books a hit: bumps the LRU sequence and repairs the index if
+// another process wrote the entry.
+func (c *Cache) touch(key string, size int64) {
+	a := addr(key)
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	data, err := os.ReadFile(p)
-	if err != nil {
-		c.misses++
-		return nil, false
-	}
-	var env envelope
-	if err := json.Unmarshal(data, &env); err != nil {
-		c.discardLocked(a, p)
-		c.misses++
-		return nil, false
-	}
-	if env.Format != FormatTag || env.Version != FormatVersion || env.Key != key {
-		c.discardLocked(a, p)
-		c.misses++
-		return nil, false
-	}
-	sum := sha256.Sum256(env.Payload)
-	if hex.EncodeToString(sum[:]) != env.Checksum {
-		c.discardLocked(a, p)
-		c.misses++
-		return nil, false
-	}
-	// Touch for LRU; repair the index if another process wrote the entry.
 	c.seq++
 	info, ok := c.index[a]
 	if !ok {
-		c.bytes += int64(len(data))
-		info = entryInfo{size: int64(len(data))}
+		c.bytes += size
+		info = entryInfo{size: size}
 	}
 	info.seq = c.seq
 	c.index[a] = info
 	c.hits++
-	return env.Payload, true
+}
+
+// Get returns the payload stored under key. Any invalid entry — unreadable,
+// truncated, foreign format, stale envelope version, key or checksum
+// mismatch — is discarded and reported as a miss. The returned slice is the
+// caller's to keep; hot paths that immediately decode it should prefer
+// GetInto, which skips this copy.
+func (c *Cache) Get(key string) ([]byte, bool) {
+	bp, env, size, ok := c.loadEntry(key)
+	if !ok {
+		return nil, false
+	}
+	payload := append([]byte(nil), env.Payload...)
+	bufPool.Put(bp)
+	c.touch(key, size)
+	return payload, true
+}
+
+// GetInto decodes the payload stored under key directly into v, reusing a
+// pooled read buffer and decoding in place — the warm path performs no
+// payload copy. Entries that validate at the envelope level but fail to
+// decode into v are foreign writers at our key: they are discarded and
+// reported as a miss, exactly like a checksum mismatch.
+func (c *Cache) GetInto(key string, v any) bool {
+	bp, env, size, ok := c.loadEntry(key)
+	if !ok {
+		return false
+	}
+	err := json.Unmarshal(env.Payload, v)
+	bufPool.Put(bp)
+	if err != nil {
+		c.mu.Lock()
+		c.discardLocked(addr(key), c.path(addr(key)))
+		c.misses++
+		c.mu.Unlock()
+		return false
+	}
+	c.touch(key, size)
+	return true
 }
 
 // discardLocked removes a corrupt or stale entry file and its index record.

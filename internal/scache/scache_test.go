@@ -325,3 +325,80 @@ func TestOpenValidation(t *testing.T) {
 		t.Fatal("Open with empty dir should fail")
 	}
 }
+
+func TestGetIntoRoundTrip(t *testing.T) {
+	c, err := Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type rec struct {
+		Name      string `json:"name"`
+		Iteration int64  `json:"iteration"`
+	}
+	payload, _ := json.Marshal(rec{Name: "baseline", Iteration: 1234})
+	if err := c.Put("k", payload); err != nil {
+		t.Fatal(err)
+	}
+	var got rec
+	if !c.GetInto("k", &got) {
+		t.Fatal("expected hit after Put")
+	}
+	if got.Name != "baseline" || got.Iteration != 1234 {
+		t.Fatalf("decoded mismatch: %+v", got)
+	}
+	if c.GetInto("absent", &got) {
+		t.Fatal("unexpected hit for absent key")
+	}
+	s := c.Stats()
+	if s.Hits != 1 || s.Misses != 1 {
+		t.Fatalf("unexpected stats: %+v", s)
+	}
+}
+
+func TestGetIntoMatchesGet(t *testing.T) {
+	c, err := Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte(`{"a":[1,2,3],"b":"x"}`)
+	if err := c.Put("k", payload); err != nil {
+		t.Fatal(err)
+	}
+	raw, ok := c.Get("k")
+	if !ok {
+		t.Fatal("Get miss")
+	}
+	var viaGet, viaInto map[string]any
+	if err := json.Unmarshal(raw, &viaGet); err != nil {
+		t.Fatal(err)
+	}
+	if !c.GetInto("k", &viaInto) {
+		t.Fatal("GetInto miss")
+	}
+	if fmt.Sprint(viaGet) != fmt.Sprint(viaInto) {
+		t.Fatalf("Get and GetInto disagree: %v vs %v", viaGet, viaInto)
+	}
+}
+
+func TestGetIntoUndecodablePayloadDiscarded(t *testing.T) {
+	c, err := Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A payload that is valid JSON (so Put and the envelope checksum accept
+	// it) but does not decode into the caller's type.
+	if err := c.Put("k", []byte(`"not-an-object"`)); err != nil {
+		t.Fatal(err)
+	}
+	var v struct{ A int }
+	if c.GetInto("k", &v) {
+		t.Fatal("expected type-mismatched payload to miss")
+	}
+	s := c.Stats()
+	if s.Discards != 1 || s.Misses != 1 {
+		t.Fatalf("expected discard+miss, got %+v", s)
+	}
+	if _, err := os.Stat(c.path(addr("k"))); err == nil {
+		t.Fatal("entry file should have been removed")
+	}
+}

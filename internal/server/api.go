@@ -393,6 +393,15 @@ type SearchStats struct {
 	SharedStructure int64 `json:"shared_structure"`
 }
 
+// EngineStats aggregates replay-engine activity across every request served
+// since startup: graph lowerings into compiled programs, runs on the
+// compiled engine, and runs on the reference interpreter.
+type EngineStats struct {
+	CompiledPrograms int64 `json:"compiled_programs"`
+	CompiledRuns     int64 `json:"compiled_runs"`
+	InterpretedRuns  int64 `json:"interpreted_runs"`
+}
+
 // StatsResponse is the GET /v1/stats response.
 type StatsResponse struct {
 	UptimeSeconds float64        `json:"uptime_s"`
@@ -400,6 +409,7 @@ type StatsResponse struct {
 	Seed          uint64         `json:"seed"`
 	Requests      RequestStats   `json:"requests"`
 	Search        SearchStats    `json:"search"`
+	Engine        EngineStats    `json:"engine"`
 	Profiles      []ProfileStats `json:"profiles"`
 	Disk          *DiskStats     `json:"disk,omitempty"`
 }

@@ -518,6 +518,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		},
 		Profiles: make([]ProfileStats, len(list)),
 	}
+	resp.Engine.CompiledPrograms, resp.Engine.CompiledRuns, resp.Engine.InterpretedRuns = s.tk.EngineStats()
 	for i, p := range list {
 		cs := p.state.CacheStats()
 		resp.Profiles[i] = ProfileStats{

@@ -256,6 +256,12 @@ func TestPlanBnBStats(t *testing.T) {
 	if got, want := stats.Search.SharedStructure, int64(resp.Stats.SharedStructure); got != want {
 		t.Fatalf("aggregate shared-structure %d, want %d", got, want)
 	}
+	if stats.Engine.CompiledPrograms == 0 || stats.Engine.CompiledRuns == 0 {
+		t.Fatalf("stats report no compiled-engine activity: %+v", stats.Engine)
+	}
+	if stats.Engine.InterpretedRuns != 0 {
+		t.Fatalf("default engine should not run the interpreter: %+v", stats.Engine)
+	}
 }
 
 func TestRequestValidation(t *testing.T) {
