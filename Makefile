@@ -5,13 +5,14 @@ GO ?= go
 # strategy-labeled plan search) shared by bench and bench-smoke.
 SWEEP_BENCH = BenchmarkSweep_SharedCalibration$$|BenchmarkSweepThroughput$$|BenchmarkReplayEngine|BenchmarkSweep_FabricCampaign|BenchmarkSweep_ScheduleCampaign|BenchmarkSweep_DiskCacheWarmStart|BenchmarkPlan_BeamVsExhaustive|BenchmarkPlan_BranchAndBound
 
-.PHONY: check fmt vet build test race alloc-guard bench bench-diff bench-smoke benchsmoke plan-smoke schedule-smoke serve-smoke
+.PHONY: check fmt vet build test race alloc-guard bench bench-diff bench-smoke benchsmoke plan-smoke schedule-smoke serve-smoke obs-smoke
 
 # check is the CI gate: formatting, static analysis, full build, tests,
 # the race detector on the concurrent service/cache/replay packages, the
 # compiled-engine allocation budget, a one-iteration benchmark smoke pass,
-# and the planner, schedule and planning-service acceptance smokes.
-check: fmt vet build test race alloc-guard benchsmoke plan-smoke schedule-smoke serve-smoke
+# and the planner, schedule, planning-service and observability acceptance
+# smokes.
+check: fmt vet build test race alloc-guard benchsmoke plan-smoke schedule-smoke serve-smoke obs-smoke
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -30,12 +31,17 @@ test:
 # service, the shared disk cache, the pooled replay engines, and the
 # batch-evaluating planner — under the race detector.
 race:
-	$(GO) test -race ./internal/server/ ./internal/scache/ ./internal/replay/ ./internal/planner/
+	$(GO) test -race ./internal/server/ ./internal/scache/ ./internal/replay/ ./internal/planner/ ./internal/obs/
 
 # alloc-guard enforces the compiled replay engine's zero-allocation
 # contract: a retimed run on warm scratch must stay within a fixed
 # allocation budget (testing.AllocsPerRun), so interface boxing or map
 # churn sneaking back into the hot loop fails CI, not a profile.
+# ALLOC_GUARD_BUDGET mirrors the TestReplayAllocBudget constant and is
+# archived into BENCH_sweep.json so bench-diff fails if the budget is ever
+# raised (e.g. to absorb observability overhead) without regenerating the
+# committed archive.
+ALLOC_GUARD_BUDGET ?= 8
 alloc-guard:
 	$(GO) test -run TestReplayAllocBudget -count 1 ./internal/replay/
 
@@ -52,7 +58,7 @@ benchsmoke:
 bench:
 	$(GO) test -run xxx -bench '$(SWEEP_BENCH)' \
 		-benchmem -benchtime 20x -count 1 . > BENCH_sweep.txt
-	$(GO) run ./cmd/benchjson < BENCH_sweep.txt > BENCH_sweep.json
+	$(GO) run ./cmd/benchjson -alloc-guard $(ALLOC_GUARD_BUDGET) < BENCH_sweep.txt > BENCH_sweep.json
 
 # bench-diff re-measures the sweep benchmarks and compares them against the
 # last archived BENCH_sweep.json: it prints Δns/op and Δallocs/op per benchmark
@@ -62,7 +68,7 @@ BENCH_DIFF_THRESHOLD ?= 10
 bench-diff:
 	$(GO) test -run xxx -bench '$(SWEEP_BENCH)' \
 		-benchmem -benchtime 20x -count 1 . > BENCH_new.txt
-	$(GO) run ./cmd/benchjson < BENCH_new.txt > BENCH_new.json
+	$(GO) run ./cmd/benchjson -alloc-guard $(ALLOC_GUARD_BUDGET) < BENCH_new.txt > BENCH_new.json
 	$(GO) run ./cmd/benchjson diff -threshold $(BENCH_DIFF_THRESHOLD) BENCH_sweep.json BENCH_new.json
 
 # bench-smoke runs the sweep benchmarks exactly once: a fast CI gate so
@@ -92,3 +98,11 @@ schedule-smoke:
 # with the same best point.
 serve-smoke:
 	$(GO) run ./examples/serveplan
+
+# obs-smoke is the observability acceptance gate: examples/observe runs a
+# traced branch-and-bound plan and exits non-zero unless the exported
+# Chrome trace covers every pipeline stage and per-round search event, and
+# a live lumosd's GET /metrics parses under the Prometheus text grammar
+# with counter values identical to GET /v1/stats.
+obs-smoke:
+	$(GO) run ./examples/observe

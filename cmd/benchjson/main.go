@@ -3,14 +3,20 @@
 // Makefile's bench target can archive machine-readable numbers (e.g.
 // BENCH_sweep.json) without external tooling.
 //
+// The -alloc-guard flag records the compiled replay engine's allocation
+// budget (the TestReplayAllocBudget constant, passed by the Makefile) as a
+// synthetic AllocGuardBudget entry, so the archive pins the whole
+// zero-allocation contract, not just per-benchmark allocs/op.
+//
 // The diff subcommand compares two such archives:
 //
 //	benchjson diff [-threshold pct] old.json new.json
 //
 // It prints Δns/op and Δallocs/op per benchmark label and exits non-zero
-// when any benchmark regressed by more than the threshold (default 10%),
-// so `make bench-diff` can gate performance changes against the committed
-// BENCH_sweep.json.
+// when any benchmark regressed by more than the threshold (default 10%) —
+// or when the AllocGuardBudget entry grew at all: raising the alloc
+// budget (e.g. to absorb observability overhead on the hot path) is a
+// contract change that must land deliberately, never ride along.
 package main
 
 import (
@@ -126,6 +132,10 @@ func parseLine(line string) (result, bool) {
 	return r, true
 }
 
+// allocGuardName keys the synthetic archive entry recording the compiled
+// engine's allocation budget (allocs/op carries the budget value).
+const allocGuardName = "AllocGuardBudget"
+
 // canonicalName strips the GOMAXPROCS suffix go test appends, so archives
 // recorded on machines with different core counts remain comparable.
 var procSuffixRe = regexp.MustCompile(`-\d+$`)
@@ -207,6 +217,11 @@ func diffMain(args []string) {
 		if d, ok := pctDelta(od.AllocsOp, nw.AllocsOp); ok && d > *threshold {
 			flag = "  REGRESSION"
 		}
+		// The alloc-guard budget is a contract, not a measurement: any
+		// increase fails the diff regardless of threshold.
+		if key == allocGuardName && nw.AllocsOp > od.AllocsOp {
+			flag = "  REGRESSION"
+		}
 		if flag != "" {
 			regressions++
 		}
@@ -228,6 +243,10 @@ func main() {
 		diffMain(os.Args[2:])
 		return
 	}
+	fs := flag.NewFlagSet("benchjson", flag.ExitOnError)
+	allocGuard := fs.Float64("alloc-guard", 0,
+		"record the compiled-engine allocation budget (allocs/op) as a synthetic AllocGuardBudget entry (0 = omit)")
+	_ = fs.Parse(os.Args[1:])
 	var results []result
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
@@ -242,6 +261,9 @@ func main() {
 	if err := sc.Err(); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
+	}
+	if *allocGuard > 0 {
+		results = append(results, result{Name: allocGuardName, Iterations: 1, AllocsOp: *allocGuard})
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")

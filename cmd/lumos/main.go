@@ -22,7 +22,7 @@
 //	                [-pp-range 2,4,8] [-dp-range 4,8,16] [-arch v1,v2,v3,v4] \
 //	                [-schedule 1f1b,interleaved2,zb-h1] \
 //	                [-fabric flat,nvl72,spine4] [-degrade 1,0.75,0.5] \
-//	                [-whatif] [-top 10] [-workers 0]
+//	                [-whatif] [-top 10] [-workers 0] [-trace out.json] [-metrics] [-v]
 //	    profile the base deployment once (or reuse -in traces), then
 //	    evaluate a whole what-if campaign — a TP×PP×DP grid, architecture
 //	    variants, pipeline schedules, network fabrics and degradation
@@ -33,7 +33,8 @@
 //	                [-schedule 1f1b,interleaved2,zb-h1] \
 //	                [-fabric flat,nvl72] [-degrade 1,0.5] \
 //	                [-strategy auto|exhaustive|beam|halving] [-beam 8] [-eta 3] \
-//	                [-budget 0] [-gpu-mem-gib 80] [-zero 0|1|2] [-top 10]
+//	                [-budget 0] [-gpu-mem-gib 80] [-zero 0|1|2] [-top 10] \
+//	                [-trace search.json] [-metrics]
 //	    guided deployment search: expand the parallelism × microbatch ×
 //	    schedule × fabric space lazily, rule out configurations that would
 //	    OOM with the analytic memory model, rank the rest by roofline cost
@@ -385,6 +386,9 @@ func cmdSweep(ctx context.Context, args []string) error {
 	top := fs.Int("top", 10, "print only the K best-ranked scenarios (0 = all)")
 	workers := fs.Int("workers", 0, "sweep worker pool size (0 = auto)")
 	cacheDir := fs.String("cache-dir", "", "disk-backed scenario cache shared across runs (empty = in-memory only)")
+	traceOut := fs.String("trace", "", "write a Chrome trace-event JSON of the campaign (open in Perfetto / chrome://tracing)")
+	showMetrics := fs.Bool("metrics", false, "print the full metrics snapshot after the sweep")
+	verbose := fs.Bool("v", false, "print the replay-engine and scenario-cache counter summary")
 	fs.Parse(args)
 
 	base, err := buildConfig(*mdl, *tp, *pp, *dp, *mb)
@@ -457,7 +461,8 @@ func cmdSweep(ctx context.Context, args []string) error {
 		)
 	}
 
-	tk := lumos.New(toolkitOptions(*workers, *seed, *cacheDir)...)
+	tracer, tkOpts := traceOptions(*traceOut, toolkitOptions(*workers, *seed, *cacheDir))
+	tk := lumos.New(tkOpts...)
 	t0 := time.Now()
 	var st *lumos.BaseState
 	if *in != "" {
@@ -517,8 +522,77 @@ func cmdSweep(ctx context.Context, args []string) error {
 		fmt.Printf("\nbest: %s — %.1fms/iter (%.2fx vs base)\n",
 			best.Name, analysis.Millis(best.Iteration), best.Speedup)
 	}
+	if *verbose {
+		printCounterSummary(st)
+	}
 	printCacheStats(*cacheDir, st)
+	if *showMetrics {
+		printMetricsTable(tk, st)
+	}
+	return writeTrace(tracer, *traceOut)
+}
+
+// traceOptions attaches a tracer to the toolkit options when -trace is set.
+func traceOptions(path string, opts []lumos.Option) (*lumos.Tracer, []lumos.Option) {
+	if path == "" {
+		return nil, opts
+	}
+	tr := lumos.NewTracer()
+	return tr, append(opts, lumos.WithTracer(tr))
+}
+
+// writeTrace exports the recorded spans as Chrome trace-event JSON.
+func writeTrace(tr *lumos.Tracer, path string) error {
+	if tr == nil || path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.Export(f); err != nil {
+		f.Close()
+		return fmt.Errorf("exporting trace: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("\ntrace: wrote %d events to %s (open in ui.perfetto.dev or chrome://tracing)\n",
+		len(tr.Events()), path)
 	return nil
+}
+
+// printCounterSummary reports the replay-engine and two-level scenario
+// cache counters for a campaign state — the same numbers `lumos plan`
+// always prints, available on sweeps under -v.
+func printCounterSummary(st *lumos.BaseState) {
+	cs := st.CacheStats()
+	fmt.Printf("\nreplay engine: %d programs compiled, %d compiled runs, %d interpreted runs\n",
+		cs.CompiledPrograms, cs.CompiledRuns, cs.InterpretedRuns)
+	fmt.Printf("scenario cache: %d memo hits (%d entries), %d disk hits, %d disk misses\n",
+		cs.MemoHits, cs.MemoEntries, cs.DiskHits, cs.DiskMisses)
+}
+
+// printMetricsTable registers every toolkit and campaign-state collector
+// in a fresh registry and prints the deterministic snapshot — the same
+// series a lumosd /metrics scrape would expose for this run.
+func printMetricsTable(tk *lumos.Toolkit, st *lumos.BaseState) {
+	reg := lumos.NewRegistry()
+	tk.RegisterMetrics(reg)
+	st.RegisterMetrics(reg)
+	snap := reg.Snapshot()
+	fmt.Printf("\n%-44s %-9s %s\n", "metric", "kind", "value")
+	for _, s := range snap.Samples {
+		name := s.Name
+		if s.Labels != "" {
+			name += "{" + s.Labels + "}"
+		}
+		if s.Kind == lumos.MetricHistogram {
+			fmt.Printf("%-44s %-9s count=%d sum=%g\n", name, s.Kind, s.Count, s.Sum)
+			continue
+		}
+		fmt.Printf("%-44s %-9s %g\n", name, s.Kind, s.Value)
+	}
 }
 
 // toolkitOptions assembles the common sweep/plan toolkit options,
@@ -564,6 +638,8 @@ func cmdPlan(ctx context.Context, args []string) error {
 	top := fs.Int("top", 10, "print only the K best dominated points (0 = all)")
 	workers := fs.Int("workers", 0, "sweep worker pool size (0 = auto)")
 	cacheDir := fs.String("cache-dir", "", "disk-backed scenario cache shared across runs (empty = in-memory only)")
+	traceOut := fs.String("trace", "", "write a Chrome trace-event JSON of the search (pipeline spans + per-round search events; open in Perfetto)")
+	showMetrics := fs.Bool("metrics", false, "print the full metrics snapshot after the search")
 	fs.Parse(args)
 
 	base, err := buildConfig(*mdl, *tp, *pp, *dp, *mb)
@@ -642,7 +718,8 @@ func cmdPlan(ctx context.Context, args []string) error {
 	}
 	opts = append(opts, lumos.WithMemoryModel(mem))
 
-	tk := lumos.New(toolkitOptions(*workers, *seed, *cacheDir)...)
+	tracer, tkOpts := traceOptions(*traceOut, toolkitOptions(*workers, *seed, *cacheDir))
+	tk := lumos.New(tkOpts...)
 	t0 := time.Now()
 	var st *lumos.BaseState
 	if *in != "" {
@@ -718,7 +795,10 @@ func cmdPlan(ctx context.Context, args []string) error {
 			best.Point.Key(), analysis.Millis(best.Iteration), best.Point.World(), best.Mem)
 	}
 	printCacheStats(*cacheDir, st)
-	return nil
+	if *showMetrics {
+		printMetricsTable(tk, st)
+	}
+	return writeTrace(tracer, *traceOut)
 }
 
 func printPlanHeader() {

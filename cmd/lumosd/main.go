@@ -9,6 +9,11 @@
 //	curl -s localhost:8344/v1/profiles -d '{"name":"fig7","deployment":{"model":"15b","tp":2,"pp":2,"dp":1,"microbatches":4},"seed":42}'
 //	curl -s localhost:8344/v1/plan -d '{"profile":"fig7","pp_range":[1,2],"dp_range":[1,2],"mb_range":[4,8]}'
 //	curl -s localhost:8344/v1/stats
+//	curl -s localhost:8344/metrics
+//
+// On SIGINT/SIGTERM the daemon drains: the listener stops accepting, every
+// in-flight sweep or plan finishes (bounded by -drain), and the scenario
+// cache is closed before exit.
 package main
 
 import (
@@ -16,7 +21,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -32,13 +37,18 @@ func main() {
 	cacheCap := flag.Int64("cache-cap-mib", 0, "disk cache size cap in MiB (0 = default)")
 	workers := flag.Int("workers", 0, "sweep worker pool size shared by all requests (0 = auto)")
 	seed := flag.Uint64("seed", 42, "simulation seed for seed-sourced profiles")
+	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown drain timeout for in-flight requests")
 	flag.Parse()
+
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	slog.SetDefault(logger)
 
 	srv := server.New(server.Config{
 		CacheDir: *cacheDir,
 		CacheCap: *cacheCap << 20,
 		Workers:  *workers,
 		Seed:     *seed,
+		Logger:   logger,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv}
 
@@ -51,19 +61,29 @@ func main() {
 	if *cacheDir != "" {
 		cache = fmt.Sprintf("disk cache at %s", *cacheDir)
 	}
-	log.Printf("lumosd listening on %s (%s)", *addr, cache)
+	logger.Info("lumosd listening", "addr", *addr, "cache", cache)
 
+	exit := 0
 	select {
 	case <-ctx.Done():
-		log.Printf("lumosd shutting down")
-		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		logger.Info("lumosd shutting down", "drain", *drain)
+		shutCtx, cancel := context.WithTimeout(context.Background(), *drain)
 		defer cancel()
 		if err := httpSrv.Shutdown(shutCtx); err != nil {
-			log.Fatalf("shutdown: %v", err)
+			logger.Error("shutdown", "err", err)
+			exit = 1
 		}
 	case err := <-errc:
 		if !errors.Is(err, http.ErrServerClosed) {
-			log.Fatalf("lumosd: %v", err)
+			logger.Error("lumosd", "err", err)
+			exit = 1
 		}
 	}
+	// The listener has drained (or timed out): no request can touch the
+	// cache past this point, so closing it is race-free.
+	if err := srv.Close(); err != nil {
+		logger.Error("closing scenario cache", "err", err)
+		exit = 1
+	}
+	os.Exit(exit)
 }

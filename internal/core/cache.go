@@ -66,6 +66,9 @@ func (tk *Toolkit) diskCache() (*scache.Cache, error) {
 	}
 	tk.cacheOnce.Do(func() {
 		tk.cache, tk.cacheErr = scache.Open(tk.opts.CacheDir, tk.opts.CacheCap)
+		if tk.cache != nil {
+			tk.cache.Trace(tk.opts.Tracer)
+		}
 	})
 	return tk.cache, tk.cacheErr
 }
@@ -133,6 +136,8 @@ type calibrationSnapshot struct {
 // incremented, so Counters() lets callers verify reuse. traceFP may be
 // empty when no disk cache is configured.
 func (tk *Toolkit) calibrationFor(m *trace.Multi, f topology.Fabric, traceFP string) (*manip.Library, *kernelmodel.Fitted, error) {
+	sp := tk.tracer().Start("pipeline", "calibrate")
+	defer sp.End()
 	fallback := func() kernelmodel.Predictor {
 		return kernelmodel.NewOracleFabric(f, tk.pricerFor(f))
 	}
@@ -149,13 +154,16 @@ func (tk *Toolkit) calibrationFor(m *trace.Multi, f topology.Fabric, traceFP str
 			// through and overwrite with a fresh calibration.
 			var snap calibrationSnapshot
 			if disk.GetInto(key, &snap) {
+				sp.Annotate("disk", "hit")
 				lib := manip.LibraryFromSnapshot(snap.Library, f)
 				fitted := kernelmodel.FittedFromSnapshot(snap.Fitted, f, fallback())
 				return lib, fitted, nil
 			}
+			sp.Annotate("disk", "miss")
 		}
 	}
 
+	sp.Annotate("fitted", true)
 	tk.libraryBuilds.Add(1)
 	lib := manip.BuildLibrary(m, f)
 	fitted, err := kernelmodel.Fit([]*trace.Multi{m}, f, fallback())

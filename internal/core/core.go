@@ -32,6 +32,7 @@ import (
 	"lumos/internal/execgraph"
 	"lumos/internal/kernelmodel"
 	"lumos/internal/manip"
+	"lumos/internal/obs"
 	"lumos/internal/parallel"
 	"lumos/internal/replay"
 	"lumos/internal/scache"
@@ -73,6 +74,11 @@ type Options struct {
 	// Engine selects the replay engine (see WithReplayEngine). The zero
 	// value is the compiled engine.
 	Engine EngineKind
+	// Tracer, when non-nil, records pipeline spans (prepare, calibrate,
+	// sweep, per-scenario synthesize/compile/retime/replay) and cache
+	// events for Chrome-trace export (see WithTracer). Nil — the default —
+	// disables tracing with zero overhead.
+	Tracer *obs.Tracer
 }
 
 // EngineKind selects which replay engine campaigns simulate with. The two
@@ -150,6 +156,16 @@ func WithConcurrency(n int) Option {
 // WithSeed sets the profiling seed Evaluate uses for the base profile.
 func WithSeed(seed uint64) Option {
 	return func(o *Options) { o.Seed = seed }
+}
+
+// WithTracer attaches an observability tracer: campaign pipeline stages,
+// sweep workers, planner search rounds and disk-cache events are recorded
+// as spans and instants, exportable as Chrome trace-event JSON
+// (obs.Tracer.Export) and loadable in Perfetto. The default nil tracer is a
+// strict no-op: instrumented hot paths pay one pointer check and keep their
+// allocation budget.
+func WithTracer(t *obs.Tracer) Option {
+	return func(o *Options) { o.Tracer = t }
 }
 
 // WithScenarioCache enables or disables sweep-level memoization. When
@@ -263,6 +279,59 @@ func (tk *Toolkit) Counters() (profiles, libraryBuilds int64) {
 	return tk.profiles.Load(), tk.libraryBuilds.Load()
 }
 
+// tracer returns the configured tracer; nil means tracing is disabled.
+func (tk *Toolkit) tracer() *obs.Tracer { return tk.opts.Tracer }
+
+// Close releases process-held resources: the disk cache (when configured)
+// stops serving and accepting entries, giving shutdown a defined point
+// after which the cache directory no longer changes. Safe to call on a
+// toolkit without a cache, and safe to call more than once.
+func (tk *Toolkit) Close() error {
+	if tk.opts.CacheDir == "" {
+		return nil
+	}
+	c, err := tk.diskCache()
+	if c == nil || err != nil {
+		return err
+	}
+	return c.Close()
+}
+
+// RegisterMetrics exposes the toolkit's counters — profiling runs,
+// calibrations, replay-engine activity, and (when configured) the disk
+// cache — through the registry as snapshot-time collectors. The collectors
+// read the exact same atomics Counters/EngineStats/DiskCacheStats report,
+// so a /metrics scrape and the Go API can never disagree.
+func (tk *Toolkit) RegisterMetrics(r *obs.Registry) {
+	if r == nil {
+		return
+	}
+	r.Collect(func() []obs.Sample {
+		compiled, compiledRuns, interpretedRuns := tk.EngineStats()
+		profiles, calibrations := tk.Counters()
+		samples := []obs.Sample{
+			{Name: "lumos_profiles_total", Kind: obs.KindCounter, Help: "Ground-truth profiling runs performed.", Value: float64(profiles)},
+			{Name: "lumos_calibrations_total", Kind: obs.KindCounter, Help: "Kernel-library calibrations performed (disk-cache hits skip these).", Value: float64(calibrations)},
+			{Name: "lumos_engine_compiled_programs_total", Kind: obs.KindCounter, Help: "Graphs lowered into compiled replay programs.", Value: float64(compiled)},
+			{Name: "lumos_engine_runs_total", Labels: obs.RenderLabels("engine", "compiled"), Kind: obs.KindCounter, Help: "Replay simulations per engine.", Value: float64(compiledRuns)},
+			{Name: "lumos_engine_runs_total", Labels: obs.RenderLabels("engine", "interpreted"), Kind: obs.KindCounter, Help: "Replay simulations per engine.", Value: float64(interpretedRuns)},
+		}
+		if st, ok := tk.DiskCacheStats(); ok {
+			samples = append(samples,
+				obs.Sample{Name: "lumos_scache_hits_total", Kind: obs.KindCounter, Help: "Disk scenario-cache hits.", Value: float64(st.Hits)},
+				obs.Sample{Name: "lumos_scache_misses_total", Kind: obs.KindCounter, Help: "Disk scenario-cache misses.", Value: float64(st.Misses)},
+				obs.Sample{Name: "lumos_scache_puts_total", Kind: obs.KindCounter, Help: "Disk scenario-cache inserts.", Value: float64(st.Puts)},
+				obs.Sample{Name: "lumos_scache_evictions_total", Kind: obs.KindCounter, Help: "Disk scenario-cache LRU evictions.", Value: float64(st.Evictions)},
+				obs.Sample{Name: "lumos_scache_discards_total", Kind: obs.KindCounter, Help: "Corrupt or foreign disk-cache entries discarded.", Value: float64(st.Discards)},
+				obs.Sample{Name: "lumos_scache_entries", Kind: obs.KindGauge, Help: "Disk scenario-cache entries resident.", Value: float64(st.Entries)},
+				obs.Sample{Name: "lumos_scache_bytes", Kind: obs.KindGauge, Help: "Disk scenario-cache bytes resident.", Value: float64(st.Bytes)},
+				obs.Sample{Name: "lumos_scache_cap_bytes", Kind: obs.KindGauge, Help: "Disk scenario-cache eviction cap.", Value: float64(st.Cap)},
+			)
+		}
+		return samples
+	})
+}
+
 // concurrency resolves the sweep worker-pool bound.
 func (tk *Toolkit) concurrency() int {
 	if n := tk.opts.Concurrency; n > 0 {
@@ -334,6 +403,9 @@ func (tk *Toolkit) Profile(ctx context.Context, cfg parallel.Config, seed uint64
 	}
 	tk.profiles.Add(1)
 	world := cfg.Map.WorldSize()
+	sp := tk.tracer().Start("pipeline", "profile")
+	sp.Annotate("world", world)
+	defer sp.End()
 	simCfg := tk.simConfigFor(world, seed)
 	return cluster.Run(cfg, simCfg)
 }
@@ -347,6 +419,10 @@ func (tk *Toolkit) ProfileN(ctx context.Context, cfg parallel.Config, seed uint6
 	}
 	tk.profiles.Add(1)
 	world := cfg.Map.WorldSize()
+	sp := tk.tracer().Start("pipeline", "profile")
+	sp.Annotate("world", world)
+	sp.Annotate("iterations", n)
+	defer sp.End()
 	simCfg := tk.simConfigFor(world, seed)
 	return cluster.RunN(cfg, simCfg, n)
 }

@@ -16,6 +16,7 @@ import (
 	"lumos/internal/collective"
 	"lumos/internal/execgraph"
 	"lumos/internal/manip"
+	"lumos/internal/obs"
 	"lumos/internal/parallel"
 	"lumos/internal/planner"
 	"lumos/internal/replay"
@@ -37,9 +38,12 @@ type structEntry struct {
 }
 
 // compiled returns the entry's lowered program and comm retime plan,
-// building both at most once per structural key.
-func (e *structEntry) compiled(b *BaseState) (*replay.Program, *manip.CommRetimePlan) {
+// building both at most once per structural key. sp, when non-nil, parents
+// a "compile" span attributed to whichever scenario lowers first.
+func (e *structEntry) compiled(b *BaseState, sp *obs.Span) (*replay.Program, *manip.CommRetimePlan) {
 	e.progOnce.Do(func() {
+		csp := sp.Child("compile")
+		defer csp.End()
 		var basePricer collective.Pricer
 		if b.Fabric != nil {
 			basePricer = b.pricerFor(b.Fabric)
@@ -63,13 +67,17 @@ const structCacheCap = 64
 // the target, shared across every point with the same structure (the
 // planner's fabric/degrade axis varies only durations, never the DAG).
 // The returned entry carries the shared compiled-replay artifacts; it is
-// nil on the private-synthesis overflow path past structCacheCap.
-func (b *BaseState) synthesizeStructural(req manip.Request) (*manip.GraphResult, *structEntry, error) {
+// nil on the private-synthesis overflow path past structCacheCap. sp, when
+// non-nil, parents a "synthesize" span attributed to whichever scenario
+// synthesizes first (structural-cache hits emit no span).
+func (b *BaseState) synthesizeStructural(req manip.Request, sp *obs.Span) (*manip.GraphResult, *structEntry, error) {
 	key := fmt.Sprintf("%+v", req.Target)
 	v, ok := b.structs.Load(key)
 	if !ok {
 		if b.structCount.Load() >= structCacheCap {
+			ssp := sp.Child("synthesize")
 			out, err := manip.PredictGraphWith(req, b.Library, b.Fitted, b.Fabric)
+			ssp.End()
 			return out, nil, err
 		}
 		var loaded bool
@@ -80,6 +88,8 @@ func (b *BaseState) synthesizeStructural(req manip.Request) (*manip.GraphResult,
 	}
 	e := v.(*structEntry)
 	e.once.Do(func() {
+		ssp := sp.Child("synthesize")
+		defer ssp.End()
 		e.out, e.err = manip.PredictGraphWith(req, b.Library, b.Fitted, b.Fabric)
 	})
 	return e.out, e, e.err
@@ -101,7 +111,8 @@ func (s *planScenario) Fingerprint(*BaseState) (string, bool) {
 	return "plan|" + s.cand.Point.Key(), true
 }
 
-func (s *planScenario) Run(_ context.Context, b *BaseState) (ScenarioResult, error) {
+func (s *planScenario) Run(ctx context.Context, b *BaseState) (ScenarioResult, error) {
+	sp := obs.SpanFrom(ctx)
 	p := s.cand.Point
 	target := p.Config(b.Config)
 	res := ScenarioResult{
@@ -119,7 +130,7 @@ func (s *planScenario) Run(_ context.Context, b *BaseState) (ScenarioResult, err
 	if p.Fabric == nil && len(p.Degrade) == 0 {
 		// The campaign's own fabric: the plain deploy-prediction path,
 		// served from (and seeding) the structural graph cache.
-		out, _, err := b.synthesizeStructural(req)
+		out, _, err := b.synthesizeStructural(req, sp)
 		if err != nil {
 			res.Err = err.Error()
 			return res, nil
@@ -140,7 +151,7 @@ func (s *planScenario) Run(_ context.Context, b *BaseState) (ScenarioResult, err
 		res.Err = rerr.Error()
 		return res, nil
 	}
-	out, entry, err := b.synthesizeStructural(req)
+	out, entry, err := b.synthesizeStructural(req, sp)
 	if err != nil {
 		res.Err = err.Error()
 		return res, nil
@@ -156,10 +167,14 @@ func (s *planScenario) Run(_ context.Context, b *BaseState) (ScenarioResult, err
 		// columns (pooled buffers seeded with the recorded durations) via
 		// the precomputed comm plan, and run on the engine's scratch — no
 		// view, no maps, no per-point graph walk.
-		prog, plan := entry.compiled(b)
+		prog, plan := entry.compiled(b, sp)
 		buf := b.acquireTimings(prog)
+		tsp := sp.Child("retime")
 		repriced = plan.Retime(buf.dur, buf.gdur, pricer)
+		tsp.End()
+		rsp := sp.Child("replay")
 		rres, err = c.RunProgram(prog, replay.Timings{Dur: buf.dur, GroupDur: buf.gdur})
+		rsp.End()
 		b.releaseTimings(buf)
 	} else {
 		var basePricer collective.Pricer
@@ -167,8 +182,12 @@ func (s *planScenario) Run(_ context.Context, b *BaseState) (ScenarioResult, err
 			basePricer = b.pricerFor(b.Fabric)
 		}
 		v := execgraph.NewRetimed(out.Graph)
+		tsp := sp.Child("retime")
 		repriced = manip.RetimeCommOnFabric(v, b.Library, pricer, basePricer)
+		tsp.End()
+		rsp := sp.Child("replay")
 		rres, err = eng.RunRetimed(v)
+		rsp.End()
 	}
 	b.releaseEngine(eng)
 	if err != nil {
@@ -201,6 +220,8 @@ func (tk *Toolkit) Plan(ctx context.Context, base parallel.Config, space planner
 // with Evaluate campaigns and across multiple Plan calls — the scenario
 // cache then spans all of them.
 func (tk *Toolkit) PlanState(ctx context.Context, st *BaseState, space planner.Space, opts ...planner.Option) (*planner.Result, error) {
+	sp := tk.tracer().Start("pipeline", "plan")
+	defer sp.End()
 	sim := func(ctx context.Context, cands []planner.Candidate) ([]planner.Outcome, error) {
 		scenarios := make([]Scenario, len(cands))
 		for i := range cands {
@@ -224,6 +245,9 @@ func (tk *Toolkit) PlanState(ctx context.Context, st *BaseState, space planner.S
 			outs[i] = planner.Outcome{Iteration: r.Iteration, SharedStructure: r.SharedStructure, Err: r.Err}
 		}
 		return outs, nil
+	}
+	if tk.opts.Tracer != nil {
+		opts = append([]planner.Option{planner.WithTracer(tk.opts.Tracer)}, opts...)
 	}
 	return planner.Plan(ctx, st.Config, space, st.Fabric, tk.opts.Pricer, sim, opts...)
 }

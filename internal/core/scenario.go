@@ -24,6 +24,7 @@ import (
 	"lumos/internal/kernelmodel"
 	"lumos/internal/manip"
 	"lumos/internal/model"
+	"lumos/internal/obs"
 	"lumos/internal/parallel"
 	"lumos/internal/replay"
 	"lumos/internal/scache"
@@ -140,6 +141,36 @@ func (b *BaseState) CacheStats() CacheStats {
 		s.CompiledPrograms, s.CompiledRuns, s.InterpretedRuns = b.tk.EngineStats()
 	}
 	return s
+}
+
+// tracer returns the owning toolkit's tracer; nil for a hand-built
+// BaseState or when tracing is disabled.
+func (b *BaseState) tracer() *obs.Tracer {
+	if b.tk == nil {
+		return nil
+	}
+	return b.tk.opts.Tracer
+}
+
+// RegisterMetrics exposes this campaign state's cache counters — memo hits
+// and entries, scenario disk hits/misses, structurally shared graphs —
+// through the registry as a snapshot-time collector. Label pairs (e.g.
+// "profile", name) distinguish campaign states sharing one registry.
+func (b *BaseState) RegisterMetrics(r *obs.Registry, labelPairs ...string) {
+	if r == nil {
+		return
+	}
+	labels := obs.RenderLabels(labelPairs...)
+	r.Collect(func() []obs.Sample {
+		hits, entries := b.MemoStats()
+		return []obs.Sample{
+			{Name: "lumos_memo_hits_total", Labels: labels, Kind: obs.KindCounter, Help: "Scenario results served by the in-memory memo.", Value: float64(hits)},
+			{Name: "lumos_memo_entries", Labels: labels, Kind: obs.KindGauge, Help: "Scenario results memoized in memory.", Value: float64(entries)},
+			{Name: "lumos_scenario_disk_hits_total", Labels: labels, Kind: obs.KindCounter, Help: "Scenario lookups served by the disk cache.", Value: float64(b.diskHits.Load())},
+			{Name: "lumos_scenario_disk_misses_total", Labels: labels, Kind: obs.KindCounter, Help: "Scenario lookups missing the disk cache.", Value: float64(b.diskMiss.Load())},
+			{Name: "lumos_struct_shared_graphs", Labels: labels, Kind: obs.KindGauge, Help: "Synthesized graphs held for structural sharing.", Value: float64(b.structCount.Load())},
+		}
+	})
 }
 
 // acquireEngine returns a pooled replay engine (or a fresh interpreter for
@@ -288,7 +319,7 @@ func (s *deployScenario) Fingerprint(b *BaseState) (string, bool) {
 	return fmt.Sprintf("%s|%+v", s.kind, s.transform(b.Config)), true
 }
 
-func (s *deployScenario) Run(_ context.Context, b *BaseState) (ScenarioResult, error) {
+func (s *deployScenario) Run(ctx context.Context, b *BaseState) (ScenarioResult, error) {
 	target := s.transform(b.Config)
 	res := ScenarioResult{
 		Name:   s.name,
@@ -307,7 +338,7 @@ func (s *deployScenario) Run(_ context.Context, b *BaseState) (ScenarioResult, e
 	// evaluations of one target on this campaign state share the
 	// synthesized DAG with each other and with planner points (synthesis
 	// is deterministic, so sharing is bit-identical to re-synthesizing).
-	out, _, err := b.synthesizeStructural(req)
+	out, _, err := b.synthesizeStructural(req, obs.SpanFrom(ctx))
 	if err != nil {
 		res.Err = err.Error()
 		return res, nil
@@ -405,16 +436,18 @@ func (s *kernelScaleScenario) Fingerprint(*BaseState) (string, bool) {
 	return s.fp, s.fp != ""
 }
 
-func (s *kernelScaleScenario) Run(_ context.Context, b *BaseState) (ScenarioResult, error) {
+func (s *kernelScaleScenario) Run(ctx context.Context, b *BaseState) (ScenarioResult, error) {
 	res := ScenarioResult{
 		Name:   s.name,
 		Kind:   "whatif-scale",
 		Target: b.Config,
 		World:  b.Config.Map.WorldSize(),
 	}
+	rsp := obs.SpanFrom(ctx).Child("replay")
 	sim := b.engineForBase()
 	iter, err := analysis.WhatIfScaleSim(sim, b.Graph, s.match, s.factor)
 	b.releaseEngine(sim)
+	rsp.End()
 	if err != nil {
 		res.Err = err.Error()
 		return res, nil
@@ -452,7 +485,7 @@ func (s *fusionScenario) Fingerprint(*BaseState) (string, bool) {
 	return fmt.Sprintf("fusion|%+v", s.opts), true
 }
 
-func (s *fusionScenario) Run(_ context.Context, b *BaseState) (ScenarioResult, error) {
+func (s *fusionScenario) Run(ctx context.Context, b *BaseState) (ScenarioResult, error) {
 	res := ScenarioResult{
 		Name:   s.name,
 		Kind:   "whatif-fusion",
@@ -461,9 +494,11 @@ func (s *fusionScenario) Run(_ context.Context, b *BaseState) (ScenarioResult, e
 	}
 	// The unfused baseline is the campaign's replayed base point; only the
 	// fused counterfactual needs a simulation here.
+	rsp := obs.SpanFrom(ctx).Child("replay")
 	sim := b.engineForBase()
 	rep, err := analysis.WhatIfFusionSim(sim, b.Graph, s.opts, b.Iteration)
 	b.releaseEngine(sim)
+	rsp.End()
 	if err != nil {
 		res.Err = err.Error()
 		return res, nil
@@ -762,11 +797,18 @@ func (tk *Toolkit) Prepare(ctx context.Context, cfg parallel.Config, seed uint64
 // pricer) triple, and the returned state serves fingerprintable scenarios
 // through the disk layer as well as the in-memory memo.
 func (tk *Toolkit) PrepareTraces(ctx context.Context, cfg parallel.Config, m *trace.Multi) (*BaseState, error) {
+	sp := tk.tracer().Start("pipeline", "prepare")
+	sp.Annotate("ranks", len(m.Ranks))
+	defer sp.End()
+	bg := sp.Child("build-graph")
 	g, err := tk.BuildGraph(ctx, m)
+	bg.End()
 	if err != nil {
 		return nil, err
 	}
+	rp := sp.Child("replay")
 	rep, err := tk.Replay(ctx, g)
+	rp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -831,6 +873,9 @@ func (tk *Toolkit) EvaluateState(ctx context.Context, base *BaseState, scenarios
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	sp := tk.tracer().Start("pipeline", "sweep")
+	sp.Annotate("scenarios", len(scenarios))
+	defer sp.End()
 	results := make([]ScenarioResult, len(scenarios))
 	workers := tk.concurrency()
 	if workers > len(scenarios) {
@@ -905,6 +950,12 @@ func runScenario(ctx context.Context, sc Scenario, base *BaseState, useCache boo
 		return ScenarioResult{Name: sc.Name(), Err: err.Error()}
 	}
 
+	sp := base.tracer().Start("scenario", sc.Name())
+	if sp != nil {
+		ctx = obs.ContextWithSpan(ctx, sp)
+	}
+	defer sp.End()
+
 	var key, diskKey string
 	if useCache {
 		if fp, ok := sc.(Fingerprinter); ok {
@@ -912,6 +963,7 @@ func runScenario(ctx context.Context, sc Scenario, base *BaseState, useCache boo
 				key = k
 				if cached, ok := base.memo.Load(key); ok {
 					base.memoHits.Add(1)
+					sp.Annotate("cache", "memo")
 					res := cached.(ScenarioResult)
 					// The cached prediction may have been produced under a
 					// different display name (e.g. two grid spellings of the
@@ -923,6 +975,7 @@ func runScenario(ctx context.Context, sc Scenario, base *BaseState, useCache boo
 					diskKey = scenarioDiskKey(base.fingerprint, key)
 					if res, ok := diskLoad(base.disk, diskKey); ok {
 						base.diskHits.Add(1)
+						sp.Annotate("cache", "disk")
 						if _, loaded := base.memo.LoadOrStore(key, res); !loaded {
 							base.memoSize.Add(1)
 						}
@@ -941,6 +994,13 @@ func runScenario(ctx context.Context, sc Scenario, base *BaseState, useCache boo
 	}
 	if res.Name == "" {
 		res.Name = sc.Name()
+	}
+	if sp != nil {
+		if res.Feasible() {
+			sp.Annotate("iteration_ms", float64(res.Iteration)/1e6)
+		} else {
+			sp.Annotate("infeasible", res.Err)
+		}
 	}
 	if key != "" && res.Feasible() {
 		if _, loaded := base.memo.LoadOrStore(key, res); !loaded {

@@ -1,0 +1,147 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"sync"
+	"testing"
+)
+
+// TestTraceRoundTrip emits a small span tree, exports it, parses it back,
+// and checks the structural invariants Perfetto relies on: children share
+// the parent's track and are contained in the parent's [ts, ts+dur] window,
+// concurrent roots get distinct tracks, and instants land on their span's
+// track.
+func TestTraceRoundTrip(t *testing.T) {
+	tr := NewTracer()
+
+	root := tr.Start("pipeline", "prepare")
+	root.Annotate("profile", "fig7")
+	calib := root.Child("calibrate")
+	calib.End()
+	synth := root.Child("synthesize")
+	synth.Instant("round", map[string]any{"n": 1})
+	synth.End()
+	root.End()
+
+	var buf bytes.Buffer
+	if err := tr.Export(&buf); err != nil {
+		t.Fatal(err)
+	}
+	events, err := ParseTrace(buf.Bytes())
+	if err != nil {
+		t.Fatalf("exported trace does not parse: %v", err)
+	}
+
+	byName := map[string]TraceEvent{}
+	for _, ev := range events {
+		byName[ev.Name] = ev
+	}
+	rootEv, ok := byName["prepare"]
+	if !ok {
+		t.Fatal("missing root span event")
+	}
+	if rootEv.Ph != "X" || rootEv.Cat != "pipeline" {
+		t.Fatalf("root event = %+v", rootEv)
+	}
+	if rootEv.Args["profile"] != "fig7" {
+		t.Fatalf("root args = %v", rootEv.Args)
+	}
+	for _, name := range []string{"calibrate", "synthesize"} {
+		ev, ok := byName[name]
+		if !ok {
+			t.Fatalf("missing child %q", name)
+		}
+		if ev.Tid != rootEv.Tid {
+			t.Errorf("child %q tid %d != root tid %d", name, ev.Tid, rootEv.Tid)
+		}
+		if ev.Ts < rootEv.Ts || ev.Ts+ev.Dur > rootEv.Ts+rootEv.Dur {
+			t.Errorf("child %q [%v,%v] escapes root [%v,%v]",
+				name, ev.Ts, ev.Ts+ev.Dur, rootEv.Ts, rootEv.Ts+rootEv.Dur)
+		}
+	}
+	inst, ok := byName["round"]
+	if !ok {
+		t.Fatal("missing instant event")
+	}
+	if inst.Ph != "i" || inst.Tid != rootEv.Tid {
+		t.Fatalf("instant = %+v", inst)
+	}
+}
+
+// TestTracerTrackReuse: concurrent roots occupy distinct tracks; a track
+// freed by End is reused by the next root (smallest id first) so traces stay
+// compact.
+func TestTracerTrackReuse(t *testing.T) {
+	tr := NewTracer()
+	a := tr.Start("x", "a")
+	b := tr.Start("x", "b")
+	if a.tid == b.tid {
+		t.Fatalf("concurrent roots share track %d", a.tid)
+	}
+	a.End()
+	c := tr.Start("x", "c")
+	if c.tid != a.tid {
+		t.Errorf("track not reused: got %d, want %d", c.tid, a.tid)
+	}
+	b.End()
+	c.End()
+}
+
+// TestTracerConcurrent drives spans from many goroutines; run under -race.
+func TestTracerConcurrent(t *testing.T) {
+	tr := NewTracer()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				sp := tr.Start("worker", "scenario")
+				ch := sp.Child("replay")
+				ch.Instant("tick", nil)
+				ch.End()
+				sp.End()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := len(tr.Events()); got != 8*200*3 {
+		t.Fatalf("events = %d, want %d", got, 8*200*3)
+	}
+}
+
+// TestNilTracer: the disabled state is a nil pointer; every operation,
+// including context plumbing, must be a no-op.
+func TestNilTracer(t *testing.T) {
+	var tr *Tracer
+	sp := tr.Start("x", "y")
+	if sp != nil {
+		t.Fatal("nil tracer returned non-nil span")
+	}
+	sp.Annotate("k", "v")
+	sp.Instant("i", nil)
+	child := sp.Child("c")
+	child.End()
+	sp.End()
+	tr.Instant("x", "y", nil)
+	if tr.Events() != nil {
+		t.Fatal("nil tracer has events")
+	}
+
+	ctx := ContextWithSpan(context.Background(), nil)
+	if ctx != context.Background() {
+		t.Fatal("nil span changed context")
+	}
+	if SpanFrom(ctx) != nil {
+		t.Fatal("nil span round-tripped as non-nil")
+	}
+
+	var buf bytes.Buffer
+	if err := tr.Export(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseTrace(buf.Bytes()); err != nil {
+		t.Fatalf("nil export does not parse: %v", err)
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"context"
 	"sort"
 
+	"lumos/internal/obs"
 	"lumos/internal/parallel"
 	"lumos/internal/schedule"
 	"lumos/internal/topology"
@@ -105,6 +106,9 @@ type spaceSearch struct {
 	stats   *Stats
 	// retain records an analytically rejected candidate (capped upstream).
 	retain func(Candidate)
+	// tracer, when non-nil, receives per-round pop/prune instant events on
+	// the "search" category (the metered simulator adds the simulate ones).
+	tracer *obs.Tracer
 }
 
 // spaceStrategy is implemented by strategies that search the space
@@ -246,6 +250,7 @@ func (b BranchAndBound) searchSpace(ctx context.Context, s *spaceSearch) ([]Eval
 	var incumbent trace.Dur
 	have := false
 	promoted := 0
+	round := 0
 	for h.Len() > 0 {
 		if s.budget > 0 && promoted >= s.budget {
 			// Budget exhausted mid-search: the unexplored remainder is
@@ -280,10 +285,31 @@ func (b BranchAndBound) searchSpace(ctx context.Context, s *spaceSearch) ([]Eval
 			// Every remaining head exceeds the incumbent; with the bound
 			// monotone along each subtree's microbatch axis, every point
 			// behind every head does too. Prune wholesale.
+			subtrees, points := 0, 0
 			for h.Len() > 0 {
-				s.prune(heap.Pop(h).(*bnbNode), evaluated)
+				n := heap.Pop(h).(*bnbNode)
+				subtrees++
+				points += n.remaining()
+				s.prune(n, evaluated)
+			}
+			if s.tracer != nil {
+				s.tracer.Instant("search", "prune", map[string]any{
+					"round": round, "subtrees": subtrees, "points": points,
+					"incumbent_ms": float64(incumbent) / 1e6,
+				})
 			}
 			break
+		}
+		round++
+		if s.tracer != nil {
+			args := map[string]any{
+				"round": round, "batch": len(batch), "heap": h.Len(),
+				"head_bound_ms": float64(batch[0].Bound) / 1e6,
+			}
+			if have {
+				args["incumbent_ms"] = float64(incumbent) / 1e6
+			}
+			s.tracer.Instant("search", "pop", args)
 		}
 		for _, n := range popped {
 			n.advance(s)

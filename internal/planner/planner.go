@@ -23,6 +23,7 @@ import (
 
 	"lumos/internal/collective"
 	"lumos/internal/memcost"
+	"lumos/internal/obs"
 	"lumos/internal/parallel"
 	"lumos/internal/rng"
 	"lumos/internal/topology"
@@ -398,6 +399,10 @@ type Options struct {
 	// retained (with reasons) in the result. Zero selects 32; the
 	// rejection *counts* in Stats are always exact.
 	MaxInfeasible int
+	// Tracer, when non-nil, receives per-round search events (pop, prune,
+	// simulate, with the running incumbent) on the "search" category. Nil
+	// disables tracing with zero overhead.
+	Tracer *obs.Tracer
 }
 
 // Option mutates Options.
@@ -411,6 +416,11 @@ func WithBudget(n int) Option { return func(o *Options) { o.Budget = n } }
 
 // WithMemModel overrides the memory-feasibility model.
 func WithMemModel(m memcost.Model) Option { return func(o *Options) { o.Mem = m } }
+
+// WithTracer attaches an observability tracer: the search emits per-round
+// pop/prune/simulate instant events carrying the incumbent value. A nil
+// tracer (the default) is a no-op.
+func WithTracer(t *obs.Tracer) Option { return func(o *Options) { o.Tracer = t } }
 
 // AutoThreshold is the feasible-candidate count up to which the nil
 // strategy stays exhaustive.
@@ -522,6 +532,24 @@ func Plan(ctx context.Context, base parallel.Config, space Space,
 				}
 			}
 		}
+		if o.Tracer != nil && err == nil {
+			freshCount := 0
+			for _, f := range fresh {
+				if f {
+					freshCount++
+				}
+			}
+			best := trace.Dur(0)
+			for _, out := range outs {
+				if out.Err == "" && (best == 0 || out.Iteration < best) {
+					best = out.Iteration
+				}
+			}
+			o.Tracer.Instant("search", "simulate", map[string]any{
+				"round": stats.Rounds, "batch": len(cands), "fresh": freshCount,
+				"best_ms": float64(best) / 1e6,
+			})
+		}
 		return outs, err
 	}
 
@@ -534,6 +562,7 @@ func Plan(ctx context.Context, base parallel.Config, space Space,
 		evaluated, err = ss.searchSpace(ctx, &spaceSearch{
 			base: base, space: space, bounder: bounder,
 			budget: o.Budget, sim: metered, stats: &stats, retain: retain,
+			tracer: o.Tracer,
 		})
 		if err != nil {
 			return nil, err

@@ -26,6 +26,8 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+
+	"lumos/internal/obs"
 )
 
 // FormatTag identifies cache entry files; entries carrying any other tag
@@ -87,7 +89,12 @@ type Cache struct {
 	dir string
 	cap int64
 
+	// trace, when non-nil, receives one instant event per cache outcome
+	// (hit/miss/put/evict/corrupt). Set via Trace before concurrent use.
+	trace *obs.Tracer
+
 	mu      sync.Mutex
+	closed  bool
 	index   map[string]entryInfo // addr → info
 	bytes   int64
 	seq     int64
@@ -121,6 +128,48 @@ func Open(dir string, capBytes int64) (*Cache, error) {
 
 // Dir returns the cache root directory.
 func (c *Cache) Dir() string { return c.dir }
+
+// Trace attaches a tracer that receives one instant event per cache outcome
+// — hit, miss, put, evict, corrupt — on the "scache" category. Call it
+// before the cache is used concurrently; a nil tracer (the default)
+// disables events with zero overhead.
+func (c *Cache) Trace(t *obs.Tracer) {
+	c.mu.Lock()
+	c.trace = t
+	c.mu.Unlock()
+}
+
+// event emits one instant event when tracing is attached. addr8 is the
+// entry's truncated content address (full keys are long and embed
+// fingerprints; eight hex digits identify the entry in a trace).
+func (c *Cache) event(name, a string, bytes int64) {
+	if c.trace == nil {
+		return
+	}
+	args := map[string]any{"addr": shortAddr(a)}
+	if bytes > 0 {
+		args["bytes"] = bytes
+	}
+	c.trace.Instant("scache", name, args)
+}
+
+func shortAddr(a string) string {
+	if len(a) > 8 {
+		return a[:8]
+	}
+	return a
+}
+
+// Close marks the cache closed: subsequent Gets miss and Puts fail, so a
+// draining process stops producing new entry files at a defined point.
+// Writes are individually atomic, so there is nothing to flush; Close exists
+// to give shutdown a clean ordering (drain requests, then close the cache).
+func (c *Cache) Close() error {
+	c.mu.Lock()
+	c.closed = true
+	c.mu.Unlock()
+	return nil
+}
 
 // scan seeds the index from existing entry files, ordered by modification
 // time so the LRU sequence approximates on-disk age across restarts.
@@ -238,12 +287,20 @@ func readEntry(p string) (bp *[]byte, buf []byte, err error) {
 // the cache mutex, so concurrent warm readers do not serialize.
 func (c *Cache) loadEntry(key string) (bp *[]byte, env envelopeRef, size int64, ok bool) {
 	a := addr(key)
+	c.mu.Lock()
+	if c.closed {
+		c.misses++
+		c.mu.Unlock()
+		return nil, envelopeRef{}, 0, false
+	}
+	c.mu.Unlock()
 	p := c.path(a)
 	bp, buf, err := readEntry(p)
 	if err != nil {
 		c.mu.Lock()
 		c.misses++
 		c.mu.Unlock()
+		c.event("miss", a, 0)
 		return nil, envelopeRef{}, 0, false
 	}
 	invalid := json.Unmarshal(buf, &env) != nil ||
@@ -278,6 +335,7 @@ func (c *Cache) touch(key string, size int64) {
 	info.seq = c.seq
 	c.index[a] = info
 	c.hits++
+	c.event("hit", a, size)
 }
 
 // Get returns the payload stored under key. Any invalid entry — unreadable,
@@ -327,12 +385,19 @@ func (c *Cache) discardLocked(a, p string) {
 	}
 	os.Remove(p)
 	c.discard++
+	c.event("corrupt", a, 0)
 }
 
 // Put stores payload under key, atomically (temp file + rename) so readers
 // never observe a partial entry, then evicts least-recently-used entries
 // until the size cap holds. Storing under an existing key overwrites it.
 func (c *Cache) Put(key string, payload []byte) error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return fmt.Errorf("scache: cache closed")
+	}
+	c.mu.Unlock()
 	a := addr(key)
 	sum := sha256.Sum256(payload)
 	env := envelope{
@@ -379,6 +444,7 @@ func (c *Cache) Put(key string, payload []byte) error {
 	c.index[a] = entryInfo{size: int64(len(data)), seq: c.seq}
 	c.bytes += int64(len(data))
 	c.puts++
+	c.event("put", a, int64(len(data)))
 	c.evictLocked(a)
 	return nil
 }
@@ -405,6 +471,7 @@ func (c *Cache) evictLocked(keep string) {
 		c.bytes -= info.size
 		os.Remove(c.path(victim))
 		c.evicts++
+		c.event("evict", victim, info.size)
 	}
 }
 

@@ -402,6 +402,18 @@ type EngineStats struct {
 	InterpretedRuns  int64 `json:"interpreted_runs"`
 }
 
+// HealthResponse is the GET /v1/healthz response: liveness plus enough
+// build identity to tell which binary is answering.
+type HealthResponse struct {
+	Status        string  `json:"status"`
+	UptimeSeconds float64 `json:"uptime_s"`
+	GoVersion     string  `json:"go_version"`
+	Workers       int     `json:"workers"`
+	Module        string  `json:"module,omitempty"`
+	Revision      string  `json:"revision,omitempty"`
+	Dirty         bool    `json:"dirty,omitempty"`
+}
+
 // StatsResponse is the GET /v1/stats response.
 type StatsResponse struct {
 	UptimeSeconds float64        `json:"uptime_s"`

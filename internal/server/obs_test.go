@@ -1,0 +1,136 @@
+package server
+
+import (
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// metricsBody scrapes GET /metrics and asserts the exposition content type.
+func metricsBody(t *testing.T, s *Server) string {
+	t.Helper()
+	rec := do(t, s, "GET", "/metrics", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET /metrics = %d: %s", rec.Code, rec.Body.String())
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("metrics content type = %q", ct)
+	}
+	return rec.Body.String()
+}
+
+// TestMetricsEndpoint runs one sweep and one plan and checks that the
+// Prometheus exposition carries the per-endpoint request counters, the
+// latency histograms, and the toolkit collectors — with values identical
+// to the GET /v1/stats JSON, which reads the same atomics.
+func TestMetricsEndpoint(t *testing.T) {
+	s := New(Config{Seed: 42, CacheDir: t.TempDir()})
+	createProfile(t, s, "fig7", http.StatusCreated)
+
+	sweepReq := SweepRequest{Profile: "fig7", PPRange: []int{1, 2}}
+	if rec := do(t, s, "POST", "/v1/sweep", sweepReq); rec.Code != http.StatusOK {
+		t.Fatalf("sweep = %d: %s", rec.Code, rec.Body.String())
+	}
+	planReq := PlanRequest{Profile: "fig7", PPRange: []int{1, 2}, MBRange: []int{4, 8}, Strategy: "bnb"}
+	if rec := do(t, s, "POST", "/v1/plan", planReq); rec.Code != http.StatusOK {
+		t.Fatalf("plan = %d: %s", rec.Code, rec.Body.String())
+	}
+
+	body := metricsBody(t, s)
+	for _, want := range []string{
+		"# TYPE lumosd_requests_total counter",
+		`lumosd_requests_total{handler="profiles_create"} 1`,
+		`lumosd_requests_total{handler="sweep"} 1`,
+		`lumosd_requests_total{handler="plan"} 1`,
+		"# TYPE lumosd_request_duration_seconds histogram",
+		`lumosd_request_duration_seconds_bucket{handler="plan",le="+Inf"} 1`,
+		`lumosd_request_duration_seconds_count{handler="plan"} 1`,
+		"lumosd_profiles_created_total 1",
+		"lumosd_sweeps_total 1",
+		"lumosd_plans_total 1",
+		"# TYPE lumos_engine_runs_total counter",
+		`lumos_memo_hits_total{profile="fig7"}`,
+		"lumos_scache_puts_total",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics exposition missing %q", want)
+		}
+	}
+
+	// The JSON stats view and the exposition read the same storage.
+	stats := decodeBody[StatsResponse](t, do(t, s, "GET", "/v1/stats", nil))
+	snap := s.Registry().Snapshot()
+	for _, c := range []struct {
+		name string
+		want int64
+	}{
+		{"lumosd_profiles_created_total", stats.Requests.Profiles},
+		{"lumosd_sweeps_total", stats.Requests.Sweeps},
+		{"lumosd_plans_total", stats.Requests.Plans},
+		{"lumosd_request_errors_total", stats.Requests.Errors},
+		{"lumosd_plan_simulated_total", stats.Search.Simulated},
+		{"lumosd_plan_bound_pruned_total", stats.Search.BoundPruned},
+		{"lumosd_plan_shared_structure_total", stats.Search.SharedStructure},
+		{"lumos_engine_compiled_programs_total", stats.Engine.CompiledPrograms},
+	} {
+		got, ok := snap.Value(c.name, "")
+		if !ok {
+			t.Errorf("metric %s missing from snapshot", c.name)
+			continue
+		}
+		if int64(got) != c.want {
+			t.Errorf("%s = %v, stats report %d", c.name, got, c.want)
+		}
+	}
+	if stats.Disk == nil {
+		t.Fatal("stats missing disk section")
+	}
+	if got, ok := snap.Value("lumos_scache_puts_total", ""); !ok || int64(got) != stats.Disk.Puts {
+		t.Errorf("lumos_scache_puts_total = %v (ok=%v), stats report %d", got, ok, stats.Disk.Puts)
+	}
+	if got, ok := snap.Value("lumos_memo_hits_total", `profile="fig7"`); !ok || int64(got) != stats.Profiles[0].MemoHits {
+		t.Errorf("lumos_memo_hits_total = %v (ok=%v), stats report %d", got, ok, stats.Profiles[0].MemoHits)
+	}
+}
+
+// TestHealthz checks the enriched liveness probe.
+func TestHealthz(t *testing.T) {
+	s := New(Config{Seed: 42, Workers: 3})
+	resp := decodeBody[HealthResponse](t, do(t, s, "GET", "/v1/healthz", nil))
+	if resp.Status != "ok" || resp.GoVersion == "" || resp.UptimeSeconds < 0 || resp.Workers != 3 {
+		t.Fatalf("unexpected healthz response: %+v", resp)
+	}
+}
+
+// TestErrorCounterOnMetrics checks the failure path books into the same
+// error counter /v1/stats reports.
+func TestErrorCounterOnMetrics(t *testing.T) {
+	s := New(Config{Seed: 42})
+	if rec := do(t, s, "POST", "/v1/sweep", SweepRequest{Profile: "nope"}); rec.Code != http.StatusNotFound {
+		t.Fatalf("sweep on unknown profile = %d", rec.Code)
+	}
+	if !strings.Contains(metricsBody(t, s), "lumosd_request_errors_total 1") {
+		t.Error("error not booked in lumosd_request_errors_total")
+	}
+	stats := decodeBody[StatsResponse](t, do(t, s, "GET", "/v1/stats", nil))
+	if stats.Requests.Errors != 1 {
+		t.Fatalf("stats errors = %d, want 1", stats.Requests.Errors)
+	}
+}
+
+// TestServerClose checks shutdown semantics: Close is idempotent, and a
+// closed server's disk cache stops accepting entries (requests still
+// succeed — the cache degrades to miss, it never fails a campaign).
+func TestServerClose(t *testing.T) {
+	s := New(Config{Seed: 42, CacheDir: t.TempDir()})
+	createProfile(t, s, "fig7", http.StatusCreated)
+	if err := s.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+	if rec := do(t, s, "POST", "/v1/sweep", SweepRequest{Profile: "fig7"}); rec.Code != http.StatusOK {
+		t.Fatalf("sweep after close = %d: %s", rec.Code, rec.Body.String())
+	}
+}

@@ -9,8 +9,15 @@
 //	GET  /v1/profiles  list registered profiles
 //	POST /v1/sweep     run a scenario campaign against a profile
 //	POST /v1/plan      run the deployment planner against a profile
-//	GET  /v1/stats     cache + request counters
-//	GET  /v1/healthz   liveness probe
+//	GET  /v1/stats     cache + request counters (JSON)
+//	GET  /v1/healthz   liveness probe with build info and uptime
+//	GET  /metrics      Prometheus text exposition of every counter
+//
+// Every request is served through one instrumentation layer: a per-process
+// request ID, structured request logging (log/slog), and per-endpoint
+// request counters and latency histograms in an obs.Registry. GET /metrics
+// and GET /v1/stats read the same registry-backed atomics, so the two
+// views can never disagree.
 //
 // Responses are deterministic: the same campaign against the same profile
 // yields byte-identical bodies regardless of worker count, request
@@ -27,7 +34,10 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
+	"runtime"
+	"runtime/debug"
 	"sort"
 	"strings"
 	"sync"
@@ -36,6 +46,7 @@ import (
 
 	"lumos"
 	"lumos/internal/analysis"
+	"lumos/internal/obs"
 	"lumos/internal/trace"
 )
 
@@ -53,6 +64,9 @@ type Config struct {
 	Workers int
 	// Seed seeds substrate profiling for seed-sourced profiles.
 	Seed uint64
+	// Logger receives one structured record per request served (method,
+	// path, status, duration, request id). Nil discards request logs.
+	Logger *slog.Logger
 }
 
 // profile is one registry entry: a named, immutable, calibrated campaign
@@ -83,20 +97,26 @@ type Server struct {
 	cfg Config
 	tk  *lumos.Toolkit
 	mux *http.ServeMux
+	log *slog.Logger
 
 	mu       sync.RWMutex
 	profiles map[string]*profile
 
-	nProfiles atomic.Int64
-	nSweeps   atomic.Int64
-	nPlans    atomic.Int64
-	nErrors   atomic.Int64
+	// reg holds every lumosd counter plus the toolkit's collectors; GET
+	// /metrics renders it and GET /v1/stats reads the same atomics.
+	reg    *obs.Registry
+	reqSeq atomic.Int64
+
+	nProfiles *obs.Counter
+	nSweeps   *obs.Counter
+	nPlans    *obs.Counter
+	nErrors   *obs.Counter
 
 	// Aggregate planner search effort across every plan request served.
-	nSimulated       atomic.Int64
-	nBoundPruned     atomic.Int64
-	nDominatedPruned atomic.Int64
-	nSharedStructure atomic.Int64
+	nSimulated       *obs.Counter
+	nBoundPruned     *obs.Counter
+	nDominatedPruned *obs.Counter
+	nSharedStructure *obs.Counter
 
 	start time.Time
 }
@@ -114,20 +134,85 @@ func New(cfg Config) *Server {
 			opts = append(opts, lumos.WithDiskCacheCap(cfg.CacheCap))
 		}
 	}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = slog.New(discardHandler{})
+	}
+	reg := obs.NewRegistry()
 	s := &Server{
 		cfg:      cfg,
 		tk:       lumos.New(opts...),
 		mux:      http.NewServeMux(),
+		log:      logger,
 		profiles: make(map[string]*profile),
+		reg:      reg,
 		start:    time.Now(),
+
+		nProfiles: reg.Counter("lumosd_profiles_created_total", "Profiles built and registered since startup."),
+		nSweeps:   reg.Counter("lumosd_sweeps_total", "Sweep campaigns served since startup."),
+		nPlans:    reg.Counter("lumosd_plans_total", "Plan searches served since startup."),
+		nErrors:   reg.Counter("lumosd_request_errors_total", "Requests answered with an error body since startup."),
+
+		nSimulated:       reg.Counter("lumosd_plan_simulated_total", "Planner points fully simulated across every plan request."),
+		nBoundPruned:     reg.Counter("lumosd_plan_bound_pruned_total", "Planner points pruned by the admissible bound without simulation."),
+		nDominatedPruned: reg.Counter("lumosd_plan_dominated_pruned_total", "Planner points pruned as dominated without simulation."),
+		nSharedStructure: reg.Counter("lumosd_plan_shared_structure_total", "Simulations served by re-timing a structurally shared graph."),
 	}
-	s.mux.HandleFunc("POST /v1/profiles", s.handleCreateProfile)
-	s.mux.HandleFunc("GET /v1/profiles", s.handleListProfiles)
-	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
-	s.mux.HandleFunc("POST /v1/plan", s.handlePlan)
-	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
-	s.mux.HandleFunc("GET /v1/healthz", s.handleHealth)
+	s.tk.RegisterMetrics(reg)
+	s.handle("POST /v1/profiles", "profiles_create", s.handleCreateProfile)
+	s.handle("GET /v1/profiles", "profiles_list", s.handleListProfiles)
+	s.handle("POST /v1/sweep", "sweep", s.handleSweep)
+	s.handle("POST /v1/plan", "plan", s.handlePlan)
+	s.handle("GET /v1/stats", "stats", s.handleStats)
+	s.handle("GET /v1/healthz", "healthz", s.handleHealth)
+	s.handle("GET /metrics", "metrics", s.handleMetrics)
 	return s
+}
+
+// discardHandler is the nil-logger sink: request logging disabled.
+type discardHandler struct{}
+
+func (discardHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (discardHandler) Handle(context.Context, slog.Record) error { return nil }
+func (discardHandler) WithAttrs([]slog.Attr) slog.Handler        { return discardHandler{} }
+func (discardHandler) WithGroup(string) slog.Handler             { return discardHandler{} }
+
+// statusWriter captures the response status for logging and metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// handle registers pattern through the instrumentation layer: one request
+// counter and one latency histogram per endpoint (labelled by the stable
+// handler name, not the raw path), a per-process request ID, and one
+// structured log record per request served.
+func (s *Server) handle(pattern, name string, h http.HandlerFunc) {
+	reqs := s.reg.Counter("lumosd_requests_total",
+		"Requests served, by endpoint.", "handler", name)
+	lat := s.reg.Histogram("lumosd_request_duration_seconds",
+		"Request latency in seconds, by endpoint.", obs.DefBuckets, "handler", name)
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		id := s.reqSeq.Add(1)
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		t0 := time.Now()
+		h(sw, r)
+		d := time.Since(t0)
+		reqs.Inc()
+		lat.Observe(d.Seconds())
+		s.log.LogAttrs(r.Context(), slog.LevelInfo, "request",
+			slog.Int64("id", id),
+			slog.String("method", r.Method),
+			slog.String("path", r.URL.Path),
+			slog.Int("status", sw.status),
+			slog.Duration("dur", d),
+		)
+	})
 }
 
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
@@ -138,6 +223,14 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 // harness inspect its counters).
 func (s *Server) Toolkit() *lumos.Toolkit { return s.tk }
 
+// Registry exposes the server's metrics registry (tests snapshot it).
+func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// Close releases the server's process-held resources — most importantly
+// the disk-backed scenario cache, which stops serving and accepting
+// entries. Call it after the HTTP listener has drained.
+func (s *Server) Close() error { return s.tk.Close() }
+
 func writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
@@ -146,7 +239,7 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 }
 
 func (s *Server) fail(w http.ResponseWriter, code int, format string, args ...any) {
-	s.nErrors.Add(1)
+	s.nErrors.Inc()
 	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
 }
 
@@ -298,7 +391,12 @@ func (s *Server) handleCreateProfile(w http.ResponseWriter, r *http.Request) {
 	s.profiles[req.Name] = p
 	s.mu.Unlock()
 
-	s.nProfiles.Add(1)
+	// Surface this campaign state's cache counters on /metrics, labelled
+	// by profile name (names are validated and registration is
+	// first-writer-wins, so each series registers at most once).
+	p.state.RegisterMetrics(s.reg, "profile", p.name)
+
+	s.nProfiles.Inc()
 	writeJSON(w, http.StatusCreated, p.info(true))
 }
 
@@ -369,7 +467,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		s.failRun(w, r, err)
 		return
 	}
-	s.nSweeps.Add(1)
+	s.nSweeps.Inc()
 
 	results := sweep.Results
 	if req.Top > 0 {
@@ -426,7 +524,7 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 		s.failRun(w, r, err)
 		return
 	}
-	s.nPlans.Add(1)
+	s.nPlans.Inc()
 	s.nSimulated.Add(int64(res.Stats.Simulated))
 	s.nBoundPruned.Add(int64(res.Stats.BoundPruned))
 	s.nDominatedPruned.Add(int64(res.Stats.DominatedPruned))
@@ -505,16 +603,16 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Workers:       s.cfg.Workers,
 		Seed:          s.cfg.Seed,
 		Requests: RequestStats{
-			Profiles: s.nProfiles.Load(),
-			Sweeps:   s.nSweeps.Load(),
-			Plans:    s.nPlans.Load(),
-			Errors:   s.nErrors.Load(),
+			Profiles: s.nProfiles.Value(),
+			Sweeps:   s.nSweeps.Value(),
+			Plans:    s.nPlans.Value(),
+			Errors:   s.nErrors.Value(),
 		},
 		Search: SearchStats{
-			Simulated:       s.nSimulated.Load(),
-			BoundPruned:     s.nBoundPruned.Load(),
-			DominatedPruned: s.nDominatedPruned.Load(),
-			SharedStructure: s.nSharedStructure.Load(),
+			Simulated:       s.nSimulated.Value(),
+			BoundPruned:     s.nBoundPruned.Value(),
+			DominatedPruned: s.nDominatedPruned.Value(),
+			SharedStructure: s.nSharedStructure.Value(),
 		},
 		Profiles: make([]ProfileStats, len(list)),
 	}
@@ -548,5 +646,31 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	resp := HealthResponse{
+		Status:        "ok",
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		GoVersion:     runtime.Version(),
+		Workers:       s.cfg.Workers,
+	}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		resp.Module = bi.Main.Path
+		for _, kv := range bi.Settings {
+			switch kv.Key {
+			case "vcs.revision":
+				resp.Revision = kv.Value
+			case "vcs.modified":
+				resp.Dirty = kv.Value == "true"
+			}
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleMetrics renders the full registry — lumosd request counters and
+// latency histograms, planner search totals, and the toolkit collectors
+// (engine, calibration, per-profile scenario caches, disk cache) — in the
+// Prometheus text exposition format.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.reg.Snapshot().WritePrometheus(w)
 }

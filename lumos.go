@@ -43,6 +43,7 @@ import (
 	"lumos/internal/execgraph"
 	"lumos/internal/manip"
 	"lumos/internal/model"
+	"lumos/internal/obs"
 	"lumos/internal/parallel"
 	"lumos/internal/replay"
 	"lumos/internal/topology"
@@ -303,3 +304,52 @@ type FusionOpts = analysis.FusionOpts
 
 // DefaultFusionOpts matches a fused elementwise/norm epilogue pattern.
 func DefaultFusionOpts() FusionOpts { return analysis.DefaultFusionOpts() }
+
+// Observability: self-tracing spans and a lock-cheap metrics registry.
+type (
+	// Tracer records pipeline spans and instant events and exports them as
+	// Chrome trace-event JSON loadable in Perfetto (ui.perfetto.dev) or
+	// chrome://tracing. A nil *Tracer is a valid no-op: every method on it
+	// and on the spans it returns is safe to call, so instrumented code
+	// pays one pointer check when tracing is disabled.
+	Tracer = obs.Tracer
+	// Span is one timed operation on a Tracer's timeline; obtain one with
+	// Tracer.Start and nest with Span.Child.
+	Span = obs.Span
+	// TraceEvent is one exported Chrome trace event.
+	TraceEvent = obs.TraceEvent
+	// Registry is a process-local metrics registry: atomic counters,
+	// gauges, and fixed-bucket histograms with deterministic snapshots and
+	// Prometheus text exposition.
+	Registry = obs.Registry
+	// MetricsSnapshot is a point-in-time view of a Registry.
+	MetricsSnapshot = obs.Snapshot
+	// MetricsSample is one series in a MetricsSnapshot.
+	MetricsSample = obs.Sample
+	// MetricKind discriminates MetricsSample payloads.
+	MetricKind = obs.Kind
+)
+
+// Metric kinds, re-exported for snapshot consumers.
+const (
+	MetricCounter   = obs.KindCounter
+	MetricGauge     = obs.KindGauge
+	MetricHistogram = obs.KindHistogram
+)
+
+// NewTracer returns an enabled tracer.
+func NewTracer() *Tracer { return obs.NewTracer() }
+
+// NewRegistry returns an empty metrics registry.
+func NewRegistry() *Registry { return obs.NewRegistry() }
+
+// ParseTraceEvents decodes a Chrome trace-event JSON document produced by
+// Tracer.Export (round-trip check for exported traces).
+func ParseTraceEvents(data []byte) ([]TraceEvent, error) { return obs.ParseTrace(data) }
+
+// WithTracer attaches a tracer to the toolkit: campaign pipeline stages
+// (profile, calibrate, prepare, sweep), per-scenario synthesis, graph
+// compilation and replay, planner search rounds, and disk-cache activity
+// all emit spans or instant events onto it. A nil tracer (the default)
+// disables tracing with no allocation or locking on the hot path.
+func WithTracer(t *Tracer) Option { return core.WithTracer(t) }
