@@ -101,8 +101,10 @@ serve-smoke:
 
 # obs-smoke is the observability acceptance gate: examples/observe runs a
 # traced branch-and-bound plan and exits non-zero unless the exported
-# Chrome trace covers every pipeline stage and per-round search event, and
-# a live lumosd's GET /metrics parses under the Prometheus text grammar
-# with counter values identical to GET /v1/stats.
+# Chrome trace covers every pipeline stage and per-round search event, a
+# live lumosd's GET /metrics parses under the Prometheus text grammar with
+# counter values identical to GET /v1/stats, and the flight recorder
+# round-trips — a traced plan's trace is retrieved by id, parses, and its
+# explain report's simulated/pruned totals equal the response stats.
 obs-smoke:
 	$(GO) run ./examples/observe

@@ -34,13 +34,19 @@
 //	                [-fabric flat,nvl72] [-degrade 1,0.5] \
 //	                [-strategy auto|exhaustive|beam|halving] [-beam 8] [-eta 3] \
 //	                [-budget 0] [-gpu-mem-gib 80] [-zero 0|1|2] [-top 10] \
-//	                [-trace search.json] [-metrics]
+//	                [-trace search.json] [-explain explain.json] [-metrics]
 //	    guided deployment search: expand the parallelism × microbatch ×
 //	    schedule × fabric space lazily, rule out configurations that would
 //	    OOM with the analytic memory model, rank the rest by roofline cost
 //	    bounds with schedule-specific bubble terms, simulate only the
 //	    survivors the strategy promotes, and print the Pareto frontier over
-//	    (iteration time, GPUs, peak memory)
+//	    (iteration time, GPUs, peak memory); -explain additionally writes a
+//	    structured report of every simulated point (analytic bound vs
+//	    simulated time) and every pruned subtree
+//	lumos trace top [-n 15] <trace.json>
+//	    analyze a Chrome trace-event export (from -trace or lumosd
+//	    GET /v1/traces/{id}): print the top-N spans by self-time with
+//	    per-category rollups
 //
 // All subcommands honor Ctrl-C: the context is canceled and in-flight
 // sweeps stop.
@@ -48,11 +54,13 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"os/signal"
+	"sort"
 	"strconv"
 	"strings"
 	"syscall"
@@ -64,7 +72,7 @@ import (
 )
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: lumos <tracegen|replay|breakdown|smutil|predict|whatif|sweep|plan> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: lumos <tracegen|replay|breakdown|smutil|predict|whatif|sweep|plan|trace> [flags]")
 	os.Exit(2)
 }
 
@@ -94,6 +102,8 @@ func main() {
 		err = cmdSweep(ctx, args)
 	case "plan":
 		err = cmdPlan(ctx, args)
+	case "trace":
+		err = cmdTrace(args)
 	default:
 		usage()
 	}
@@ -574,12 +584,15 @@ func printCounterSummary(st *lumos.BaseState) {
 }
 
 // printMetricsTable registers every toolkit and campaign-state collector
-// in a fresh registry and prints the deterministic snapshot — the same
-// series a lumosd /metrics scrape would expose for this run.
+// plus the Go-runtime collectors in a fresh registry and prints the
+// snapshot — the same series a lumosd /metrics scrape would expose for
+// this run. Runtime registration happens here, at snapshot assembly, so
+// CLI output includes the runtime gauges without a server running.
 func printMetricsTable(tk *lumos.Toolkit, st *lumos.BaseState) {
 	reg := lumos.NewRegistry()
 	tk.RegisterMetrics(reg)
 	st.RegisterMetrics(reg)
+	lumos.RegisterRuntime(reg)
 	snap := reg.Snapshot()
 	fmt.Printf("\n%-44s %-9s %s\n", "metric", "kind", "value")
 	for _, s := range snap.Samples {
@@ -639,6 +652,7 @@ func cmdPlan(ctx context.Context, args []string) error {
 	workers := fs.Int("workers", 0, "sweep worker pool size (0 = auto)")
 	cacheDir := fs.String("cache-dir", "", "disk-backed scenario cache shared across runs (empty = in-memory only)")
 	traceOut := fs.String("trace", "", "write a Chrome trace-event JSON of the search (pipeline spans + per-round search events; open in Perfetto)")
+	explainOut := fs.String("explain", "", "write the planner explain report as JSON (per simulated point: bound vs actual; per pruned subtree: head, bound, incumbent)")
 	showMetrics := fs.Bool("metrics", false, "print the full metrics snapshot after the search")
 	fs.Parse(args)
 
@@ -717,6 +731,11 @@ func cmdPlan(ctx context.Context, args []string) error {
 		ZeRO:        lumos.ZeROStage(*zero),
 	}
 	opts = append(opts, lumos.WithMemoryModel(mem))
+	var explain *lumos.PlanExplain
+	if *explainOut != "" {
+		explain = &lumos.PlanExplain{}
+		opts = append(opts, lumos.WithPlanExplain(explain))
+	}
 
 	tracer, tkOpts := traceOptions(*traceOut, toolkitOptions(*workers, *seed, *cacheDir))
 	tk := lumos.New(tkOpts...)
@@ -795,10 +814,29 @@ func cmdPlan(ctx context.Context, args []string) error {
 			best.Point.Key(), analysis.Millis(best.Iteration), best.Point.World(), best.Mem)
 	}
 	printCacheStats(*cacheDir, st)
+	if explain != nil {
+		if err := writeExplain(explain, *explainOut); err != nil {
+			return err
+		}
+	}
 	if *showMetrics {
 		printMetricsTable(tk, st)
 	}
 	return writeTrace(tracer, *traceOut)
+}
+
+// writeExplain dumps the planner explain report as indented JSON.
+func writeExplain(e *lumos.PlanExplain, path string) error {
+	data, err := json.MarshalIndent(e, "", "  ")
+	if err != nil {
+		return fmt.Errorf("encoding explain report: %w", err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("explain: wrote %d simulated + %d pruned-subtree records to %s\n",
+		e.SimulatedCount(), len(e.Pruned), path)
+	return nil
 }
 
 func printPlanHeader() {
@@ -814,6 +852,164 @@ func countInfeasible(results []lumos.ScenarioResult) int {
 		}
 	}
 	return n
+}
+
+// cmdTrace dispatches the trace-analysis subcommands; "top" is the only
+// one today.
+func cmdTrace(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("usage: lumos trace top [-n 15] <trace.json>")
+	}
+	sub, rest := args[0], args[1:]
+	if sub != "top" {
+		return fmt.Errorf("unknown trace subcommand %q (want top)", sub)
+	}
+	fs := flag.NewFlagSet("trace top", flag.ExitOnError)
+	topN := fs.Int("n", 15, "print the top N spans by self-time")
+	fs.Parse(rest)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: lumos trace top [-n 15] <trace.json>")
+	}
+	path := fs.Arg(0)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	events, err := lumos.ParseTraceEvents(data)
+	if err != nil {
+		return fmt.Errorf("parsing %s: %w", path, err)
+	}
+	return traceTop(events, *topN)
+}
+
+// spanStat aggregates one (category, name) span kind across a trace.
+type spanStat struct {
+	cat, name string
+	selfUs    float64
+	totalUs   float64
+	count     int
+}
+
+// traceTop prints the top-N span kinds by self-time (duration minus the
+// time spent in child spans on the same timeline), plus per-category
+// rollups. Self-time is what distinguishes "where the walltime actually
+// went" from "which span encloses everything".
+func traceTop(events []lumos.TraceEvent, topN int) error {
+	type span struct {
+		e     lumos.TraceEvent
+		child float64 // child span time nested inside this one, microseconds
+	}
+	// Complete spans ("X") grouped per timeline: children nest within
+	// parents only on the same (pid, tid) track.
+	byTrack := map[[2]int][]span{}
+	total := 0
+	for _, e := range events {
+		if e.Ph != "X" {
+			continue
+		}
+		k := [2]int{e.Pid, e.Tid}
+		byTrack[k] = append(byTrack[k], span{e: e})
+		total++
+	}
+	if total == 0 {
+		return fmt.Errorf("no complete spans (ph=X) in trace")
+	}
+
+	stats := map[string]*spanStat{}
+	for _, spans := range byTrack {
+		// Sort by start time, longest-first on ties so a parent precedes
+		// the children sharing its start timestamp.
+		sort.Slice(spans, func(i, j int) bool {
+			if spans[i].e.Ts != spans[j].e.Ts {
+				return spans[i].e.Ts < spans[j].e.Ts
+			}
+			return spans[i].e.Dur > spans[j].e.Dur
+		})
+		// Containment sweep: a stack of currently open spans; each span's
+		// duration is charged to the nearest enclosing span as child time.
+		var stack []int
+		for i := range spans {
+			s := &spans[i]
+			for len(stack) > 0 {
+				top := &spans[stack[len(stack)-1]]
+				if s.e.Ts < top.e.Ts+top.e.Dur {
+					break
+				}
+				stack = stack[:len(stack)-1]
+			}
+			if len(stack) > 0 {
+				spans[stack[len(stack)-1]].child += s.e.Dur
+			}
+			stack = append(stack, i)
+		}
+		for i := range spans {
+			s := &spans[i]
+			key := s.e.Cat + "/" + s.e.Name
+			st := stats[key]
+			if st == nil {
+				st = &spanStat{cat: s.e.Cat, name: s.e.Name}
+				stats[key] = st
+			}
+			self := s.e.Dur - s.child
+			if self < 0 {
+				self = 0
+			}
+			st.selfUs += self
+			st.totalUs += s.e.Dur
+			st.count++
+		}
+	}
+
+	ranked := make([]*spanStat, 0, len(stats))
+	var sumSelf float64
+	for _, st := range stats {
+		ranked = append(ranked, st)
+		sumSelf += st.selfUs
+	}
+	sort.Slice(ranked, func(i, j int) bool {
+		if ranked[i].selfUs != ranked[j].selfUs {
+			return ranked[i].selfUs > ranked[j].selfUs
+		}
+		return ranked[i].cat+"/"+ranked[i].name < ranked[j].cat+"/"+ranked[j].name
+	})
+	if topN <= 0 || topN > len(ranked) {
+		topN = len(ranked)
+	}
+
+	fmt.Printf("%d spans, %d kinds, %.1fms total self-time\n\n", total, len(ranked), sumSelf/1e3)
+	fmt.Printf("%4s  %-36s %6s %12s %12s %7s\n", "rank", "span", "count", "self", "total", "self%")
+	for i, st := range ranked[:topN] {
+		fmt.Printf("%4d  %-36s %6d %10.2fms %10.2fms %6.1f%%\n",
+			i+1, clip(st.cat+"/"+st.name, 36), st.count, st.selfUs/1e3, st.totalUs/1e3,
+			100*st.selfUs/sumSelf)
+	}
+
+	// Category rollups over every kind, not just the printed top-N.
+	cats := map[string]*spanStat{}
+	for _, st := range stats {
+		c := cats[st.cat]
+		if c == nil {
+			c = &spanStat{cat: st.cat}
+			cats[st.cat] = c
+		}
+		c.selfUs += st.selfUs
+		c.count += st.count
+	}
+	rolled := make([]*spanStat, 0, len(cats))
+	for _, c := range cats {
+		rolled = append(rolled, c)
+	}
+	sort.Slice(rolled, func(i, j int) bool {
+		if rolled[i].selfUs != rolled[j].selfUs {
+			return rolled[i].selfUs > rolled[j].selfUs
+		}
+		return rolled[i].cat < rolled[j].cat
+	})
+	fmt.Printf("\n%-20s %6s %12s %7s\n", "category", "count", "self", "self%")
+	for _, c := range rolled {
+		fmt.Printf("%-20s %6d %10.2fms %6.1f%%\n", c.cat, c.count, c.selfUs/1e3, 100*c.selfUs/sumSelf)
+	}
+	return nil
 }
 
 func sweepErr(err error) error {

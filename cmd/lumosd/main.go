@@ -10,6 +10,8 @@
 //	curl -s localhost:8344/v1/plan -d '{"profile":"fig7","pp_range":[1,2],"dp_range":[1,2],"mb_range":[4,8]}'
 //	curl -s localhost:8344/v1/stats
 //	curl -s localhost:8344/metrics
+//	curl -s localhost:8344/v1/traces
+//	curl -s localhost:8344/v1/traces/tr-1 > trace.json   # open in ui.perfetto.dev
 //
 // On SIGINT/SIGTERM the daemon drains: the listener stops accepting, every
 // in-flight sweep or plan finishes (bounded by -drain), and the scenario
@@ -23,6 +25,7 @@ import (
 	"fmt"
 	"log/slog"
 	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -38,19 +41,35 @@ func main() {
 	workers := flag.Int("workers", 0, "sweep worker pool size shared by all requests (0 = auto)")
 	seed := flag.Uint64("seed", 42, "simulation seed for seed-sourced profiles")
 	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown drain timeout for in-flight requests")
+	traceSlow := flag.Duration("trace-slow", 0, "retain flight-recorder traces only for sweep/plan requests at least this slow (0 = retain all)")
+	traceCap := flag.Int64("trace-cap-mib", 0, "flight-recorder trace retention cap in MiB (0 = default 16 MiB)")
+	debugAddr := flag.String("debug-addr", "", "listen address for net/http/pprof debug endpoints (empty = disabled)")
 	flag.Parse()
 
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
 	slog.SetDefault(logger)
 
 	srv := server.New(server.Config{
-		CacheDir: *cacheDir,
-		CacheCap: *cacheCap << 20,
-		Workers:  *workers,
-		Seed:     *seed,
-		Logger:   logger,
+		CacheDir:  *cacheDir,
+		CacheCap:  *cacheCap << 20,
+		Workers:   *workers,
+		Seed:      *seed,
+		Logger:    logger,
+		TraceSlow: *traceSlow,
+		TraceCap:  *traceCap << 20,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv}
+
+	if *debugAddr != "" {
+		// pprof registers on http.DefaultServeMux; serve it on its own
+		// listener so profiling endpoints never share the API address.
+		go func() {
+			logger.Info("pprof listening", "addr", *debugAddr)
+			if err := http.ListenAndServe(*debugAddr, nil); err != nil {
+				logger.Error("pprof listener", "err", err)
+			}
+		}()
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

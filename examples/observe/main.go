@@ -15,6 +15,12 @@
 // request-latency histogram, and report counter values identical to the
 // GET /v1/stats JSON — one storage, two views.
 //
+// Then it exercises the flight recorder: a traced plan ("trace": true)
+// must echo a trace id, the trace must be listed on GET /v1/traces and
+// retrievable by id as a document obs.ParseTrace accepts with exactly one
+// plan pipeline span, and the attached explain report's simulated and
+// pruned totals must equal the response's own search stats.
+//
 //	go run ./examples/observe
 package main
 
@@ -49,7 +55,7 @@ func run() error {
 	if err := serviceHalf(); err != nil {
 		return err
 	}
-	fmt.Println("obs-smoke OK: trace covers every pipeline stage and /metrics agrees with /v1/stats")
+	fmt.Println("obs-smoke OK: trace covers every pipeline stage, /metrics agrees with /v1/stats, and the flight recorder round-trips")
 	return nil
 }
 
@@ -217,6 +223,101 @@ func serviceHalf() error {
 		}
 	}
 	fmt.Printf("lumosd scrape: %d series parsed, request histograms present, counters match /v1/stats\n", len(metrics))
+
+	// Flight recorder: run a traced plan, retrieve its trace by id, and
+	// check the explain report accounts for the response's own stats.
+	var planResp struct {
+		TraceID string `json:"trace_id"`
+		Stats   struct {
+			Simulated       int `json:"simulated"`
+			BoundPruned     int `json:"bound_pruned"`
+			DominatedPruned int `json:"dominated_pruned"`
+		} `json:"stats"`
+	}
+	tracedReq := map[string]any{
+		"profile": "fig7", "pp_range": []int{1, 2}, "mb_range": []int{4, 8},
+		"strategy": "bnb", "trace": true,
+	}
+	body, err = postRaw(base+"/v1/plan", tracedReq)
+	if err != nil {
+		return fmt.Errorf("traced plan: %w", err)
+	}
+	if err := json.Unmarshal(body, &planResp); err != nil {
+		return err
+	}
+	if planResp.TraceID == "" {
+		return fmt.Errorf("obs-smoke FAILED: traced plan response carries no trace_id")
+	}
+
+	var list struct {
+		Traces []struct {
+			ID       string `json:"id"`
+			Endpoint string `json:"endpoint"`
+			Profile  string `json:"profile"`
+		} `json:"traces"`
+	}
+	if err := getJSON(base+"/v1/traces", &list); err != nil {
+		return err
+	}
+	found := false
+	for _, info := range list.Traces {
+		if info.ID == planResp.TraceID {
+			found = info.Endpoint == "plan" && info.Profile == "fig7"
+		}
+	}
+	if !found {
+		return fmt.Errorf("obs-smoke FAILED: trace %s not listed as a fig7 plan on GET /v1/traces", planResp.TraceID)
+	}
+
+	resp, err = http.Get(base + "/v1/traces/" + planResp.TraceID)
+	if err != nil {
+		return err
+	}
+	doc, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("obs-smoke FAILED: GET /v1/traces/%s = %s", planResp.TraceID, resp.Status)
+	}
+	if err != nil {
+		return err
+	}
+	events, err := lumos.ParseTraceEvents(doc)
+	if err != nil {
+		return fmt.Errorf("obs-smoke FAILED: served trace does not parse: %w", err)
+	}
+	planSpans := 0
+	for _, e := range events {
+		if e.Ph == "X" && e.Cat == "pipeline" && e.Name == "plan" {
+			planSpans++
+		}
+	}
+	if planSpans != 1 {
+		return fmt.Errorf("obs-smoke FAILED: trace %s has %d pipeline/plan spans, want exactly 1", planResp.TraceID, planSpans)
+	}
+
+	var traced struct {
+		Explain struct {
+			Simulated []json.RawMessage `json:"simulated"`
+			Pruned    []struct {
+				Points int `json:"points"`
+			} `json:"pruned"`
+		} `json:"explain"`
+	}
+	if err := json.Unmarshal(doc, &traced); err != nil {
+		return err
+	}
+	if got, want := len(traced.Explain.Simulated), planResp.Stats.Simulated; got != want {
+		return fmt.Errorf("obs-smoke FAILED: explain has %d simulated records, response stats report %d", got, want)
+	}
+	pruned := 0
+	for _, p := range traced.Explain.Pruned {
+		pruned += p.Points
+	}
+	if want := planResp.Stats.BoundPruned + planResp.Stats.DominatedPruned; pruned != want {
+		return fmt.Errorf("obs-smoke FAILED: explain prunes %d points, response stats report %d", pruned, want)
+	}
+	fmt.Printf("flight recorder: trace %s retrieved (%d events), explain matches stats (%d simulated, %d pruned)\n",
+		planResp.TraceID, len(events), planResp.Stats.Simulated, pruned)
 	return nil
 }
 

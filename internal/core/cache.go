@@ -27,6 +27,7 @@ import (
 
 	"lumos/internal/kernelmodel"
 	"lumos/internal/manip"
+	"lumos/internal/obs"
 	"lumos/internal/parallel"
 	"lumos/internal/scache"
 	"lumos/internal/topology"
@@ -134,9 +135,10 @@ type calibrationSnapshot struct {
 // a profile on a fabric. On a disk hit the expensive extraction and
 // least-squares fit are skipped entirely — and libraryBuilds is not
 // incremented, so Counters() lets callers verify reuse. traceFP may be
-// empty when no disk cache is configured.
-func (tk *Toolkit) calibrationFor(m *trace.Multi, f topology.Fabric, traceFP string) (*manip.Library, *kernelmodel.Fitted, error) {
-	sp := tk.tracer().Start("pipeline", "calibrate")
+// empty when no disk cache is configured. tr is the call's resolved tracer
+// (a request-scoped tracer when the caller carries one in context).
+func (tk *Toolkit) calibrationFor(tr *obs.Tracer, m *trace.Multi, f topology.Fabric, traceFP string) (*manip.Library, *kernelmodel.Fitted, error) {
+	sp := tr.Start("pipeline", "calibrate")
 	defer sp.End()
 	fallback := func() kernelmodel.Predictor {
 		return kernelmodel.NewOracleFabric(f, tk.pricerFor(f))

@@ -198,6 +198,13 @@ type Toolkit struct {
 	// runs per engine) across every pooled engine and campaign state.
 	engineMeter replay.Counters
 
+	// workersBusy and queueDepth are live worker-pool occupancy gauges:
+	// scenarios currently being evaluated and scenarios dispatched but not
+	// yet picked up. Both read zero whenever no sweep is in flight, so
+	// deterministic snapshots at rest stay byte-identical.
+	workersBusy atomic.Int64
+	queueDepth  atomic.Int64
+
 	// cacheOnce lazily opens the disk cache configured by CacheDir; every
 	// campaign and prediction on this toolkit shares one handle.
 	cacheOnce sync.Once
@@ -282,6 +289,23 @@ func (tk *Toolkit) Counters() (profiles, libraryBuilds int64) {
 // tracer returns the configured tracer; nil means tracing is disabled.
 func (tk *Toolkit) tracer() *obs.Tracer { return tk.opts.Tracer }
 
+// tracerFor resolves the tracer for a call: a request-scoped tracer carried
+// by ctx (obs.ContextWithTracer) overrides the toolkit-bound one, so lumosd
+// can give every request an isolated trace over a shared toolkit. With
+// neither set this is one context lookup and stays allocation-free.
+func (tk *Toolkit) tracerFor(ctx context.Context) *obs.Tracer {
+	if t := obs.TracerFrom(ctx); t != nil {
+		return t
+	}
+	return tk.opts.Tracer
+}
+
+// WorkerGauges reports live sweep worker-pool occupancy: scenarios being
+// evaluated right now and scenarios dispatched but not yet picked up.
+func (tk *Toolkit) WorkerGauges() (busy, queued int64) {
+	return tk.workersBusy.Load(), tk.queueDepth.Load()
+}
+
 // Close releases process-held resources: the disk cache (when configured)
 // stops serving and accepting entries, giving shutdown a defined point
 // after which the cache directory no longer changes. Safe to call on a
@@ -315,6 +339,8 @@ func (tk *Toolkit) RegisterMetrics(r *obs.Registry) {
 			{Name: "lumos_engine_compiled_programs_total", Kind: obs.KindCounter, Help: "Graphs lowered into compiled replay programs.", Value: float64(compiled)},
 			{Name: "lumos_engine_runs_total", Labels: obs.RenderLabels("engine", "compiled"), Kind: obs.KindCounter, Help: "Replay simulations per engine.", Value: float64(compiledRuns)},
 			{Name: "lumos_engine_runs_total", Labels: obs.RenderLabels("engine", "interpreted"), Kind: obs.KindCounter, Help: "Replay simulations per engine.", Value: float64(interpretedRuns)},
+			{Name: "lumos_sweep_workers_busy", Kind: obs.KindGauge, Help: "Sweep worker-pool occupancy: scenarios being evaluated right now.", Value: float64(tk.workersBusy.Load())},
+			{Name: "lumos_sweep_queue_depth", Kind: obs.KindGauge, Help: "Scenarios dispatched to the sweep worker pool but not yet picked up.", Value: float64(tk.queueDepth.Load())},
 		}
 		if st, ok := tk.DiskCacheStats(); ok {
 			samples = append(samples,
@@ -403,7 +429,7 @@ func (tk *Toolkit) Profile(ctx context.Context, cfg parallel.Config, seed uint64
 	}
 	tk.profiles.Add(1)
 	world := cfg.Map.WorldSize()
-	sp := tk.tracer().Start("pipeline", "profile")
+	sp := tk.tracerFor(ctx).Start("pipeline", "profile")
 	sp.Annotate("world", world)
 	defer sp.End()
 	simCfg := tk.simConfigFor(world, seed)
@@ -419,7 +445,7 @@ func (tk *Toolkit) ProfileN(ctx context.Context, cfg parallel.Config, seed uint6
 	}
 	tk.profiles.Add(1)
 	world := cfg.Map.WorldSize()
-	sp := tk.tracer().Start("pipeline", "profile")
+	sp := tk.tracerFor(ctx).Start("pipeline", "profile")
 	sp.Annotate("world", world)
 	sp.Annotate("iterations", n)
 	defer sp.End()
@@ -540,7 +566,7 @@ func (tk *Toolkit) calibrate(req manip.Request, profiled *trace.Multi) (*manip.L
 	if tk.opts.CacheDir != "" {
 		traceFP = trace.Fingerprint(profiled)
 	}
-	lib, fitted, err := tk.calibrationFor(profiled, f, traceFP)
+	lib, fitted, err := tk.calibrationFor(tk.tracer(), profiled, f, traceFP)
 	if err != nil {
 		return nil, nil, nil, err
 	}

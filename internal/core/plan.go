@@ -220,7 +220,8 @@ func (tk *Toolkit) Plan(ctx context.Context, base parallel.Config, space planner
 // with Evaluate campaigns and across multiple Plan calls — the scenario
 // cache then spans all of them.
 func (tk *Toolkit) PlanState(ctx context.Context, st *BaseState, space planner.Space, opts ...planner.Option) (*planner.Result, error) {
-	sp := tk.tracer().Start("pipeline", "plan")
+	tr := tk.tracerFor(ctx)
+	sp := tr.Start("pipeline", "plan")
 	defer sp.End()
 	sim := func(ctx context.Context, cands []planner.Candidate) ([]planner.Outcome, error) {
 		scenarios := make([]Scenario, len(cands))
@@ -246,8 +247,8 @@ func (tk *Toolkit) PlanState(ctx context.Context, st *BaseState, space planner.S
 		}
 		return outs, nil
 	}
-	if tk.opts.Tracer != nil {
-		opts = append([]planner.Option{planner.WithTracer(tk.opts.Tracer)}, opts...)
+	if tr != nil {
+		opts = append([]planner.Option{planner.WithTracer(tr)}, opts...)
 	}
 	return planner.Plan(ctx, st.Config, space, st.Fabric, tk.opts.Pricer, sim, opts...)
 }

@@ -152,6 +152,16 @@ func (b *BaseState) tracer() *obs.Tracer {
 	return b.tk.opts.Tracer
 }
 
+// tracerFor resolves the effective tracer for a call: a request-scoped
+// tracer carried by ctx wins over the toolkit-bound one (see
+// Toolkit.tracerFor).
+func (b *BaseState) tracerFor(ctx context.Context) *obs.Tracer {
+	if t := obs.TracerFrom(ctx); t != nil {
+		return t
+	}
+	return b.tracer()
+}
+
 // RegisterMetrics exposes this campaign state's cache counters — memo hits
 // and entries, scenario disk hits/misses, structurally shared graphs —
 // through the registry as a snapshot-time collector. Label pairs (e.g.
@@ -797,7 +807,8 @@ func (tk *Toolkit) Prepare(ctx context.Context, cfg parallel.Config, seed uint64
 // pricer) triple, and the returned state serves fingerprintable scenarios
 // through the disk layer as well as the in-memory memo.
 func (tk *Toolkit) PrepareTraces(ctx context.Context, cfg parallel.Config, m *trace.Multi) (*BaseState, error) {
-	sp := tk.tracer().Start("pipeline", "prepare")
+	tr := tk.tracerFor(ctx)
+	sp := tr.Start("pipeline", "prepare")
 	sp.Annotate("ranks", len(m.Ranks))
 	defer sp.End()
 	bg := sp.Child("build-graph")
@@ -827,7 +838,7 @@ func (tk *Toolkit) PrepareTraces(ctx context.Context, cfg parallel.Config, m *tr
 		traceFP = trace.Fingerprint(m)
 		profileFP = tk.profileFingerprint(cfg, traceFP, f)
 	}
-	lib, fitted, err := tk.calibrationFor(m, f, traceFP)
+	lib, fitted, err := tk.calibrationFor(tr, m, f, traceFP)
 	if err != nil {
 		return nil, err
 	}
@@ -873,7 +884,7 @@ func (tk *Toolkit) EvaluateState(ctx context.Context, base *BaseState, scenarios
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	sp := tk.tracer().Start("pipeline", "sweep")
+	sp := tk.tracerFor(ctx).Start("pipeline", "sweep")
 	sp.Annotate("scenarios", len(scenarios))
 	defer sp.End()
 	results := make([]ScenarioResult, len(scenarios))
@@ -888,25 +899,34 @@ func (tk *Toolkit) EvaluateState(ctx context.Context, base *BaseState, scenarios
 	useCache := !tk.opts.NoScenarioCache
 	idx := make(chan int)
 	var wg sync.WaitGroup
+	tk.queueDepth.Add(int64(len(scenarios)))
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := range idx {
+				tk.queueDepth.Add(-1)
+				tk.workersBusy.Add(1)
 				results[i] = runScenario(ctx, scenarios[i], base, useCache)
+				tk.workersBusy.Add(-1)
 			}
 		}()
 	}
+	dispatched := 0
 dispatch:
 	for i := range scenarios {
 		select {
 		case idx <- i:
+			dispatched++
 		case <-ctx.Done():
 			break dispatch
 		}
 	}
 	close(idx)
 	wg.Wait()
+	// Cancelled dispatches never reach a worker; drain them from the gauge
+	// so it reads zero whenever no sweep is in flight.
+	tk.queueDepth.Add(int64(dispatched - len(scenarios)))
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -950,7 +970,7 @@ func runScenario(ctx context.Context, sc Scenario, base *BaseState, useCache boo
 		return ScenarioResult{Name: sc.Name(), Err: err.Error()}
 	}
 
-	sp := base.tracer().Start("scenario", sc.Name())
+	sp := base.tracerFor(ctx).Start("scenario", sc.Name())
 	if sp != nil {
 		ctx = obs.ContextWithSpan(ctx, sp)
 	}

@@ -1,0 +1,147 @@
+package obs
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// RecordedTrace is one retained request trace: the flight-recorder entry
+// behind GET /v1/traces/{id}. Events is the full Chrome trace-event set of
+// the request's tracer; Explain optionally carries the planner's structured
+// search report for plan requests.
+type RecordedTrace struct {
+	ID         string
+	Endpoint   string // handler name, e.g. "sweep" or "plan"
+	Profile    string
+	Status     int // HTTP status of the recorded request
+	Start      time.Time
+	DurationMs float64
+	Events     []TraceEvent
+	Explain    any // *planner.Explain for plan requests, nil otherwise
+}
+
+// approxBytes estimates the retained size of a trace entry. It only has to
+// be consistent, not exact: the recorder's byte cap bounds memory growth,
+// and a stable estimate makes eviction deterministic for a given workload.
+func (rt *RecordedTrace) approxBytes() int64 {
+	n := int64(256) // struct + strings overhead
+	n += int64(len(rt.ID) + len(rt.Endpoint) + len(rt.Profile))
+	for i := range rt.Events {
+		e := &rt.Events[i]
+		n += 96 + int64(len(e.Name)+len(e.Cat))
+		n += int64(len(e.Args)) * 48
+	}
+	return n
+}
+
+// Recorder is a bounded in-memory ring of recent request traces: byte-capped
+// with least-recently-used eviction. Add retains a trace, Get retrieves one
+// by id (refreshing its recency), List summarizes the ring newest-first.
+// All methods are safe for concurrent use; a nil *Recorder is a no-op.
+type Recorder struct {
+	mu    sync.Mutex
+	cap   int64
+	bytes int64
+	order *list.List               // front = least recently used
+	byID  map[string]*list.Element // id -> element holding *RecordedTrace
+	seq   atomic.Int64
+}
+
+// DefaultRecorderCap is the default retention budget: enough for hundreds
+// of request traces without letting a busy service grow unbounded.
+const DefaultRecorderCap = 16 << 20 // 16 MiB
+
+// NewRecorder returns a recorder bounded to capBytes (<= 0 selects
+// DefaultRecorderCap).
+func NewRecorder(capBytes int64) *Recorder {
+	if capBytes <= 0 {
+		capBytes = DefaultRecorderCap
+	}
+	return &Recorder{cap: capBytes, order: list.New(), byID: map[string]*list.Element{}}
+}
+
+// NextID returns a fresh process-unique trace id.
+func (r *Recorder) NextID() string {
+	if r == nil {
+		return ""
+	}
+	return fmt.Sprintf("tr-%d", r.seq.Add(1))
+}
+
+// Add retains a trace, evicting least-recently-used entries until the ring
+// fits the byte cap. An entry larger than the whole cap is retained alone.
+func (r *Recorder) Add(rt *RecordedTrace) {
+	if r == nil || rt == nil || rt.ID == "" {
+		return
+	}
+	size := rt.approxBytes()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if prev, ok := r.byID[rt.ID]; ok {
+		r.bytes -= prev.Value.(*RecordedTrace).approxBytes()
+		r.order.Remove(prev)
+		delete(r.byID, rt.ID)
+	}
+	for r.bytes+size > r.cap && r.order.Len() > 0 {
+		oldest := r.order.Front()
+		old := oldest.Value.(*RecordedTrace)
+		r.bytes -= old.approxBytes()
+		r.order.Remove(oldest)
+		delete(r.byID, old.ID)
+	}
+	r.byID[rt.ID] = r.order.PushBack(rt)
+	r.bytes += size
+}
+
+// Get returns the trace with the given id, or nil. A hit refreshes the
+// entry's recency, so retrieved traces survive eviction longest.
+func (r *Recorder) Get(id string) *RecordedTrace {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	el, ok := r.byID[id]
+	if !ok {
+		return nil
+	}
+	r.order.MoveToBack(el)
+	return el.Value.(*RecordedTrace)
+}
+
+// List returns the retained traces newest-first (by recency of use).
+func (r *Recorder) List() []*RecordedTrace {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*RecordedTrace, 0, r.order.Len())
+	for el := r.order.Back(); el != nil; el = el.Prev() {
+		out = append(out, el.Value.(*RecordedTrace))
+	}
+	return out
+}
+
+// Len returns the number of retained traces.
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.order.Len()
+}
+
+// Bytes returns the estimated retained size.
+func (r *Recorder) Bytes() int64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.bytes
+}

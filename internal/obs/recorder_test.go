@@ -1,0 +1,154 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func recordedTrace(id string, events int) *RecordedTrace {
+	rt := &RecordedTrace{ID: id, Endpoint: "plan", Profile: "fig7", Status: 200, Start: time.Unix(0, 0)}
+	for i := 0; i < events; i++ {
+		rt.Events = append(rt.Events, TraceEvent{Name: "scenario", Cat: "scenario", Ph: "X", Dur: 1})
+	}
+	return rt
+}
+
+func TestRecorderAddGetList(t *testing.T) {
+	r := NewRecorder(0)
+	if r.NextID() != "tr-1" || r.NextID() != "tr-2" {
+		t.Fatal("NextID not sequential")
+	}
+	r.Add(recordedTrace("a", 3))
+	r.Add(recordedTrace("b", 1))
+	r.Add(recordedTrace("c", 2))
+	if r.Len() != 3 {
+		t.Fatalf("len = %d, want 3", r.Len())
+	}
+	if got := r.Get("b"); got == nil || len(got.Events) != 1 {
+		t.Fatalf("Get(b) = %+v", got)
+	}
+	if r.Get("nope") != nil {
+		t.Fatal("Get on unknown id should be nil")
+	}
+	// Newest-first by recency: the Get refreshed b above.
+	list := r.List()
+	if len(list) != 3 || list[0].ID != "b" || list[1].ID != "c" || list[2].ID != "a" {
+		ids := make([]string, len(list))
+		for i, rt := range list {
+			ids[i] = rt.ID
+		}
+		t.Fatalf("list order = %v, want [b c a]", ids)
+	}
+}
+
+func TestRecorderReplaceSameID(t *testing.T) {
+	r := NewRecorder(0)
+	r.Add(recordedTrace("a", 1))
+	r.Add(recordedTrace("a", 5))
+	if r.Len() != 1 {
+		t.Fatalf("len = %d after same-id re-add, want 1", r.Len())
+	}
+	if got := r.Get("a"); len(got.Events) != 5 {
+		t.Fatalf("re-add did not replace: %d events", len(got.Events))
+	}
+}
+
+func TestRecorderByteCapEvictsLRU(t *testing.T) {
+	one := recordedTrace("x", 10).approxBytes()
+	// Room for about three 10-event traces.
+	r := NewRecorder(3*one + one/2)
+	for i := 0; i < 6; i++ {
+		r.Add(recordedTrace(fmt.Sprintf("t%d", i), 10))
+	}
+	if r.Len() >= 6 {
+		t.Fatalf("no eviction under byte cap: len=%d bytes=%d", r.Len(), r.Bytes())
+	}
+	if r.Bytes() > 3*one+one/2 {
+		t.Fatalf("bytes %d exceed cap", r.Bytes())
+	}
+	// Oldest entries went first.
+	if r.Get("t0") != nil || r.Get("t1") != nil {
+		t.Fatal("LRU eviction should drop the oldest traces")
+	}
+	if r.Get("t5") == nil {
+		t.Fatal("newest trace must survive")
+	}
+	// A retrieved (recency-refreshed) entry outlives later inserts.
+	r.Get("t3")
+	r.Add(recordedTrace("t6", 10))
+	r.Add(recordedTrace("t7", 10))
+	if r.Get("t3") == nil {
+		t.Fatal("recency-refreshed trace evicted before colder entries")
+	}
+}
+
+func TestRecorderOversizeEntryRetainedAlone(t *testing.T) {
+	small := recordedTrace("small", 1)
+	r := NewRecorder(small.approxBytes() + 1)
+	r.Add(small)
+	r.Add(recordedTrace("huge", 1000))
+	if r.Len() != 1 || r.Get("huge") == nil {
+		t.Fatalf("oversize entry should evict everything and be retained alone: len=%d", r.Len())
+	}
+}
+
+func TestRecorderConcurrent(t *testing.T) {
+	r := NewRecorder(1 << 20)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				id := r.NextID()
+				r.Add(recordedTrace(id, 2))
+				if r.Get(id) == nil && r.Bytes() == 0 {
+					t.Errorf("lost trace %s with empty ring", id)
+				}
+				r.List()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if r.Len() == 0 {
+		t.Fatal("ring empty after concurrent adds")
+	}
+}
+
+func TestNilRecorder(t *testing.T) {
+	var r *Recorder
+	r.Add(recordedTrace("a", 1))
+	if r.NextID() != "" || r.Get("a") != nil || r.List() != nil || r.Len() != 0 || r.Bytes() != 0 {
+		t.Fatal("nil recorder must be a no-op")
+	}
+}
+
+func TestRegisterRuntime(t *testing.T) {
+	reg := NewRegistry()
+	RegisterRuntime(reg)
+	snap := reg.Snapshot()
+	for _, name := range []string{
+		"lumos_go_goroutines",
+		"lumos_go_heap_inuse_bytes",
+		"lumos_go_gc_cycles_total",
+		"lumos_go_gc_pause_seconds_total",
+		"lumos_process_start_time_seconds",
+	} {
+		v, ok := snap.Value(name, "")
+		if !ok {
+			t.Errorf("runtime series %s missing", name)
+			continue
+		}
+		if name == "lumos_go_goroutines" && v < 1 {
+			t.Errorf("goroutines = %v, want >= 1", v)
+		}
+		if name == "lumos_go_heap_inuse_bytes" && v <= 0 {
+			t.Errorf("heap in-use = %v, want > 0", v)
+		}
+		if name == "lumos_process_start_time_seconds" && v <= 0 {
+			t.Errorf("start time = %v, want > 0", v)
+		}
+	}
+}

@@ -1,0 +1,114 @@
+package obs
+
+import (
+	"math"
+	"os"
+	"runtime"
+	rtmetrics "runtime/metrics"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// RegisterRuntime registers a snapshot-time collector exposing Go runtime
+// and process gauges: goroutine count, heap in use, GC cycle count and
+// cumulative GC pause time (runtime/metrics), process start time, and
+// resident set size (Linux /proc; omitted where unavailable).
+//
+// Registration is explicit and separate from the toolkit/campaign
+// collectors on purpose: runtime values are wall-clock and load dependent,
+// so registries that must snapshot deterministically (the determinism gate)
+// simply do not call RegisterRuntime.
+func RegisterRuntime(r *Registry) {
+	if r == nil {
+		return
+	}
+	startTime := float64(time.Now().Unix())
+	samples := []rtmetrics.Sample{
+		{Name: "/memory/classes/heap/objects:bytes"},
+		{Name: "/gc/cycles/total:gc-cycles"},
+		{Name: "/gc/pauses:seconds"},
+	}
+	r.Collect(func() []Sample {
+		rtmetrics.Read(samples)
+		out := []Sample{
+			{Name: "lumos_go_goroutines", Kind: KindGauge,
+				Help:  "Number of live goroutines.",
+				Value: float64(runtime.NumGoroutine())},
+			{Name: "lumos_process_start_time_seconds", Kind: KindGauge,
+				Help:  "Unix time the runtime collectors were registered.",
+				Value: startTime},
+		}
+		if v, ok := sampleValue(samples[0]); ok {
+			out = append(out, Sample{Name: "lumos_go_heap_inuse_bytes", Kind: KindGauge,
+				Help: "Bytes of heap memory occupied by live objects and dead objects not yet swept.", Value: v})
+		}
+		if v, ok := sampleValue(samples[1]); ok {
+			out = append(out, Sample{Name: "lumos_go_gc_cycles_total", Kind: KindCounter,
+				Help: "Completed GC cycles since process start.", Value: v})
+		}
+		if samples[2].Value.Kind() == rtmetrics.KindFloat64Histogram {
+			out = append(out, Sample{Name: "lumos_go_gc_pause_seconds_total", Kind: KindCounter,
+				Help:  "Approximate total time spent in GC stop-the-world pauses.",
+				Value: histogramTotal(samples[2].Value.Float64Histogram())})
+		}
+		if rss, ok := residentBytes(); ok {
+			out = append(out, Sample{Name: "lumos_process_resident_memory_bytes", Kind: KindGauge,
+				Help: "Resident set size of the process.", Value: rss})
+		}
+		return out
+	})
+}
+
+func sampleValue(s rtmetrics.Sample) (float64, bool) {
+	switch s.Value.Kind() {
+	case rtmetrics.KindUint64:
+		return float64(s.Value.Uint64()), true
+	case rtmetrics.KindFloat64:
+		return s.Value.Float64(), true
+	}
+	return 0, false
+}
+
+// histogramTotal approximates the weighted sum of a runtime/metrics
+// Float64Histogram using bucket midpoints (clamping the open-ended
+// first/last buckets to their finite edge).
+func histogramTotal(h *rtmetrics.Float64Histogram) float64 {
+	if h == nil {
+		return 0
+	}
+	total := 0.0
+	for i, n := range h.Counts {
+		if n == 0 {
+			continue
+		}
+		lo, hi := h.Buckets[i], h.Buckets[i+1]
+		mid := (lo + hi) / 2
+		if math.IsInf(lo, -1) {
+			mid = hi
+		}
+		if math.IsInf(hi, 1) {
+			mid = lo
+		}
+		total += mid * float64(n)
+	}
+	return total
+}
+
+// residentBytes reads the process RSS from /proc/self/statm (Linux). On
+// platforms without procfs it reports ok=false and the sample is omitted.
+func residentBytes() (float64, bool) {
+	data, err := os.ReadFile("/proc/self/statm")
+	if err != nil {
+		return 0, false
+	}
+	fields := strings.Fields(string(data))
+	if len(fields) < 2 {
+		return 0, false
+	}
+	pages, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return float64(pages) * float64(os.Getpagesize()), true
+}

@@ -25,6 +25,7 @@ import (
 type Tracer struct {
 	mu     sync.Mutex
 	t0     time.Time
+	id     string
 	events []TraceEvent
 	free   []int // released track ids, ascending
 	next   int   // next never-used track id
@@ -48,6 +49,27 @@ type TraceEvent struct {
 // tracing with zero overhead.
 func NewTracer() *Tracer {
 	return &Tracer{t0: time.Now()}
+}
+
+// SetID attaches an identifier to the tracer — lumosd assigns one per
+// request so traces are individually retrievable.
+func (t *Tracer) SetID(id string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.id = id
+	t.mu.Unlock()
+}
+
+// ID returns the identifier set with SetID, or "" (also on a nil tracer).
+func (t *Tracer) ID() string {
+	if t == nil {
+		return ""
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.id
 }
 
 // Span is one timed region. Obtained from Tracer.Start or Span.Child; ended
@@ -213,4 +235,24 @@ func ContextWithSpan(ctx context.Context, sp *Span) context.Context {
 func SpanFrom(ctx context.Context) *Span {
 	sp, _ := ctx.Value(ctxKey{}).(*Span)
 	return sp
+}
+
+// tracerKey carries a request-scoped *Tracer through context.
+type tracerKey struct{}
+
+// ContextWithTracer returns ctx carrying t. A context tracer overrides any
+// toolkit-bound tracer for the duration of the request, giving each lumosd
+// request an isolated trace. When t is nil, ctx is returned unchanged so the
+// disabled path allocates nothing.
+func ContextWithTracer(ctx context.Context, t *Tracer) context.Context {
+	if t == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, tracerKey{}, t)
+}
+
+// TracerFrom returns the tracer carried by ctx, or nil.
+func TracerFrom(ctx context.Context) *Tracer {
+	t, _ := ctx.Value(tracerKey{}).(*Tracer)
+	return t
 }

@@ -109,6 +109,9 @@ type spaceSearch struct {
 	// tracer, when non-nil, receives per-round pop/prune instant events on
 	// the "search" category (the metered simulator adds the simulate ones).
 	tracer *obs.Tracer
+	// explain, when non-nil, collects per-subtree prune records (the
+	// metered simulator collects the per-point simulation records).
+	explain *Explain
 }
 
 // spaceStrategy is implemented by strategies that search the space
@@ -290,7 +293,7 @@ func (b BranchAndBound) searchSpace(ctx context.Context, s *spaceSearch) ([]Eval
 				n := heap.Pop(h).(*bnbNode)
 				subtrees++
 				points += n.remaining()
-				s.prune(n, evaluated)
+				s.prune(n, evaluated, incumbent)
 			}
 			if s.tracer != nil {
 				s.tracer.Instant("search", "prune", map[string]any{
@@ -337,15 +340,30 @@ func (b BranchAndBound) searchSpace(ctx context.Context, s *spaceSearch) ([]Eval
 // prune books a discarded subtree: DominatedPruned when some already
 // simulated point is at least as good on every objective the frontier
 // ranks (time via the admissible bound, GPU count, peak memory),
-// BoundPruned otherwise.
-func (s *spaceSearch) prune(n *bnbNode, evaluated []Evaluated) {
+// BoundPruned otherwise. incumbent is the best simulated iteration time at
+// the moment of the prune, recorded into the explain report.
+func (s *spaceSearch) prune(n *bnbNode, evaluated []Evaluated, incumbent trace.Dur) {
 	count := n.remaining()
+	dominated := false
 	for _, e := range evaluated {
 		if e.Err == "" && e.Iteration <= n.cur.Bound &&
 			e.Point.World() <= n.cur.Point.World() && e.Mem.Total() <= n.cur.Mem.Total() {
-			s.stats.DominatedPruned += count
-			return
+			dominated = true
+			break
 		}
 	}
-	s.stats.BoundPruned += count
+	if dominated {
+		s.stats.DominatedPruned += count
+	} else {
+		s.stats.BoundPruned += count
+	}
+	if s.explain != nil {
+		s.explain.Pruned = append(s.explain.Pruned, ExplainPrune{
+			Head:        n.cur.Point.Key(),
+			BoundMs:     float64(n.cur.Bound) / 1e6,
+			Points:      count,
+			IncumbentMs: float64(incumbent) / 1e6,
+			Dominated:   dominated,
+		})
+	}
 }

@@ -403,6 +403,75 @@ type Options struct {
 	// simulate, with the running incumbent) on the "search" category. Nil
 	// disables tracing with zero overhead.
 	Tracer *obs.Tracer
+	// Explain, when non-nil, is filled with the structured search report:
+	// one record per simulated point (bound vs actual) and per pruned
+	// subtree (head, bound, incumbent at prune). Nil disables capture.
+	Explain *Explain
+}
+
+// ExplainSim is one simulated point in an Explain report: the analytic
+// lower bound the search ranked it by against the simulated actual.
+type ExplainSim struct {
+	// Point is the candidate's canonical key.
+	Point string `json:"point"`
+	// Round is the 1-based simulation batch that promoted the point.
+	Round int `json:"round"`
+	// BoundMs is the admissible analytic lower bound, in milliseconds.
+	BoundMs float64 `json:"bound_ms"`
+	// ActualMs is the simulated iteration time, 0 when the simulation
+	// rejected the point (see Err).
+	ActualMs float64 `json:"actual_ms"`
+	// Err is the simulation failure, empty on success.
+	Err string `json:"err,omitempty"`
+}
+
+// ExplainPrune is one discarded subtree in an Explain report.
+type ExplainPrune struct {
+	// Head is the canonical key of the subtree's cheapest unexplored point.
+	Head string `json:"head"`
+	// BoundMs is the head's admissible lower bound, in milliseconds.
+	BoundMs float64 `json:"bound_ms"`
+	// Points is how many points the subtree held (head plus the untried
+	// microbatch tail).
+	Points int `json:"points"`
+	// IncumbentMs is the best simulated iteration time at the moment of the
+	// prune — the value the head's bound exceeded.
+	IncumbentMs float64 `json:"incumbent_ms"`
+	// Dominated reports that an already simulated point was at least as
+	// good on every frontier objective (the Stats.DominatedPruned bucket);
+	// false is the plain bound prune.
+	Dominated bool `json:"dominated"`
+}
+
+// Explain is the structured account of a search: what was simulated and
+// why, what was pruned and against which incumbent. Its totals tie back to
+// Stats exactly: len(Simulated) == Stats.Simulated and PrunedPoints() ==
+// Stats.BoundPruned + Stats.DominatedPruned, so the report is an auditable
+// expansion of the counters, not a parallel bookkeeping. Capture is
+// single-threaded (strategies call the simulator sequentially), so the
+// report needs no locking.
+type Explain struct {
+	// Strategy names the search that produced the report.
+	Strategy string `json:"strategy"`
+	// Simulated holds one record per unique point promoted to simulation,
+	// in promotion order.
+	Simulated []ExplainSim `json:"simulated"`
+	// Pruned holds one record per wholesale-discarded subtree, in prune
+	// order. Empty for strategies that expand the space eagerly.
+	Pruned []ExplainPrune `json:"pruned,omitempty"`
+}
+
+// SimulatedCount is len(Simulated) — equal to Stats.Simulated.
+func (e *Explain) SimulatedCount() int { return len(e.Simulated) }
+
+// PrunedPoints sums the points across pruned subtrees — equal to
+// Stats.BoundPruned + Stats.DominatedPruned.
+func (e *Explain) PrunedPoints() int {
+	total := 0
+	for _, p := range e.Pruned {
+		total += p.Points
+	}
+	return total
 }
 
 // Option mutates Options.
@@ -421,6 +490,11 @@ func WithMemModel(m memcost.Model) Option { return func(o *Options) { o.Mem = m 
 // pop/prune/simulate instant events carrying the incumbent value. A nil
 // tracer (the default) is a no-op.
 func WithTracer(t *obs.Tracer) Option { return func(o *Options) { o.Tracer = t } }
+
+// WithExplain captures the structured search report into e: per simulated
+// point the bound vs the actual, per pruned subtree the head, bound and
+// incumbent. A nil e (the default) disables capture.
+func WithExplain(e *Explain) Option { return func(o *Options) { o.Explain = e } }
 
 // AutoThreshold is the feasible-candidate count up to which the nil
 // strategy stays exhaustive.
@@ -531,6 +605,23 @@ func Plan(ctx context.Context, base parallel.Config, space Space,
 					stats.SharedStructure++
 				}
 			}
+			if o.Explain != nil {
+				for i, c := range cands {
+					if !fresh[i] || i >= len(outs) {
+						continue
+					}
+					rec := ExplainSim{
+						Point:   c.Point.Key(),
+						Round:   stats.Rounds,
+						BoundMs: float64(c.Bound) / 1e6,
+						Err:     outs[i].Err,
+					}
+					if outs[i].Err == "" {
+						rec.ActualMs = float64(outs[i].Iteration) / 1e6
+					}
+					o.Explain.Simulated = append(o.Explain.Simulated, rec)
+				}
+			}
 		}
 		if o.Tracer != nil && err == nil {
 			freshCount := 0
@@ -562,7 +653,7 @@ func Plan(ctx context.Context, base parallel.Config, space Space,
 		evaluated, err = ss.searchSpace(ctx, &spaceSearch{
 			base: base, space: space, bounder: bounder,
 			budget: o.Budget, sim: metered, stats: &stats, retain: retain,
-			tracer: o.Tracer,
+			tracer: o.Tracer, explain: o.Explain,
 		})
 		if err != nil {
 			return nil, err
@@ -616,6 +707,9 @@ func Plan(ctx context.Context, base parallel.Config, space Space,
 	}
 	frontier, dominated := paretoSplit(ok)
 
+	if o.Explain != nil {
+		o.Explain.Strategy = strat.Name()
+	}
 	return &Result{
 		Strategy:   strat.Name(),
 		Frontier:   frontier,

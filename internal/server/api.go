@@ -122,6 +122,10 @@ type SweepRequest struct {
 	// Top keeps only the K best-ranked feasible scenarios (infeasible
 	// points stay visible below the cut, as in the CLI). 0 = all.
 	Top int `json:"top,omitempty"`
+	// Trace forces the request's flight-recorder trace to be retained
+	// regardless of the server's slow-request threshold, and echoes the
+	// trace id in the response for retrieval via GET /v1/traces/{id}.
+	Trace bool `json:"trace,omitempty"`
 }
 
 // scenarios assembles the campaign exactly like cmdSweep does.
@@ -197,6 +201,9 @@ type SweepResponse struct {
 	Base      ScenarioResult   `json:"base"`
 	Scenarios int              `json:"scenarios"`
 	Results   []ScenarioResult `json:"results"`
+	// TraceID is set only when the request opted in with "trace": true,
+	// so default bodies stay byte-deterministic.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // PlanRequest runs the deployment planner against a registered profile,
@@ -219,6 +226,12 @@ type PlanRequest struct {
 	ZeRO      int       `json:"zero,omitempty"`
 	// Top caps the dominated list in the response. 0 = all.
 	Top int `json:"top,omitempty"`
+	// Trace forces the request's flight-recorder trace to be retained
+	// regardless of the server's slow-request threshold, and echoes the
+	// trace id in the response for retrieval via GET /v1/traces/{id}.
+	// Traced plan requests also carry a planner explain report on the
+	// recorded trace.
+	Trace bool `json:"trace,omitempty"`
 }
 
 // space assembles the search space exactly like cmdPlan does, sizing
@@ -347,6 +360,26 @@ type PlanResponse struct {
 	Infeasible      []InfeasiblePoint `json:"infeasible,omitempty"`
 	Best            *PlanPoint        `json:"best,omitempty"`
 	Stats           PlanStats         `json:"stats"`
+	// TraceID is set only when the request opted in with "trace": true,
+	// so default bodies stay byte-deterministic.
+	TraceID string `json:"trace_id,omitempty"`
+}
+
+// TraceInfo summarizes one retained flight-recorder trace in
+// GET /v1/traces.
+type TraceInfo struct {
+	ID         string  `json:"id"`
+	Endpoint   string  `json:"endpoint"`
+	Profile    string  `json:"profile,omitempty"`
+	Status     int     `json:"status"`
+	Start      string  `json:"start"`
+	DurationMs float64 `json:"duration_ms"`
+	Events     int     `json:"events"`
+}
+
+// TraceList is the GET /v1/traces response, newest first.
+type TraceList struct {
+	Traces []TraceInfo `json:"traces"`
 }
 
 // ProfileStats is one profile's cache activity in GET /v1/stats.
@@ -379,6 +412,16 @@ type RequestStats struct {
 	Sweeps   int64 `json:"sweeps"`
 	Plans    int64 `json:"plans"`
 	Errors   int64 `json:"errors"`
+}
+
+// InflightStats reports requests currently being served, total and per
+// endpoint. The values are read from the same atomics that back the
+// lumosd_inflight_requests gauges on /metrics, so the two surfaces always
+// agree. The serving endpoint counts itself: a stats scrape reports
+// stats=1.
+type InflightStats struct {
+	Total      int64            `json:"total"`
+	ByEndpoint map[string]int64 `json:"by_endpoint,omitempty"`
 }
 
 // SearchStats aggregates planner search effort across every plan request
@@ -420,6 +463,7 @@ type StatsResponse struct {
 	Workers       int            `json:"workers"`
 	Seed          uint64         `json:"seed"`
 	Requests      RequestStats   `json:"requests"`
+	Inflight      InflightStats  `json:"inflight"`
 	Search        SearchStats    `json:"search"`
 	Engine        EngineStats    `json:"engine"`
 	Profiles      []ProfileStats `json:"profiles"`

@@ -5,13 +5,24 @@
 // pool with per-request cancellation, and the two-level scenario-cache
 // counters surfaced over HTTP.
 //
-//	POST /v1/profiles  register (or idempotently re-register) a profile
-//	GET  /v1/profiles  list registered profiles
-//	POST /v1/sweep     run a scenario campaign against a profile
-//	POST /v1/plan      run the deployment planner against a profile
-//	GET  /v1/stats     cache + request counters (JSON)
-//	GET  /v1/healthz   liveness probe with build info and uptime
-//	GET  /metrics      Prometheus text exposition of every counter
+//	POST /v1/profiles     register (or idempotently re-register) a profile
+//	GET  /v1/profiles     list registered profiles
+//	POST /v1/sweep        run a scenario campaign against a profile
+//	POST /v1/plan         run the deployment planner against a profile
+//	GET  /v1/traces       list retained flight-recorder traces
+//	GET  /v1/traces/{id}  fetch one trace as Perfetto-loadable JSON
+//	GET  /v1/stats        cache + request counters (JSON)
+//	GET  /v1/healthz      liveness probe with build info and uptime
+//	GET  /metrics         Prometheus text exposition of every counter
+//
+// Every sweep and plan request runs under its own request-scoped tracer (a
+// flight recorder): spans for the pipeline stages, per-scenario synthesis,
+// compile/retime/replay, and planner rounds are captured per request, with
+// no cross-request mixing on the shared worker pool. Traces are retained in
+// a byte-capped LRU ring and retrievable by id; Config.TraceSlow narrows
+// retention to slow requests, and a request can always opt in with
+// "trace": true (the response then echoes the trace id). Traced plan
+// requests additionally attach a structured planner explain report.
 //
 // Every request is served through one instrumentation layer: a per-process
 // request ID, structured request logging (log/slog), and per-endpoint
@@ -67,6 +78,13 @@ type Config struct {
 	// Logger receives one structured record per request served (method,
 	// path, status, duration, request id). Nil discards request logs.
 	Logger *slog.Logger
+	// TraceSlow narrows flight-recorder retention: when > 0, only sweep
+	// and plan requests at least this slow are retained (requests with
+	// "trace": true are always retained). 0 retains every request.
+	TraceSlow time.Duration
+	// TraceCap bounds the flight-recorder ring in bytes
+	// (0 = obs.DefaultRecorderCap).
+	TraceCap int64
 }
 
 // profile is one registry entry: a named, immutable, calibrated campaign
@@ -118,6 +136,14 @@ type Server struct {
 	nDominatedPruned *obs.Counter
 	nSharedStructure *obs.Counter
 
+	// recorder retains request traces; inflight tracks requests currently
+	// being served, total and per endpoint. The inflights map is populated
+	// during New (route registration) and read-only afterwards; the same
+	// atomics back both the /metrics gauges and /v1/stats.
+	recorder  *obs.Recorder
+	inflight  atomic.Int64
+	inflights map[string]*atomic.Int64
+
 	start time.Time
 }
 
@@ -140,13 +166,15 @@ func New(cfg Config) *Server {
 	}
 	reg := obs.NewRegistry()
 	s := &Server{
-		cfg:      cfg,
-		tk:       lumos.New(opts...),
-		mux:      http.NewServeMux(),
-		log:      logger,
-		profiles: make(map[string]*profile),
-		reg:      reg,
-		start:    time.Now(),
+		cfg:       cfg,
+		tk:        lumos.New(opts...),
+		mux:       http.NewServeMux(),
+		log:       logger,
+		profiles:  make(map[string]*profile),
+		reg:       reg,
+		recorder:  obs.NewRecorder(cfg.TraceCap),
+		inflights: make(map[string]*atomic.Int64),
+		start:     time.Now(),
 
 		nProfiles: reg.Counter("lumosd_profiles_created_total", "Profiles built and registered since startup."),
 		nSweeps:   reg.Counter("lumosd_sweeps_total", "Sweep campaigns served since startup."),
@@ -159,13 +187,40 @@ func New(cfg Config) *Server {
 		nSharedStructure: reg.Counter("lumosd_plan_shared_structure_total", "Simulations served by re-timing a structurally shared graph."),
 	}
 	s.tk.RegisterMetrics(reg)
+	obs.RegisterRuntime(reg)
 	s.handle("POST /v1/profiles", "profiles_create", s.handleCreateProfile)
 	s.handle("GET /v1/profiles", "profiles_list", s.handleListProfiles)
 	s.handle("POST /v1/sweep", "sweep", s.handleSweep)
 	s.handle("POST /v1/plan", "plan", s.handlePlan)
+	s.handle("GET /v1/traces", "traces_list", s.handleListTraces)
+	s.handle("GET /v1/traces/{id}", "traces_get", s.handleGetTrace)
 	s.handle("GET /v1/stats", "stats", s.handleStats)
 	s.handle("GET /v1/healthz", "healthz", s.handleHealth)
 	s.handle("GET /metrics", "metrics", s.handleMetrics)
+	// In-flight gauges, sampled from the same atomics /v1/stats reads.
+	// Registered after the routes so the per-endpoint map is complete.
+	names := make([]string, 0, len(s.inflights))
+	for name := range s.inflights {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	reg.Collect(func() []obs.Sample {
+		out := make([]obs.Sample, 0, 1+len(names))
+		out = append(out, obs.Sample{
+			Name: "lumosd_inflight_requests", Kind: obs.KindGauge,
+			Help:  "Requests currently being served.",
+			Value: float64(s.inflight.Load()),
+		})
+		for _, name := range names {
+			out = append(out, obs.Sample{
+				Name: "lumosd_inflight_requests", Kind: obs.KindGauge,
+				Help:   "Requests currently being served.",
+				Labels: obs.RenderLabels("handler", name),
+				Value:  float64(s.inflights[name].Load()),
+			})
+		}
+		return out
+	})
 	return s
 }
 
@@ -189,20 +244,26 @@ func (w *statusWriter) WriteHeader(code int) {
 }
 
 // handle registers pattern through the instrumentation layer: one request
-// counter and one latency histogram per endpoint (labelled by the stable
-// handler name, not the raw path), a per-process request ID, and one
-// structured log record per request served.
+// counter, one latency histogram, and one in-flight gauge per endpoint
+// (labelled by the stable handler name, not the raw path), a per-process
+// request ID, and one structured log record per request served.
 func (s *Server) handle(pattern, name string, h http.HandlerFunc) {
 	reqs := s.reg.Counter("lumosd_requests_total",
 		"Requests served, by endpoint.", "handler", name)
 	lat := s.reg.Histogram("lumosd_request_duration_seconds",
 		"Request latency in seconds, by endpoint.", obs.DefBuckets, "handler", name)
+	inflight := &atomic.Int64{}
+	s.inflights[name] = inflight
 	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
 		id := s.reqSeq.Add(1)
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		s.inflight.Add(1)
+		inflight.Add(1)
 		t0 := time.Now()
 		h(sw, r)
 		d := time.Since(t0)
+		inflight.Add(-1)
+		s.inflight.Add(-1)
 		reqs.Inc()
 		lat.Observe(d.Seconds())
 		s.log.LogAttrs(r.Context(), slog.LevelInfo, "request",
@@ -429,6 +490,38 @@ func (s *Server) lookup(w http.ResponseWriter, name string) *profile {
 	return p
 }
 
+// startTrace gives a request its own flight-recorder tracer with a fresh
+// process-unique id and returns a context carrying it: toolkit entry points
+// prefer the context tracer, so concurrent requests on the shared worker
+// pool record fully disjoint span sets.
+func (s *Server) startTrace(r *http.Request) (*obs.Tracer, context.Context) {
+	tr := obs.NewTracer()
+	tr.SetID(s.recorder.NextID())
+	return tr, obs.ContextWithTracer(r.Context(), tr)
+}
+
+// retain applies the capture policy to a finished request trace: always
+// retained when the request opted in (forced) or no slow threshold is
+// configured, otherwise only when the request was at least TraceSlow.
+// Returns the retained trace id, or "".
+func (s *Server) retain(tr *obs.Tracer, endpoint, profileName string, status int, t0 time.Time, d time.Duration, forced bool, explain any) string {
+	if !forced && s.cfg.TraceSlow > 0 && d < s.cfg.TraceSlow {
+		return ""
+	}
+	rt := &obs.RecordedTrace{
+		ID:         tr.ID(),
+		Endpoint:   endpoint,
+		Profile:    profileName,
+		Status:     status,
+		Start:      t0,
+		DurationMs: float64(d) / float64(time.Millisecond),
+		Events:     tr.Events(),
+		Explain:    explain,
+	}
+	s.recorder.Add(rt)
+	return rt.ID
+}
+
 func scenarioJSON(r lumos.ScenarioResult, rank int) ScenarioResult {
 	out := ScenarioResult{
 		Rank:   rank,
@@ -462,11 +555,14 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	sweep, err := s.tk.EvaluateState(r.Context(), p.state, scenarios...)
+	tr, ctx := s.startTrace(r)
+	t0 := time.Now()
+	sweep, err := s.tk.EvaluateState(ctx, p.state, scenarios...)
 	if err != nil {
 		s.failRun(w, r, err)
 		return
 	}
+	traceID := s.retain(tr, "sweep", p.name, http.StatusOK, t0, time.Since(t0), req.Trace, nil)
 	s.nSweeps.Inc()
 
 	results := sweep.Results
@@ -487,6 +583,9 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		Base:      scenarioJSON(sweep.Base, 0),
 		Scenarios: len(sweep.Results),
 		Results:   make([]ScenarioResult, len(results)),
+	}
+	if req.Trace {
+		resp.TraceID = traceID
 	}
 	rank := 1
 	for i, res := range results {
@@ -519,11 +618,16 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	res, err := s.tk.PlanState(r.Context(), p.state, space, opts...)
+	tr, ctx := s.startTrace(r)
+	explain := &lumos.PlanExplain{}
+	opts = append(opts, lumos.WithPlanExplain(explain))
+	t0 := time.Now()
+	res, err := s.tk.PlanState(ctx, p.state, space, opts...)
 	if err != nil {
 		s.failRun(w, r, err)
 		return
 	}
+	traceID := s.retain(tr, "plan", p.name, http.StatusOK, t0, time.Since(t0), req.Trace, explain)
 	s.nPlans.Inc()
 	s.nSimulated.Add(int64(res.Stats.Simulated))
 	s.nBoundPruned.Add(int64(res.Stats.BoundPruned))
@@ -586,7 +690,63 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 		bp := point(1, best)
 		resp.Best = &bp
 	}
+	if req.Trace {
+		resp.TraceID = traceID
+	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleListTraces(w http.ResponseWriter, r *http.Request) {
+	recorded := s.recorder.List()
+	resp := TraceList{Traces: make([]TraceInfo, len(recorded))}
+	for i, rt := range recorded {
+		resp.Traces[i] = TraceInfo{
+			ID:         rt.ID,
+			Endpoint:   rt.Endpoint,
+			Profile:    rt.Profile,
+			Status:     rt.Status,
+			Start:      rt.Start.UTC().Format(time.RFC3339Nano),
+			DurationMs: rt.DurationMs,
+			Events:     len(rt.Events),
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// traceDoc is the GET /v1/traces/{id} body: a Chrome trace-event document
+// (loadable in Perfetto and parseable by obs.ParseTrace, which ignore the
+// extra top-level keys) carrying the trace id and, for plan requests, the
+// planner explain report.
+type traceDoc struct {
+	TraceEvents     []obs.TraceEvent `json:"traceEvents"`
+	DisplayTimeUnit string           `json:"displayTimeUnit"`
+	ID              string           `json:"id"`
+	Endpoint        string           `json:"endpoint"`
+	Profile         string           `json:"profile,omitempty"`
+	DurationMs      float64          `json:"duration_ms"`
+	Explain         any              `json:"explain,omitempty"`
+}
+
+func (s *Server) handleGetTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	rt := s.recorder.Get(id)
+	if rt == nil {
+		s.fail(w, http.StatusNotFound, "unknown trace %q (list retained traces via GET /v1/traces)", id)
+		return
+	}
+	events := rt.Events
+	if events == nil {
+		events = []obs.TraceEvent{}
+	}
+	writeJSON(w, http.StatusOK, traceDoc{
+		TraceEvents:     events,
+		DisplayTimeUnit: "ms",
+		ID:              rt.ID,
+		Endpoint:        rt.Endpoint,
+		Profile:         rt.Profile,
+		DurationMs:      rt.DurationMs,
+		Explain:         rt.Explain,
+	})
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -608,6 +768,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Plans:    s.nPlans.Value(),
 			Errors:   s.nErrors.Value(),
 		},
+		Inflight: InflightStats{
+			Total:      s.inflight.Load(),
+			ByEndpoint: make(map[string]int64, len(s.inflights)),
+		},
 		Search: SearchStats{
 			Simulated:       s.nSimulated.Value(),
 			BoundPruned:     s.nBoundPruned.Value(),
@@ -615,6 +779,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			SharedStructure: s.nSharedStructure.Value(),
 		},
 		Profiles: make([]ProfileStats, len(list)),
+	}
+	for name, g := range s.inflights {
+		resp.Inflight.ByEndpoint[name] = g.Load()
 	}
 	resp.Engine.CompiledPrograms, resp.Engine.CompiledRuns, resp.Engine.InterpretedRuns = s.tk.EngineStats()
 	for i, p := range list {

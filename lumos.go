@@ -35,6 +35,7 @@
 package lumos
 
 import (
+	"context"
 	"fmt"
 
 	"lumos/internal/analysis"
@@ -346,6 +347,25 @@ func NewRegistry() *Registry { return obs.NewRegistry() }
 // ParseTraceEvents decodes a Chrome trace-event JSON document produced by
 // Tracer.Export (round-trip check for exported traces).
 func ParseTraceEvents(data []byte) ([]TraceEvent, error) { return obs.ParseTrace(data) }
+
+// ContextWithTracer returns a context carrying t. Toolkit pipeline entry
+// points (Evaluate, Plan, Prepare and their *State forms) prefer a context
+// tracer over the toolkit's WithTracer option, so a server can give each
+// request its own tracer on a shared toolkit. A nil t returns ctx
+// unchanged, keeping the untraced path allocation-free.
+func ContextWithTracer(ctx context.Context, t *Tracer) context.Context {
+	return obs.ContextWithTracer(ctx, t)
+}
+
+// TracerFrom returns the tracer carried by ctx, or nil.
+func TracerFrom(ctx context.Context) *Tracer { return obs.TracerFrom(ctx) }
+
+// RegisterRuntime registers Go-runtime and process collectors on the
+// registry: goroutine count, heap in-use, GC cycles and pause totals
+// (runtime/metrics), process start time, and resident memory. The gauges
+// are sampled at snapshot time; registration is explicit because the
+// values are inherently nondeterministic.
+func RegisterRuntime(r *Registry) { obs.RegisterRuntime(r) }
 
 // WithTracer attaches a tracer to the toolkit: campaign pipeline stages
 // (profile, calibrate, prepare, sweep), per-scenario synthesis, graph

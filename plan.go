@@ -46,6 +46,14 @@ type (
 	PlanStats = planner.Stats
 	// PlanOption configures a plan run (see WithPlan*).
 	PlanOption = planner.Option
+	// PlanExplain, when attached via WithPlanExplain, records how the
+	// search spent its effort: every simulated point (bound vs actual)
+	// and every wholesale-pruned subtree (head, bound, incumbent).
+	PlanExplain = planner.Explain
+	// PlanExplainSim is one simulated point in a PlanExplain report.
+	PlanExplainSim = planner.ExplainSim
+	// PlanExplainPrune is one pruned subtree in a PlanExplain report.
+	PlanExplainPrune = planner.ExplainPrune
 	// PlanStrategy decides which candidates are promoted to simulation.
 	PlanStrategy = planner.Strategy
 	// MemoryModel is the per-GPU memory-feasibility model (capacity,
@@ -97,6 +105,13 @@ func WithPlanBudget(n int) PlanOption { return planner.WithBudget(n) }
 // WithMemoryModel overrides the memory-feasibility model (device capacity,
 // reserve, ZeRO stage, attention accounting).
 func WithMemoryModel(m MemoryModel) PlanOption { return planner.WithMemModel(m) }
+
+// WithPlanExplain attaches a report that the search fills in as it runs:
+// one entry per simulated point (analytic bound vs simulated iteration)
+// and one per wholesale-pruned subtree. The report's totals equal the
+// run's PlanStats — len(Simulated) == Stats.Simulated and PrunedPoints()
+// == Stats.BoundPruned + Stats.DominatedPruned.
+func WithPlanExplain(e *PlanExplain) PlanOption { return planner.WithExplain(e) }
 
 // DefaultMemoryModel returns the H100-class defaults (80 GiB, 6 GiB
 // reserve, Adam at 12 B/param, no ZeRO sharding, flash attention).
